@@ -1,0 +1,192 @@
+// Command kyotobench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	kyotobench -run all
+//	kyotobench -run fig4,fig5 -seed 7
+//	kyotobench -list
+//
+// Each experiment prints an ASCII table whose rows correspond to the
+// paper's bars/series; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"kyoto/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "kyotobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// experimentFunc runs one experiment and returns its rendered tables.
+type experimentFunc func(seed uint64) ([]experiments.Table, error)
+
+// registry maps experiment ids to runners. Keep ids in sync with
+// DESIGN.md's per-experiment index.
+func registry() map[string]experimentFunc {
+	return map[string]experimentFunc{
+		"table1": func(seed uint64) ([]experiments.Table, error) {
+			return []experiments.Table{experiments.Table1()}, nil
+		},
+		"table2": func(seed uint64) ([]experiments.Table, error) {
+			return []experiments.Table{experiments.Table2()}, nil
+		},
+		"fig4": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig4(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig4matrix": func(seed uint64) ([]experiments.Table, error) {
+			t, err := experiments.Fig4Matrix(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{t}, nil
+		},
+		"fig1": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig1(seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		},
+		"fig2": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig2(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig3": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig3(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig5": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig5(seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		},
+		"fig6": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig6(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig8": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig8(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig9": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig9(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig10": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig10(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig11": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig11(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"fig12": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.Fig12(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+		"ablations": func(seed uint64) ([]experiments.Table, error) {
+			t, err := experiments.AblationTable(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{t}, nil
+		},
+		"ks4linux": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.KS4Linux(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kyotobench", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	selected := ids
+	if *runList != "all" {
+		selected = strings.Split(*runList, ",")
+	}
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		f, ok := reg[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		tables, err := f(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRegistryCoversPaperArtefacts(t *testing.T) {
+	reg := registry()
+	wanted := []string{
+		"table1", "table2",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig8", "fig9", "fig10", "fig11", "fig12",
+		"ablations", "ks4linux", "fig4matrix",
+	}
+	for _, id := range wanted {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExperimentsExecute(t *testing.T) {
+	// Only the cheap artefacts; the heavy ones are covered by the
+	// experiments package's reproduction-lock tests.
+	if err := run([]string{"-run", "table1,table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryIdsSorted(t *testing.T) {
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) < 14 {
+		t.Fatalf("registry shrank to %d entries", len(ids))
+	}
+}

@@ -1,0 +1,201 @@
+// Command kyotosim runs an arbitrary scenario described in JSON on the
+// simulated testbed and reports per-VM statistics — the general-purpose
+// front door to the simulator that the paper-specific kyotobench builds on.
+//
+// Usage:
+//
+//	kyotosim -scenario scenario.json
+//	kyotosim -example | kyotosim -scenario -
+//
+// Scenario schema (JSON):
+//
+//	{
+//	  "machine":   "table1" | "r420",
+//	  "scheduler": "credit" | "cfs" | "pisces",
+//	  "kyoto":     true,
+//	  "monitor":   "counters" | "shadow",
+//	  "seed":      1,
+//	  "warmup":    12,
+//	  "ticks":     60,
+//	  "vms": [
+//	    {"name": "web", "app": "gcc", "pins": [0], "llc_cap": 250},
+//	    {"name": "batch", "app": "lbm", "pins": [1], "llc_cap": 250,
+//	     "weight": 256, "cap_percent": 0, "home_node": 0}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"kyoto"
+)
+
+// scenario is the JSON schema.
+type scenario struct {
+	Machine   string   `json:"machine"`
+	Scheduler string   `json:"scheduler"`
+	Kyoto     bool     `json:"kyoto"`
+	Monitor   string   `json:"monitor"`
+	Seed      uint64   `json:"seed"`
+	Warmup    int      `json:"warmup"`
+	Ticks     int      `json:"ticks"`
+	VMs       []vmSpec `json:"vms"`
+}
+
+type vmSpec struct {
+	Name       string  `json:"name"`
+	App        string  `json:"app"`
+	Pins       []int   `json:"pins"`
+	LLCCap     float64 `json:"llc_cap"`
+	Weight     int64   `json:"weight"`
+	CapPercent int     `json:"cap_percent"`
+	HomeNode   int     `json:"home_node"`
+	VCPUs      int     `json:"vcpus"`
+}
+
+const exampleScenario = `{
+  "machine": "table1",
+  "scheduler": "credit",
+  "kyoto": true,
+  "seed": 1,
+  "warmup": 12,
+  "ticks": 60,
+  "vms": [
+    {"name": "web", "app": "gcc", "pins": [0], "llc_cap": 250},
+    {"name": "batch", "app": "lbm", "pins": [1], "llc_cap": 250}
+  ]
+}`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "kyotosim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kyotosim", flag.ContinueOnError)
+	var (
+		path    = fs.String("scenario", "", "scenario JSON file ('-' for stdin)")
+		example = fs.Bool("example", false, "print an example scenario and exit")
+		apps    = fs.Bool("apps", false, "list built-in application profiles and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		fmt.Fprintln(out, exampleScenario)
+		return nil
+	}
+	if *apps {
+		for _, n := range kyoto.ProfileNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+	if *path == "" {
+		return fmt.Errorf("missing -scenario (use -example for a template)")
+	}
+
+	var raw []byte
+	var err error
+	if *path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*path)
+	}
+	if err != nil {
+		return err
+	}
+	var sc scenario
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return fmt.Errorf("parsing scenario: %w", err)
+	}
+	return execute(sc, out)
+}
+
+func execute(sc scenario, out io.Writer) error {
+	cfg := kyoto.WorldConfig{Seed: sc.Seed, EnableKyoto: sc.Kyoto}
+	switch sc.Machine {
+	case "", "table1":
+		cfg.Machine = kyoto.TableOneMachine(sc.Seed)
+	case "r420":
+		cfg.Machine = kyoto.R420Machine(sc.Seed)
+	default:
+		return fmt.Errorf("unknown machine %q", sc.Machine)
+	}
+	switch sc.Scheduler {
+	case "", "credit":
+		cfg.Scheduler = kyoto.CreditScheduler
+	case "cfs":
+		cfg.Scheduler = kyoto.CFSScheduler
+	case "pisces":
+		cfg.Scheduler = kyoto.PiscesScheduler
+	default:
+		return fmt.Errorf("unknown scheduler %q", sc.Scheduler)
+	}
+	switch sc.Monitor {
+	case "", "counters":
+		cfg.Monitor = kyoto.MonitorCounters
+	case "shadow":
+		cfg.Monitor = kyoto.MonitorShadowSim
+	default:
+		return fmt.Errorf("unknown monitor %q", sc.Monitor)
+	}
+
+	w, err := kyoto.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	if len(sc.VMs) == 0 {
+		return fmt.Errorf("scenario has no VMs")
+	}
+	vms := make([]*kyoto.VM, 0, len(sc.VMs))
+	for _, s := range sc.VMs {
+		v, err := w.AddVM(kyoto.VMSpec{
+			Name: s.Name, App: s.App, Pins: s.Pins, LLCCap: s.LLCCap,
+			Weight: s.Weight, CapPercent: s.CapPercent,
+			HomeNode: s.HomeNode, VCPUs: s.VCPUs,
+		})
+		if err != nil {
+			return err
+		}
+		vms = append(vms, v)
+	}
+
+	warmup := sc.Warmup
+	if warmup == 0 {
+		warmup = 12
+	}
+	ticks := sc.Ticks
+	if ticks == 0 {
+		ticks = 60
+	}
+	w.RunTicks(warmup)
+	before := make([]kyoto.Counters, len(vms))
+	for i, v := range vms {
+		before[i] = v.Counters()
+	}
+	w.RunTicks(ticks)
+
+	fmt.Fprintf(out, "machine:\n%s\n", w.MachineTable())
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "vm\tapp\tIPC\tMPKI\teq1 (misses/ms)\tCPU ms\tpunishments")
+	for i, v := range vms {
+		d := v.Counters().Delta(before[i])
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.2f\t%.1f\t%.1f\t%d\n",
+			v.Name, v.App, d.IPC(), d.MissesPerKiloInstr(),
+			kyoto.Equation1Value(d), float64(d.WallCycles())/100_000,
+			v.Punishments)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExampleFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"vms"`) {
+		t.Fatalf("example output: %s", out.String())
+	}
+}
+
+func TestAppsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-apps"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gcc", "lbm", "blockie"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("apps listing missing %s", want)
+		}
+	}
+}
+
+func TestMissingScenario(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("missing -scenario must fail")
+	}
+}
+
+func TestScenarioExecution(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(exampleScenario), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"web", "batch", "punishments", "eq1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	write := func(body string) string {
+		path := filepath.Join(t.TempDir(), "s.json")
+		if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"bogus": 1, "vms": [{"name":"a","app":"gcc"}]}`,
+		"unknown machine": `{"machine": "cray", "vms": [{"name":"a","app":"gcc"}]}`,
+		"unknown sched":   `{"scheduler": "fifo", "vms": [{"name":"a","app":"gcc"}]}`,
+		"unknown monitor": `{"monitor": "magic", "vms": [{"name":"a","app":"gcc"}]}`,
+		"no vms":          `{"ticks": 5}`,
+		"unknown app":     `{"vms": [{"name":"a","app":"doom"}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run([]string{"-scenario", write(body)}, &strings.Builder{}); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestR420CFSScenario(t *testing.T) {
+	body := `{
+	  "machine": "r420", "scheduler": "cfs", "kyoto": true,
+	  "monitor": "shadow", "ticks": 12, "warmup": 3,
+	  "vms": [{"name": "a", "app": "povray"}, {"name": "b", "app": "hmmer"}]
+	}`
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command llccap is the provider-side permit sizing tool sketched in the
+// paper's §5 discussion: it characterizes an application's pollution level
+// on the simulated testbed and recommends an llc_cap booking with headroom
+// — the way a provider would map instance types to permit tiers.
+//
+// Usage:
+//
+//	llccap -app lbm
+//	llccap -all -headroom 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"kyoto"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "llccap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("llccap", flag.ContinueOnError)
+	var (
+		app      = fs.String("app", "", "application profile to characterize")
+		all      = fs.Bool("all", false, "characterize every built-in profile")
+		headroom = fs.Float64("headroom", 1.2, "multiplier on the measured rate")
+		ticks    = fs.Int("ticks", 60, "measurement window in ticks (10 ms each)")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *headroom <= 0 {
+		return fmt.Errorf("headroom must be positive")
+	}
+	var apps []string
+	switch {
+	case *all:
+		apps = kyoto.ProfileNames()
+	case *app != "":
+		apps = []string{*app}
+	default:
+		return fmt.Errorf("need -app NAME or -all")
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tclass\tIPC\teq1 (misses/ms)\tLLCM (misses/ms)\trecommended llc_cap")
+	for _, name := range apps {
+		profile, err := kyoto.LookupProfile(name)
+		if err != nil {
+			return err
+		}
+		d, err := characterize(name, *ticks, *seed)
+		if err != nil {
+			return err
+		}
+		eq1 := kyoto.Equation1Value(d)
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.1f\t%.1f\t%.0f\n",
+			name, profile.Class, d.IPC(), eq1, kyoto.RawLLCMValue(d), eq1**headroom)
+	}
+	return tw.Flush()
+}
+
+// characterize runs the app alone and returns its measurement-window
+// counters.
+func characterize(app string, ticks int, seed uint64) (kyoto.Counters, error) {
+	w, err := kyoto.NewWorld(kyoto.WorldConfig{Seed: seed})
+	if err != nil {
+		return kyoto.Counters{}, err
+	}
+	v, err := w.AddVM(kyoto.VMSpec{Name: "solo", App: app, Pins: []int{0}})
+	if err != nil {
+		return kyoto.Counters{}, err
+	}
+	w.RunTicks(12) // warmup
+	before := v.Counters()
+	w.RunTicks(ticks)
+	return v.Counters().Delta(before), nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCharacterizeSingleApp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "lbm", "-ticks", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lbm") || !strings.Contains(s, "recommended llc_cap") {
+		t.Fatalf("report: %s", s)
+	}
+}
+
+func TestHeadroomApplied(t *testing.T) {
+	read := func(headroom string) string {
+		var out strings.Builder
+		if err := run([]string{"-app", "lbm", "-ticks", "20", "-headroom", headroom}, &out); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		fields := strings.Fields(lines[len(lines)-1])
+		return fields[len(fields)-1]
+	}
+	if read("1.0") == read("2.0") {
+		t.Fatal("headroom had no effect on the recommendation")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("missing -app must fail")
+	}
+	if err := run([]string{"-app", "doom"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown app must fail")
+	}
+	if err := run([]string{"-app", "lbm", "-headroom", "-1"}, &strings.Builder{}); err == nil {
+		t.Fatal("negative headroom must fail")
+	}
+}
+
+func TestAllAppsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizing every profile is slow")
+	}
+	var out strings.Builder
+	if err := run([]string{"-all", "-ticks", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gcc", "milc", "povray"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %s in -all output", want)
+		}
+	}
+}

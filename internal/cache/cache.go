@@ -1,0 +1,512 @@
+// Package cache implements the set-associative cache models at the heart of
+// the simulated testbed: single caches with pluggable replacement policies,
+// per-owner (per-vCPU) attribution of fills and evictions, optional way
+// partitioning, and a multi-level hierarchy (L1 -> L2 -> LLC -> memory)
+// using the latencies the paper measured with lmbench (§2.2.4).
+//
+// Attribution is what makes the Kyoto evaluation possible: every line
+// remembers which owner filled it, so the simulator can report both a VM's
+// own misses (what hardware PMCs expose) and the evictions it inflicts on
+// other VMs (the ground-truth "pollution" that hardware cannot attribute
+// when VMs share the LLC in parallel).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kyoto/internal/xrand"
+)
+
+// Owner identifies the entity (vCPU) that filled a cache line.
+type Owner uint16
+
+// OwnerNone marks an invalid or unattributed line.
+const OwnerNone Owner = ^Owner(0)
+
+// MaxOwners bounds the number of distinct owners a cache tracks statistics
+// for. 1024 comfortably exceeds the paper's "about a hundred VMs per host".
+const MaxOwners = 1024
+
+// Policy selects the replacement policy of a cache.
+type Policy int
+
+// Replacement policies. LRU is the default and what the paper's hardware
+// approximates; BIP/DIP reproduce the adaptive-insertion related work
+// ([17,19] in the paper) for the ablation benches; Random is a cheap
+// baseline; PartitionedLRU restricts each owner to a configured way mask,
+// modelling UCP-style cache partitioning ([27]).
+const (
+	LRU Policy = iota + 1
+	Random
+	BIP
+	DIP
+	PartitionedLRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "Random"
+	case BIP:
+		return "BIP"
+	case DIP:
+		return "DIP"
+	case PartitionedLRU:
+		return "PartitionedLRU"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in reports, e.g. "L1D" or "LLC".
+	Name string
+	// SizeBytes is the total capacity. Must be Ways*LineBytes*power-of-two.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the line size (the paper's machines use 64).
+	LineBytes int
+	// Policy is the replacement policy; zero value means LRU.
+	Policy Policy
+	// HitLatencyCycles is the access cost when this level hits, measured
+	// from the core (i.e. inclusive of lookup in faster levels), matching
+	// how lmbench reports it.
+	HitLatencyCycles uint32
+	// BIPEpsilon is the probability that BIP/DIP inserts at MRU rather
+	// than LRU position. Zero means the conventional 1/32.
+	BIPEpsilon float64
+	// Seed seeds the policy's private RNG (Random and BIP need one).
+	Seed uint64
+}
+
+// Validate checks the geometry and returns a descriptive error when the
+// configuration cannot be built.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %q: size, ways and line size must be positive (got %d/%d/%d)",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache %q: size %d is not a multiple of line size %d", c.Name, c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache %q: %d ways exceeds the 64-way partition mask limit", c.Name, c.Ways)
+	}
+	if c.BIPEpsilon < 0 || c.BIPEpsilon > 1 {
+		return fmt.Errorf("cache %q: BIP epsilon %v outside [0,1]", c.Name, c.BIPEpsilon)
+	}
+	return nil
+}
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	stamp uint64 // recency: higher = more recently used
+	owner Owner
+	valid bool
+}
+
+// OwnerStats aggregates a single owner's activity at one cache level.
+type OwnerStats struct {
+	// Accesses counts lookups issued by the owner.
+	Accesses uint64
+	// Misses counts lookups that missed at this level.
+	Misses uint64
+	// Fills counts lines installed by the owner (== Misses unless the
+	// level is bypassed).
+	Fills uint64
+	// EvictionsInflicted counts valid lines belonging to *other* owners
+	// that this owner's fills displaced — the ground-truth pollution the
+	// Kyoto principle charges for.
+	EvictionsInflicted uint64
+	// EvictionsSuffered counts this owner's valid lines displaced by any
+	// owner (including itself).
+	EvictionsSuffered uint64
+	// SelfEvictions counts this owner's lines displaced by its own fills.
+	SelfEvictions uint64
+}
+
+// Hits returns the owner's hit count at this level.
+func (s OwnerStats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// Cache is a single set-associative cache level.
+//
+// Cache is not safe for concurrent use: the simulated machine interleaves
+// cores deterministically on a single goroutine (see internal/hv), which is
+// what makes runs reproducible.
+type Cache struct {
+	cfg       Config
+	lines     []line // sets*ways, set-major
+	ways      uint32
+	setMask   uint64
+	lineShift uint
+	clock     uint64 // global recency stamp source
+	rng       *xrand.Rand
+
+	// Per-owner statistics, allocated lazily as owners appear. The
+	// memoized last lookup keeps the per-access hot path off the map:
+	// owners run for whole scheduling chunks, so the memo almost always
+	// hits.
+	stats     map[Owner]*OwnerStats
+	occupancy []int // indexed by owner, grown on demand
+	memoOwner Owner
+	memoStats *OwnerStats
+
+	// Way partitioning (PartitionedLRU): per-owner allowed-way bitmasks.
+	// Owners without an entry may use defaultMask.
+	partition   map[Owner]uint64
+	defaultMask uint64
+
+	// DIP set-dueling state.
+	psel     int
+	pselMax  int
+	totals   OwnerStats // aggregate over all owners (kept separately: cheap)
+	epsilonQ uint64     // BIP: insert at MRU when rng draw < epsilonQ (16.16 fixed point of 2^32)
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = LRU
+	}
+	eps := cfg.BIPEpsilon
+	if eps == 0 {
+		eps = 1.0 / 32
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	c := &Cache{
+		cfg:         cfg,
+		lines:       make([]line, lines),
+		ways:        uint32(cfg.Ways),
+		setMask:     uint64(sets - 1),
+		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		rng:         xrand.New(cfg.Seed ^ 0xcafef00d),
+		stats:       make(map[Owner]*OwnerStats),
+		partition:   make(map[Owner]uint64),
+		defaultMask: wayMaskAll(cfg.Ways),
+		pselMax:     1024,
+		psel:        512,
+		epsilonQ:    uint64(eps * float64(1<<32)),
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and static configs whose
+// validity is established by construction.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask + 1) }
+
+// SetPartition restricts owner's fills to the ways set in mask
+// (bit i = way i). Only honoured under PartitionedLRU. A zero mask removes
+// the restriction. Lookups always search all ways, as in UCP hardware.
+func (c *Cache) SetPartition(owner Owner, mask uint64) error {
+	mask &= wayMaskAll(c.cfg.Ways)
+	if c.cfg.Policy != PartitionedLRU {
+		return fmt.Errorf("cache %q: partitioning requires PartitionedLRU policy, have %v", c.cfg.Name, c.cfg.Policy)
+	}
+	if mask == 0 {
+		delete(c.partition, owner)
+		return nil
+	}
+	c.partition[owner] = mask
+	return nil
+}
+
+// Access performs one load/store lookup for owner at byte address addr.
+// It returns true on hit. On miss the line is filled (write-allocate) and a
+// victim is evicted per the replacement policy.
+func (c *Cache) Access(addr uint64, owner Owner) bool {
+	tag := addr >> c.lineShift
+	set := uint32(tag & c.setMask)
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways : base+c.ways]
+	c.clock++
+	st := c.ownerStats(owner)
+	st.Accesses++
+	c.totals.Accesses++
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.touch(&ways[i], set)
+			return true
+		}
+	}
+
+	st.Misses++
+	c.totals.Misses++
+	c.fill(ways, set, tag, owner, st)
+	return false
+}
+
+// Probe reports whether addr is present without updating replacement state
+// or statistics. Monitors use it to inspect without perturbing.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	set := uint32(tag & c.setMask)
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// touch updates replacement metadata on a hit.
+func (c *Cache) touch(l *line, set uint32) {
+	switch c.effectivePolicy(set) {
+	case Random:
+		// Random replacement keeps no recency state.
+	default:
+		// LRU, BIP, DIP, PartitionedLRU: promote to MRU on hit.
+		l.stamp = c.clock
+	}
+}
+
+// fill installs tag into the set for owner, evicting a victim if needed.
+func (c *Cache) fill(ways []line, set uint32, tag uint64, owner Owner, st *OwnerStats) {
+	victim := c.pickVictim(ways, set, owner)
+	v := &ways[victim]
+	if v.valid {
+		vst := c.ownerStats(v.owner)
+		vst.EvictionsSuffered++
+		c.totals.EvictionsSuffered++
+		c.occupancySlot(v.owner)[0]--
+		if v.owner == owner {
+			st.SelfEvictions++
+			c.totals.SelfEvictions++
+		} else {
+			st.EvictionsInflicted++
+			c.totals.EvictionsInflicted++
+		}
+	}
+	v.tag = tag
+	v.owner = owner
+	v.valid = true
+	c.occupancySlot(owner)[0]++
+	st.Fills++
+	c.totals.Fills++
+
+	switch c.effectivePolicy(set) {
+	case BIP:
+		c.dipUpdate(set)
+		v.stamp = c.bipStamp()
+	case LRU, PartitionedLRU:
+		c.dipUpdate(set)
+		v.stamp = c.clock
+	case Random:
+		v.stamp = c.clock
+	default:
+		v.stamp = c.clock
+	}
+}
+
+// bipStamp returns the insertion stamp BIP uses: MRU with probability
+// epsilon, otherwise LRU (stamp 0 ages out first).
+func (c *Cache) bipStamp() uint64 {
+	if uint64(uint32(c.rng.Uint64())) < c.epsilonQ {
+		return c.clock
+	}
+	return 0
+}
+
+// pickVictim chooses the way to evict in the given set.
+func (c *Cache) pickVictim(ways []line, set uint32, owner Owner) uint32 {
+	mask := c.defaultMask
+	if c.cfg.Policy == PartitionedLRU {
+		if m, ok := c.partition[owner]; ok {
+			mask = m
+		}
+	}
+	// Prefer an invalid way inside the allowed mask.
+	for i := uint32(0); i < c.ways; i++ {
+		if mask&(1<<i) != 0 && !ways[i].valid {
+			return i
+		}
+	}
+	if c.effectivePolicy(set) == Random {
+		// Choose uniformly among allowed ways.
+		n := bits.OnesCount64(mask)
+		k := c.rng.Intn(n)
+		for i := uint32(0); i < c.ways; i++ {
+			if mask&(1<<i) != 0 {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+	}
+	// LRU within the allowed mask: lowest stamp wins, lowest index breaks
+	// ties (deterministic).
+	best := ^uint32(0)
+	var bestStamp uint64
+	for i := uint32(0); i < c.ways; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if best == ^uint32(0) || ways[i].stamp < bestStamp {
+			best, bestStamp = i, ways[i].stamp
+		}
+	}
+	return best
+}
+
+// effectivePolicy resolves DIP set-dueling: leader sets are pinned to LRU
+// or BIP and follower sets go with the current PSEL winner.
+func (c *Cache) effectivePolicy(set uint32) Policy {
+	p := c.cfg.Policy
+	if p != DIP {
+		return p
+	}
+	switch set & 63 {
+	case 0:
+		return LRU
+	case 1:
+		return BIP
+	}
+	if c.psel >= c.pselMax/2 {
+		return BIP
+	}
+	return LRU
+}
+
+// dipUpdate nudges the PSEL counter when a leader set misses.
+func (c *Cache) dipUpdate(set uint32) {
+	if c.cfg.Policy != DIP {
+		return
+	}
+	switch set & 63 {
+	case 0: // LRU leader missed: favour BIP
+		if c.psel < c.pselMax {
+			c.psel++
+		}
+	case 1: // BIP leader missed: favour LRU
+		if c.psel > 0 {
+			c.psel--
+		}
+	}
+}
+
+// ownerStats returns (allocating if needed) the stats row for owner.
+func (c *Cache) ownerStats(owner Owner) *OwnerStats {
+	if c.memoStats != nil && c.memoOwner == owner {
+		return c.memoStats
+	}
+	s, ok := c.stats[owner]
+	if !ok {
+		s = &OwnerStats{}
+		c.stats[owner] = s
+	}
+	c.memoOwner, c.memoStats = owner, s
+	return s
+}
+
+// Stats returns a copy of owner's statistics at this level.
+func (c *Cache) Stats(owner Owner) OwnerStats {
+	if s, ok := c.stats[owner]; ok {
+		return *s
+	}
+	return OwnerStats{}
+}
+
+// Totals returns aggregate statistics across all owners.
+func (c *Cache) Totals() OwnerStats { return c.totals }
+
+// occupancySlot returns a one-element slice addressing owner's occupancy
+// counter, growing the backing store on demand.
+func (c *Cache) occupancySlot(owner Owner) []int {
+	if int(owner) >= len(c.occupancy) {
+		grown := make([]int, int(owner)+1)
+		copy(grown, c.occupancy)
+		c.occupancy = grown
+	}
+	return c.occupancy[owner : owner+1]
+}
+
+// Occupancy returns the number of valid lines currently owned by owner.
+func (c *Cache) Occupancy(owner Owner) int {
+	if int(owner) >= len(c.occupancy) {
+		return 0
+	}
+	return c.occupancy[owner]
+}
+
+// OccupancyFraction returns owner's share of the cache's lines, in [0,1].
+func (c *Cache) OccupancyFraction(owner Owner) float64 {
+	return float64(c.occupancy[owner]) / float64(len(c.lines))
+}
+
+// ResetStats zeroes all statistics (occupancy and content are preserved).
+// Sampling windows call this between measurements.
+func (c *Cache) ResetStats() {
+	for _, s := range c.stats {
+		*s = OwnerStats{}
+	}
+	c.totals = OwnerStats{}
+}
+
+// Flush invalidates every line and clears occupancy. Statistics are kept.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.occupancy {
+		c.occupancy[i] = 0
+	}
+}
+
+// FlushOwner invalidates every line belonging to owner, modelling the cache
+// footprint loss a vCPU suffers when migrated to another socket.
+func (c *Cache) FlushOwner(owner Owner) {
+	removed := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].owner == owner {
+			c.lines[i] = line{}
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.occupancySlot(owner)[0] -= removed
+	}
+}
+
+// wayMaskAll returns a bitmask with the low n bits set.
+func wayMaskAll(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}

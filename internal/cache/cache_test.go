@@ -1,0 +1,381 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tiny returns a small LRU cache: 4 sets x 2 ways x 64B lines = 512 B.
+func tiny(t *testing.T, p Policy) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		Name: "T", SizeBytes: 512, Ways: 2, LineBytes: 64,
+		Policy: p, HitLatencyCycles: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Name: "c", SizeBytes: 1024, Ways: 2, LineBytes: 64}, true},
+		{"zero size", Config{Name: "c", SizeBytes: 0, Ways: 2, LineBytes: 64}, false},
+		{"negative ways", Config{Name: "c", SizeBytes: 1024, Ways: -1, LineBytes: 64}, false},
+		{"line not pow2", Config{Name: "c", SizeBytes: 1024, Ways: 2, LineBytes: 48}, false},
+		{"size not multiple of line", Config{Name: "c", SizeBytes: 1000, Ways: 2, LineBytes: 64}, false},
+		{"lines not divisible by ways", Config{Name: "c", SizeBytes: 64 * 6, Ways: 4, LineBytes: 64}, false},
+		{"sets not pow2", Config{Name: "c", SizeBytes: 64 * 12, Ways: 2, LineBytes: 64}, false},
+		{"too many ways", Config{Name: "c", SizeBytes: 64 * 128, Ways: 128, LineBytes: 64}, false},
+		{"bad epsilon", Config{Name: "c", SizeBytes: 1024, Ways: 2, LineBytes: 64, BIPEpsilon: 1.5}, false},
+		{"paper LLC", Config{Name: "LLC", SizeBytes: 10 * 1024 * 1024 / 16, Ways: 20, LineBytes: 64}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("want valid, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := tiny(t, LRU)
+	if c.Access(0x1000, 1) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0x1000, 1) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x1020, 1) {
+		t.Fatal("same-line access (different offset) must hit")
+	}
+	st := c.Stats(1)
+	if st.Accesses != 3 || st.Misses != 1 || st.Hits() != 2 {
+		t.Fatalf("stats = %+v, want 3 accesses / 1 miss", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := tiny(t, LRU) // 4 sets, 2 ways; same set every 4 lines (256B stride)
+	a0 := uint64(0x0000)
+	a1 := a0 + 256 // same set, different tag
+	a2 := a0 + 512
+	c.Access(a0, 1)
+	c.Access(a1, 1)
+	c.Access(a0, 1) // a0 now MRU, a1 LRU
+	c.Access(a2, 1) // evicts a1
+	if !c.Probe(a0) {
+		t.Fatal("a0 (MRU) must survive")
+	}
+	if c.Probe(a1) {
+		t.Fatal("a1 (LRU) must be evicted")
+	}
+	if !c.Probe(a2) {
+		t.Fatal("a2 must be present")
+	}
+}
+
+func TestEvictionAttribution(t *testing.T) {
+	c := tiny(t, LRU)
+	// Owner 1 fills both ways of set 0, then owner 2 evicts one.
+	c.Access(0, 1)
+	c.Access(256, 1)
+	c.Access(512, 2)
+	s1, s2 := c.Stats(1), c.Stats(2)
+	if s1.EvictionsSuffered != 1 {
+		t.Fatalf("owner 1 suffered = %d, want 1", s1.EvictionsSuffered)
+	}
+	if s2.EvictionsInflicted != 1 {
+		t.Fatalf("owner 2 inflicted = %d, want 1", s2.EvictionsInflicted)
+	}
+	if s2.SelfEvictions != 0 {
+		t.Fatalf("owner 2 self-evictions = %d, want 0", s2.SelfEvictions)
+	}
+	// Owner 1 thrashes its own set: self eviction.
+	c.Access(1024, 1)
+	c.Access(1280, 1)
+	c.Access(1536, 1)
+	s1 = c.Stats(1)
+	if s1.SelfEvictions == 0 {
+		t.Fatal("expected at least one self eviction")
+	}
+}
+
+func TestOccupancyTracking(t *testing.T) {
+	c := tiny(t, LRU)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*64, 1) // four distinct sets
+	}
+	if got := c.Occupancy(1); got != 4 {
+		t.Fatalf("occupancy = %d, want 4", got)
+	}
+	if got := c.OccupancyFraction(1); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	c.FlushOwner(1)
+	if got := c.Occupancy(1); got != 0 {
+		t.Fatalf("occupancy after FlushOwner = %d, want 0", got)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if c.Probe(i * 64) {
+			t.Fatalf("line %d survived FlushOwner", i)
+		}
+	}
+}
+
+func TestFlushKeepsStats(t *testing.T) {
+	c := tiny(t, LRU)
+	c.Access(0, 1)
+	c.Flush()
+	if c.Probe(0) {
+		t.Fatal("line survived Flush")
+	}
+	if st := c.Stats(1); st.Accesses != 1 {
+		t.Fatalf("stats cleared by Flush: %+v", st)
+	}
+	c.ResetStats()
+	if st := c.Stats(1); st.Accesses != 0 {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+func TestRandomPolicyStillCaches(t *testing.T) {
+	c := tiny(t, Random)
+	c.Access(0x40, 7)
+	if !c.Access(0x40, 7) {
+		t.Fatal("random policy must still hit on resident lines")
+	}
+}
+
+func TestBIPResistsThrashing(t *testing.T) {
+	// A working set slightly larger than one set's ways, streamed
+	// repeatedly, thrashes LRU (hit rate ~0) but BIP keeps a subset
+	// resident. Use a single-set cache to isolate the effect.
+	mk := func(p Policy) *Cache {
+		return MustNew(Config{
+			Name: "one-set", SizeBytes: 4 * 64, Ways: 4, LineBytes: 64,
+			Policy: p, Seed: 42,
+		})
+	}
+	stream := func(c *Cache) float64 {
+		// 6 lines > 4 ways, all mapping to the single set; 300 rounds.
+		var hits, acc uint64
+		for r := 0; r < 300; r++ {
+			for i := uint64(0); i < 6; i++ {
+				if c.Access(i*64, 1) {
+					hits++
+				}
+				acc++
+			}
+		}
+		return float64(hits) / float64(acc)
+	}
+	lru, bip := stream(mk(LRU)), stream(mk(BIP))
+	if lru > 0.01 {
+		t.Fatalf("LRU hit rate on thrash stream = %v, want ~0", lru)
+	}
+	if bip < 0.2 {
+		t.Fatalf("BIP hit rate = %v, want >= 0.2 (thrash resistance)", bip)
+	}
+}
+
+func TestDIPFollowsBetterPolicy(t *testing.T) {
+	c := MustNew(Config{
+		// 128 sets so both leader groups (set%64==0,1) exist.
+		Name: "dip", SizeBytes: 128 * 4 * 64, Ways: 4, LineBytes: 64,
+		Policy: DIP, Seed: 7,
+	})
+	// Thrash-heavy stream over 8 lines per set on a 4-way cache.
+	var hits, acc uint64
+	for r := 0; r < 200; r++ {
+		for s := uint64(0); s < 128; s++ {
+			for i := uint64(0); i < 8; i++ {
+				if c.Access((s+i*128)*64, 1) {
+					hits++
+				}
+				acc++
+			}
+		}
+	}
+	rate := float64(hits) / float64(acc)
+	if rate < 0.05 {
+		t.Fatalf("DIP hit rate = %v under thrash, want BIP-like (> 0.05)", rate)
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	c := MustNew(Config{
+		Name: "part", SizeBytes: 4 * 4 * 64, Ways: 4, LineBytes: 64,
+		Policy: PartitionedLRU, Seed: 3,
+	})
+	if err := c.SetPartition(1, 0b0011); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartition(2, 0b1100); err != nil {
+		t.Fatal(err)
+	}
+	// Owner 2 fills its two ways of set 0; owner 1 then streams many
+	// conflicting lines. Owner 2's lines must survive: that is the whole
+	// point of UCP-style partitioning.
+	c.Access(0x0000, 2)
+	c.Access(0x0400, 2) // set stride = 4 sets * 64 B = 256; 0x400 = 4*256 -> set 0
+	for i := uint64(2); i < 30; i++ {
+		c.Access(i*0x400, 1)
+	}
+	if !c.Probe(0x0000) || !c.Probe(0x0400) {
+		t.Fatal("partitioned owner 2 lines were evicted by owner 1")
+	}
+	if got := c.Stats(1).EvictionsInflicted; got != 0 {
+		t.Fatalf("owner 1 inflicted %d evictions despite disjoint partitions", got)
+	}
+}
+
+func TestPartitionRequiresPolicy(t *testing.T) {
+	c := tiny(t, LRU)
+	if err := c.SetPartition(1, 0b01); err == nil {
+		t.Fatal("SetPartition must fail on non-partitioned policy")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	l1 := MustNew(Config{Name: "L1", SizeBytes: 512, Ways: 2, LineBytes: 64, HitLatencyCycles: 4})
+	l2 := MustNew(Config{Name: "L2", SizeBytes: 2048, Ways: 4, LineBytes: 64, HitLatencyCycles: 12})
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 8192, Ways: 8, LineBytes: 64, HitLatencyCycles: 45})
+	p := &Path{L1D: l1, L2: l2, LLC: llc, MemLatencyCycles: 180, RemotePenaltyCycles: 120}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	lvl, lat := p.Access(0x1000, 1, false)
+	if lvl != HitMemory || lat != 180 {
+		t.Fatalf("cold access = %v/%d, want MEM/180", lvl, lat)
+	}
+	lvl, lat = p.Access(0x1000, 1, false)
+	if lvl != HitL1 || lat != 4 {
+		t.Fatalf("hot access = %v/%d, want L1/4", lvl, lat)
+	}
+	_, lat = p.Access(0x2000, 1, true)
+	if lat != 300 {
+		t.Fatalf("remote cold access latency = %d, want 300", lat)
+	}
+
+	// Evict from L1 only: next access should hit L2 at 12 cycles.
+	p.FlushPrivate()
+	l2.Access(0x1000, 1) // reload L2 by hand after flush
+	lvl, lat = p.Access(0x1000, 1, false)
+	if lvl != HitL2 && lvl != HitLLC {
+		t.Fatalf("after private flush, level = %v, want L2 or LLC", lvl)
+	}
+	if lat != 12 && lat != 45 {
+		t.Fatalf("latency = %d, want 12 or 45", lat)
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	p := &Path{}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty path must not validate")
+	}
+}
+
+// Property: for any access sequence, per-owner accounting stays coherent.
+func TestQuickAccountingInvariants(t *testing.T) {
+	f := func(addrs []uint16, owners []uint8) bool {
+		c := MustNew(Config{
+			Name: "q", SizeBytes: 8 * 2 * 64, Ways: 2, LineBytes: 64, Seed: 9,
+		})
+		for i, a := range addrs {
+			o := Owner(1)
+			if len(owners) > 0 {
+				o = Owner(owners[i%len(owners)]%4) + 1
+			}
+			c.Access(uint64(a)*8, o)
+		}
+		tot := c.Totals()
+		// accesses = hits + misses; fills == misses (write-allocate, no bypass)
+		if tot.Hits()+tot.Misses != tot.Accesses || tot.Fills != tot.Misses {
+			return false
+		}
+		// evictions suffered = inflicted + self, globally
+		if tot.EvictionsSuffered != tot.EvictionsInflicted+tot.SelfEvictions {
+			return false
+		}
+		// occupancy sums to fills - evictions and never exceeds capacity
+		occ := 0
+		for o := Owner(1); o <= 4; o++ {
+			if c.Occupancy(o) < 0 {
+				return false
+			}
+			occ += c.Occupancy(o)
+		}
+		if occ > 16 {
+			return false
+		}
+		return uint64(occ) == tot.Fills-tot.EvictionsSuffered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resident line always hits until something evicts it; Probe
+// never lies.
+func TestQuickProbeConsistency(t *testing.T) {
+	f := func(seq []uint16) bool {
+		c := MustNew(Config{
+			Name: "q2", SizeBytes: 4 * 2 * 64, Ways: 2, LineBytes: 64, Seed: 11,
+		})
+		for _, a := range seq {
+			addr := uint64(a) * 32
+			present := c.Probe(addr)
+			hit := c.Access(addr, 1)
+			if present != hit {
+				return false
+			}
+			if !c.Probe(addr) { // just-filled line must be resident
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() OwnerStats {
+		c := MustNew(Config{
+			Name: "d", SizeBytes: 16 * 4 * 64, Ways: 4, LineBytes: 64,
+			Policy: BIP, Seed: 1234,
+		})
+		for i := 0; i < 5000; i++ {
+			c.Access(uint64(i*97)%32768, Owner(i%3)+1)
+		}
+		return c.Totals()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different totals:\n%+v\n%+v", a, b)
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	c := MustNew(Config{
+		Name: "bench", SizeBytes: 640 * 1024, Ways: 20, LineBytes: 64, Seed: 5,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64)%(2*640*1024), 1)
+	}
+}

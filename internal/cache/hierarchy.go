@@ -1,0 +1,87 @@
+package cache
+
+import "fmt"
+
+// Level identifies where in the memory hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels, ordered fastest first.
+const (
+	HitL1 Level = iota + 1
+	HitL2
+	HitLLC
+	HitMemory
+)
+
+// String returns a short label for the level.
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitLLC:
+		return "LLC"
+	case HitMemory:
+		return "MEM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Path is the memory path seen by one core: private L1D and L2, a shared
+// LLC, and main memory. The same *Cache LLC instance is shared between the
+// Paths of all cores on a socket, which is precisely how LLC contention
+// arises in the model.
+type Path struct {
+	// L1D and L2 are this core's private caches.
+	L1D *Cache
+	L2  *Cache
+	// LLC is the socket-shared last-level cache.
+	LLC *Cache
+	// MemLatencyCycles is the cost of a local main-memory access, measured
+	// from the core (the paper's lmbench figure: ~180 cycles).
+	MemLatencyCycles uint32
+	// RemotePenaltyCycles is added on top of MemLatencyCycles when the
+	// access targets a remote NUMA node (Fig 9's effect).
+	RemotePenaltyCycles uint32
+}
+
+// Validate reports configuration errors.
+func (p *Path) Validate() error {
+	if p.L1D == nil || p.L2 == nil || p.LLC == nil {
+		return fmt.Errorf("cache path: all of L1D, L2, LLC must be set")
+	}
+	if p.MemLatencyCycles == 0 {
+		return fmt.Errorf("cache path: memory latency must be positive")
+	}
+	return nil
+}
+
+// Access performs one data access for owner at addr, filling lines on the
+// way down (write-allocate at every level). remote selects the NUMA
+// penalty. It returns the satisfying level and the access cost in cycles.
+func (p *Path) Access(addr uint64, owner Owner, remote bool) (Level, uint32) {
+	if p.L1D.Access(addr, owner) {
+		return HitL1, p.L1D.cfg.HitLatencyCycles
+	}
+	if p.L2.Access(addr, owner) {
+		return HitL2, p.L2.cfg.HitLatencyCycles
+	}
+	if p.LLC.Access(addr, owner) {
+		return HitLLC, p.LLC.cfg.HitLatencyCycles
+	}
+	lat := p.MemLatencyCycles
+	if remote {
+		lat += p.RemotePenaltyCycles
+	}
+	return HitMemory, lat
+}
+
+// FlushPrivate invalidates the private levels (L1D, L2), modelling the
+// private-cache loss on a core migration. The shared LLC is left intact;
+// use LLC.FlushOwner for cross-socket moves.
+func (p *Path) FlushPrivate() {
+	p.L1D.Flush()
+	p.L2.Flush()
+}

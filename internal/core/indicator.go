@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: the Kyoto
+// "polluters pay" system. It provides
+//
+//   - the pollution indicators of §3.3/§4.2 — Equation 1
+//     (llc_misses x cpu_freq_khz / unhalted_core_cycles) and the raw
+//     LLC-miss-rate alternative it is compared against,
+//   - pollution permits (the llc_cap VM parameter of §3.1) and the per-VM
+//     pollution-quota ledger,
+//   - the Kyoto scheduler extension (§3.2): a decorator over any base
+//     scheduler (credit/XCS -> KS4Xen, CFS -> KS4Linux, Pisces ->
+//     KS4Pisces) that debits quotas with measured pollution and deprives
+//     VMs of the processor while their quota is negative.
+package core
+
+import (
+	"kyoto/internal/machine"
+	"kyoto/internal/pmc"
+)
+
+// Indicator selects how a VM's pollution level (llc_cap_act) is estimated
+// from a PMC sample — the comparison of §4.2 / Figure 4.
+type Indicator int
+
+// Indicators.
+const (
+	// Equation1 is the paper's chosen indicator (introduced by Tang et
+	// al. [7]): LLC misses normalized by unhalted core cycles, i.e. the
+	// pollution *rate while actually executing*.
+	Equation1 Indicator = iota + 1
+	// RawLLCM is the baseline indicator: LLC misses per wall-clock
+	// millisecond, which conflates pollution with CPU occupancy and halts.
+	RawLLCM
+)
+
+// String returns the indicator name.
+func (i Indicator) String() string {
+	switch i {
+	case Equation1:
+		return "equation1"
+	case RawLLCM:
+		return "llcm"
+	default:
+		return "indicator?"
+	}
+}
+
+// Value computes the indicator over a counter delta. Both indicators are
+// expressed in misses per millisecond so they are directly comparable;
+// they differ in the time base (busy vs wall), which is exactly what
+// separates the paper's o2 and o3 orderings.
+func (i Indicator) Value(d pmc.Counters) float64 {
+	switch i {
+	case Equation1:
+		return Equation1Value(d)
+	case RawLLCM:
+		return RawLLCMValue(d)
+	default:
+		return 0
+	}
+}
+
+// Equation1Value computes the paper's Equation 1:
+//
+//	llc_cap_act = llc_misses x cpu_freq_khz / unhalted_core_cycles
+//
+// With the model clock in kHz this is LLC misses per millisecond of
+// non-halted execution.
+func Equation1Value(d pmc.Counters) float64 {
+	if d.UnhaltedCycles == 0 {
+		return 0
+	}
+	return float64(d.LLCMisses) * float64(machine.CPUFreqKHz) / float64(d.UnhaltedCycles)
+}
+
+// RawLLCMValue is the §4.2 baseline: LLC misses per wall millisecond of
+// scheduled time (busy + halted).
+func RawLLCMValue(d pmc.Counters) float64 {
+	wall := d.WallCycles()
+	if wall == 0 {
+		return 0
+	}
+	return float64(d.LLCMisses) * float64(machine.CPUFreqKHz) / float64(wall)
+}
+
+// BusyMillis returns the busy milliseconds covered by a counter delta.
+func BusyMillis(d pmc.Counters) float64 {
+	return float64(d.UnhaltedCycles) / float64(machine.CPUFreqKHz)
+}
+
+// WallMillis returns the wall milliseconds covered by a counter delta.
+func WallMillis(d pmc.Counters) float64 {
+	return float64(d.WallCycles()) / float64(machine.CPUFreqKHz)
+}

@@ -1,0 +1,124 @@
+// Package cpu implements the execution engine: it runs a workload's
+// instruction stream against a core's memory path for a bounded number of
+// cycles, charging the paper's measured latencies (§2.2.4: L1 4, L2 12,
+// LLC 45, memory 180 cycles) and updating the vCPU's performance counters.
+//
+// IPC is never assumed — it emerges from the interaction between the
+// workload's access pattern and the (shared) cache state, which is what
+// makes contention visible exactly as the paper's Figure 1 measures it.
+package cpu
+
+import (
+	"kyoto/internal/cache"
+	"kyoto/internal/pmc"
+	"kyoto/internal/workload"
+)
+
+// minOverlappedLatency floors the effective latency of an LLC/memory
+// access under memory-level parallelism: even a perfect prefetcher cannot
+// beat the L2 round trip.
+const minOverlappedLatency = 12
+
+// Context carries everything needed to execute one vCPU on one core.
+// The hypervisor rebinds Path/Remote when it migrates the vCPU.
+type Context struct {
+	// Gen produces the instruction stream.
+	Gen workload.Generator
+	// Owner tags cache fills for attribution.
+	Owner cache.Owner
+	// Path is the memory path of the core the vCPU currently runs on.
+	Path *cache.Path
+	// Remote marks the vCPU's memory as living on a remote NUMA node
+	// relative to the core it runs on.
+	Remote bool
+	// AddrBase relocates the VM's virtual addresses into a private
+	// physical range so distinct VMs never alias in the caches.
+	AddrBase uint64
+	// Counters receives the PMC increments.
+	Counters *pmc.Counters
+	// Tracer, when non-nil, observes every memory access (the Pin-tool
+	// substitute used by the shadow-simulator monitor).
+	Tracer Tracer
+}
+
+// Tracer observes executed memory accesses.
+type Tracer interface {
+	// RecordAccess is called once per memory access with the virtual
+	// address, the number of instructions retired since the previous
+	// access, and the access's memory-level parallelism (so an offline
+	// replayer can model overlapped latency as the hardware would).
+	RecordAccess(addr uint64, gapInstrs uint32, mlp float64)
+}
+
+// Run executes ctx's workload for at most budget wall cycles and returns
+// the wall cycles actually consumed. The return value may exceed budget by
+// at most one step's cost (a step is indivisible, as an instruction is on
+// real hardware); callers account the actual value.
+func Run(ctx *Context, budget uint64) uint64 {
+	if budget == 0 {
+		return 0
+	}
+	var used uint64
+	for used < budget {
+		used += execStep(ctx, ctx.Gen.Next())
+	}
+	return used
+}
+
+// execStep executes one step and returns its wall-cycle cost.
+func execStep(ctx *Context, step workload.Step) uint64 {
+	busy := uint64(step.ComputeCycles)
+	c := ctx.Counters
+	if step.HasAccess {
+		level, lat := ctx.Path.Access(ctx.AddrBase+step.Addr, ctx.Owner, ctx.Remote)
+		if level >= cache.HitLLC && step.MLP > 1 {
+			over := uint32(float64(lat) / step.MLP)
+			if over < minOverlappedLatency {
+				over = minOverlappedLatency
+			}
+			lat = over
+		}
+		busy += uint64(lat)
+		c.Accesses++
+		switch level {
+		case cache.HitL2:
+			c.L1Misses++
+		case cache.HitLLC:
+			c.L1Misses++
+			c.L2Misses++
+			c.LLCReferences++
+		case cache.HitMemory:
+			c.L1Misses++
+			c.L2Misses++
+			c.LLCReferences++
+			c.LLCMisses++
+			if step.IsWrite {
+				c.MemWrites++
+			} else {
+				c.MemReads++
+			}
+			if ctx.Remote {
+				c.RemoteAccesses++
+			}
+		}
+		if ctx.Tracer != nil {
+			gap := step.Instrs
+			if gap > 0 {
+				gap--
+			}
+			ctx.Tracer.RecordAccess(step.Addr, gap, step.MLP)
+		}
+	}
+
+	c.Instructions += uint64(step.Instrs)
+	c.UnhaltedCycles += busy
+
+	wall := busy
+	if step.HaltFrac > 0 {
+		// Stretch wall time so that halted/(halted+busy) == HaltFrac.
+		halt := uint64(float64(busy) * step.HaltFrac / (1 - step.HaltFrac))
+		c.HaltedCycles += halt
+		wall += halt
+	}
+	return wall
+}

@@ -1,0 +1,265 @@
+package cpu
+
+import (
+	"testing"
+
+	"kyoto/internal/cache"
+	"kyoto/internal/pmc"
+	"kyoto/internal/workload"
+)
+
+// testPath builds a small 3-level path.
+func testPath() *cache.Path {
+	return &cache.Path{
+		L1D:                 cache.MustNew(cache.Config{Name: "L1", SizeBytes: 512, Ways: 2, LineBytes: 64, HitLatencyCycles: 4}),
+		L2:                  cache.MustNew(cache.Config{Name: "L2", SizeBytes: 4096, Ways: 4, LineBytes: 64, HitLatencyCycles: 12}),
+		LLC:                 cache.MustNew(cache.Config{Name: "LLC", SizeBytes: 64 * 1024, Ways: 8, LineBytes: 64, HitLatencyCycles: 45}),
+		MemLatencyCycles:    180,
+		RemotePenaltyCycles: 120,
+	}
+}
+
+// fixedGen emits a fixed repeating sequence of steps.
+type fixedGen struct {
+	steps []workload.Step
+	i     int
+}
+
+func (g *fixedGen) Next() workload.Step {
+	st := g.steps[g.i%len(g.steps)]
+	g.i++
+	return st
+}
+
+func TestComputeOnlyStep(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 10, ComputeCycles: 10}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	used := Run(ctx, 100)
+	if used != 100 {
+		t.Fatalf("used = %d, want 100", used)
+	}
+	if c.Instructions != 100 || c.UnhaltedCycles != 100 || c.Accesses != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemoryAccessLatencyAndCounters(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0x1000}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	used := Run(ctx, 1) // one step: cold access = 180 cycles
+	if used != 180 {
+		t.Fatalf("cold access cost = %d, want 180", used)
+	}
+	if c.LLCMisses != 1 || c.L1Misses != 1 || c.L2Misses != 1 || c.LLCReferences != 1 || c.MemReads != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// Second access to the same line hits L1.
+	used = Run(ctx, 1)
+	if used != 4 {
+		t.Fatalf("hot access cost = %d, want 4", used)
+	}
+	if c.LLCMisses != 1 {
+		t.Fatalf("hot access must not miss: %+v", c)
+	}
+}
+
+func TestMLPReducesLatency(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen: &fixedGen{steps: []workload.Step{
+			{Instrs: 1, HasAccess: true, Addr: 0x10000, MLP: 6},
+		}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	used := Run(ctx, 1)
+	if used != 30 { // 180/6
+		t.Fatalf("MLP-6 cold access = %d, want 30", used)
+	}
+	// Floor: MLP cannot beat the L2 round trip.
+	ctx2 := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0x20000, MLP: 64}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	if used := Run(ctx2, 1); used != minOverlappedLatency {
+		t.Fatalf("floored access = %d, want %d", used, minOverlappedLatency)
+	}
+}
+
+func TestMLPDoesNotAffectPrivateHits(t *testing.T) {
+	var c pmc.Counters
+	p := testPath()
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0, MLP: 8}}},
+		Owner:    1,
+		Path:     p,
+		Counters: &c,
+	}
+	Run(ctx, 1) // cold fill
+	used := Run(ctx, 1)
+	if used != 4 { // L1 hit latency untouched by MLP
+		t.Fatalf("L1 hit under MLP = %d, want 4", used)
+	}
+}
+
+func TestHaltStretchesWallTime(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 10, ComputeCycles: 100, HaltFrac: 0.5}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	used := Run(ctx, 1)
+	if used != 200 { // 100 busy + 100 halted
+		t.Fatalf("wall = %d, want 200", used)
+	}
+	if c.UnhaltedCycles != 100 || c.HaltedCycles != 100 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestRemoteAccessPenalty(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0x3000}}},
+		Owner:    1,
+		Path:     testPath(),
+		Remote:   true,
+		Counters: &c,
+	}
+	used := Run(ctx, 1)
+	if used != 300 {
+		t.Fatalf("remote cold access = %d, want 300", used)
+	}
+	if c.RemoteAccesses != 1 {
+		t.Fatalf("remote accesses = %d", c.RemoteAccesses)
+	}
+}
+
+func TestWriteCounting(t *testing.T) {
+	var c pmc.Counters
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0x4000, IsWrite: true}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+	}
+	Run(ctx, 1)
+	if c.MemWrites != 1 || c.MemReads != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestAddrBaseRelocation(t *testing.T) {
+	p := testPath()
+	var c1, c2 pmc.Counters
+	mk := func(base uint64, c *pmc.Counters, owner cache.Owner) *Context {
+		return &Context{
+			Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0}}},
+			Owner:    owner,
+			Path:     p,
+			AddrBase: base,
+			Counters: c,
+		}
+	}
+	a := mk(0, &c1, 1)
+	b := mk(1<<36, &c2, 2)
+	Run(a, 1)
+	Run(b, 1)
+	// Different bases must not alias: b's access also misses.
+	if c2.LLCMisses != 1 {
+		t.Fatalf("aliased across AddrBase: %+v", c2)
+	}
+}
+
+// recorder implements Tracer.
+type recorder struct {
+	addrs []uint64
+	gaps  []uint32
+	mlps  []float64
+}
+
+func (r *recorder) RecordAccess(addr uint64, gap uint32, mlp float64) {
+	r.addrs = append(r.addrs, addr)
+	r.gaps = append(r.gaps, gap)
+	r.mlps = append(r.mlps, mlp)
+}
+
+func TestTracerObservesAccesses(t *testing.T) {
+	var c pmc.Counters
+	rec := &recorder{}
+	ctx := &Context{
+		Gen: &fixedGen{steps: []workload.Step{
+			{Instrs: 4, ComputeCycles: 3, HasAccess: true, Addr: 0x40, MLP: 2},
+		}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &c,
+		Tracer:   rec,
+	}
+	Run(ctx, 1)
+	if len(rec.addrs) != 1 || rec.addrs[0] != 0x40 || rec.gaps[0] != 3 || rec.mlps[0] != 2 {
+		t.Fatalf("trace = %+v", rec)
+	}
+}
+
+func TestRunZeroBudget(t *testing.T) {
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, ComputeCycles: 1}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &pmc.Counters{},
+	}
+	if used := Run(ctx, 0); used != 0 {
+		t.Fatalf("zero budget consumed %d", used)
+	}
+}
+
+func TestOverrunBounded(t *testing.T) {
+	// A step is indivisible: the overrun never exceeds one step's cost.
+	ctx := &Context{
+		Gen:      &fixedGen{steps: []workload.Step{{Instrs: 1, HasAccess: true, Addr: 0x5000}}},
+		Owner:    1,
+		Path:     testPath(),
+		Counters: &pmc.Counters{},
+	}
+	used := Run(ctx, 10) // budget 10, first step costs 180
+	if used != 180 {
+		t.Fatalf("used = %d", used)
+	}
+}
+
+func TestIPCEmergesFromCacheBehaviour(t *testing.T) {
+	// A resident chase must achieve higher IPC than an out-of-cache one.
+	small := workload.MustNew(workload.Profile{
+		Name: "small", Class: workload.C1, BaseCPI: 1,
+		Phases: []workload.Phase{{Kind: workload.Chase, WSSBytes: 2048, MemRatio: 0.5, Instructions: 1 << 40}},
+	}, 1)
+	big := workload.MustNew(workload.Profile{
+		Name: "big", Class: workload.C3, BaseCPI: 1,
+		Phases: []workload.Phase{{Kind: workload.Chase, WSSBytes: 1 << 20, MemRatio: 0.5, Instructions: 1 << 40}},
+	}, 1)
+	run := func(g workload.Generator) float64 {
+		var c pmc.Counters
+		ctx := &Context{Gen: g, Owner: 1, Path: testPath(), Counters: &c}
+		Run(ctx, 2_000_000)
+		return c.IPC()
+	}
+	if ipcSmall, ipcBig := run(small), run(big); ipcSmall <= 2*ipcBig {
+		t.Fatalf("resident IPC %v should far exceed thrashing IPC %v", ipcSmall, ipcBig)
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kyoto/internal/cache"
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// This file holds the design-choice ablations promised in DESIGN.md §6 —
+// extensions beyond the paper that quantify the alternatives its related
+// work section argues against.
+
+// AblationIndicator reruns the Fig 5 vsen1-vs-vdis1 scenario with quota
+// enforcement driven by each indicator, returning vsen1's normalized
+// performance under Equation 1 and under raw LLCM. Equation 1 punishes by
+// busy-time pollution; raw LLCM conflates pollution with occupancy, which
+// under-punishes halty polluters.
+func AblationIndicator(seed uint64) (eq1Perf, llcmPerf float64, err error) {
+	solo, err := Run(soloScenario(workload.VSen1, seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	soloIPC := solo.PerVM["solo"].IPC()
+
+	run := func(ind core.Indicator) (float64, error) {
+		k := core.New(sched.NewCredit(4))
+		mon := monitor.NewOracle(k, ind)
+		r, err := Run(Scenario{
+			Seed:     seed,
+			NewSched: func(int) sched.Scheduler { return k },
+			VMs:      fig5VMs(workload.VDis1),
+			Hooks:    []hv.TickHook{mon},
+			Measure:  45,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.IPC("sen") / soloIPC, nil
+	}
+	if eq1Perf, err = run(core.Equation1); err != nil {
+		return 0, 0, err
+	}
+	if llcmPerf, err = run(core.RawLLCM); err != nil {
+		return 0, 0, err
+	}
+	return eq1Perf, llcmPerf, nil
+}
+
+// AblationPartitioning compares Kyoto enforcement against an idealized
+// UCP-style hardware partitioning of the LLC (half the ways per VM) on the
+// Fig 5 scenario. Partitioning needs hardware the paper's datacenters lack;
+// Kyoto approximates its isolation in software.
+func AblationPartitioning(seed uint64) (kyotoPerf, partPerf float64, err error) {
+	solo, err := Run(soloScenario(workload.VSen1, seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	soloIPC := solo.PerVM["solo"].IPC()
+
+	// Kyoto arm.
+	k, hooks := ks4xen(4)
+	kr, err := Run(Scenario{
+		Seed:     seed,
+		NewSched: func(int) sched.Scheduler { return k },
+		VMs:      fig5VMs(workload.VDis1),
+		Hooks:    hooks,
+		Measure:  45,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	kyotoPerf = kr.IPC("sen") / soloIPC
+
+	// Way-partitioned arm: plain XCS, but the LLC is split 10/10 ways.
+	mcfg := machine.TableOne(seed)
+	mcfg.LLC.Policy = cache.PartitionedLRU
+	w, err := hv.New(hv.Config{Machine: mcfg, Seed: seed}, sched.NewCredit(4))
+	if err != nil {
+		return 0, 0, err
+	}
+	sen, err := w.AddVM(vm.Spec{Name: "sen", App: workload.VSen1, Pins: []int{0}})
+	if err != nil {
+		return 0, 0, err
+	}
+	dis, err := w.AddVM(vm.Spec{Name: "dis", App: workload.VDis1, Pins: []int{1}})
+	if err != nil {
+		return 0, 0, err
+	}
+	llc := w.Machine().Socket(0).LLC
+	if err := llc.SetPartition(sen.VCPUs[0].Owner(), 0x003FF); err != nil { // ways 0-9
+		return 0, 0, err
+	}
+	if err := llc.SetPartition(dis.VCPUs[0].Owner(), 0xFFC00); err != nil { // ways 10-19
+		return 0, 0, err
+	}
+	w.RunTicks(DefaultWarmupTicks)
+	before := sen.Counters()
+	w.RunTicks(45)
+	partPerf = sen.Counters().Delta(before).IPC() / soloIPC
+	return kyotoPerf, partPerf, nil
+}
+
+// AblationBanking measures the cost of letting polluters bank unused quota
+// ("carbon credits"): vsen1's normalized performance against a bursty
+// blockie polluter without banking vs with 4 slices of banking.
+func AblationBanking(seed uint64) (noBank, bank float64, err error) {
+	solo, err := Run(soloScenario(workload.VSen1, seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	soloIPC := solo.PerVM["solo"].IPC()
+
+	run := func(opts ...core.Option) (float64, error) {
+		k := core.New(sched.NewCredit(4), opts...)
+		mon := monitor.NewOracle(k, core.Equation1)
+		r, err := Run(Scenario{
+			Seed:     seed,
+			NewSched: func(int) sched.Scheduler { return k },
+			VMs:      fig5VMs(workload.VDis2), // blockie: the bursty wiper
+			Hooks:    []hv.TickHook{mon},
+			Measure:  60,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.IPC("sen") / soloIPC, nil
+	}
+	if noBank, err = run(); err != nil {
+		return 0, 0, err
+	}
+	if bank, err = run(core.WithBanking(4)); err != nil {
+		return 0, 0, err
+	}
+	return noBank, bank, nil
+}
+
+// AblationTable renders all three ablations as one table (the
+// "ablations" kyotobench experiment).
+func AblationTable(seed uint64) (Table, error) {
+	t := Table{
+		Title:   "Ablations: design choices around the Kyoto mechanism",
+		Note:    "vsen1 normalized performance on the Figure 5 scenario unless stated",
+		Columns: []string{"ablation", "arm", "vsen1 norm perf"},
+	}
+	eq1, llcm, err := AblationIndicator(seed)
+	if err != nil {
+		return t, fmt.Errorf("indicator ablation: %w", err)
+	}
+	t.AddRow("quota indicator", "equation 1 (paper)", eq1)
+	t.AddRow("quota indicator", "raw LLCM", llcm)
+
+	kyotoPerf, part, err := AblationPartitioning(seed)
+	if err != nil {
+		return t, fmt.Errorf("partitioning ablation: %w", err)
+	}
+	t.AddRow("vs hardware partitioning", "KS4Xen (software)", kyotoPerf)
+	t.AddRow("vs hardware partitioning", "UCP-style 10/10 ways", part)
+
+	noBank, bank, err := AblationBanking(seed)
+	if err != nil {
+		return t, fmt.Errorf("banking ablation: %w", err)
+	}
+	t.AddRow("quota banking (vs blockie)", "no banking (paper)", noBank)
+	t.AddRow("quota banking (vs blockie)", "bank 4 slices", bank)
+	return t, nil
+}

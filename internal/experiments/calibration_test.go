@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"testing"
+
+	"kyoto/internal/workload"
+)
+
+// TestFig4CalibrationLock asserts the headline Figure 4 reproduction: the
+// workload profiles are calibrated so that, measured inside the simulator,
+//
+//   - the indicator orderings o2 (raw LLCM) and o3 (Equation 1) match the
+//     paper's published orderings exactly, and
+//   - Kendall's tau certifies Equation 1 as the better indicator:
+//     tau(o3,o1) > tau(o2,o1).
+//
+// Any profile or simulator change that breaks these properties regresses
+// the reproduction; this test is the lock.
+func TestFig4CalibrationLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep is expensive; run without -short")
+	}
+	r, err := Fig4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertOrder := func(name string, got, want []string) {
+		t.Helper()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s[%d] = %s, want %s (full: got %v, want %v)",
+					name, i, got[i], want[i], got, want)
+				return
+			}
+		}
+	}
+	assertOrder("o2 (LLCM)", r.O2, workload.PaperOrderO2())
+	assertOrder("o3 (Equation1)", r.O3, workload.PaperOrderO3())
+
+	if !(r.TauEq1 > r.TauLLCM) {
+		t.Errorf("paper's claim violated: tau(o3,o1)=%v <= tau(o2,o1)=%v", r.TauEq1, r.TauLLCM)
+	}
+
+	// The measured o1 is allowed to differ from the paper's by adjacent
+	// transpositions, but its gross structure must hold: the heavy
+	// polluters lead, the quiet chasers trail.
+	rank := make(map[string]int, len(r.O1))
+	for i, app := range r.O1 {
+		rank[app] = i
+	}
+	for _, heavy := range []string{"lbm", "blockie", "mcf"} {
+		if rank[heavy] > 2 {
+			t.Errorf("heavy polluter %s ranked %d in o1 %v", heavy, rank[heavy], r.O1)
+		}
+	}
+	for _, quiet := range []string{"astar", "bzip"} {
+		if rank[quiet] < 7 {
+			t.Errorf("quiet app %s ranked %d in o1 %v", quiet, rank[quiet], r.O1)
+		}
+	}
+	if rank["soplex"] > rank["milc"] {
+		t.Errorf("soplex must out-rank milc in o1: %v", r.O1)
+	}
+}
+
+// TestFig1ShapeLock asserts the §2.2.5 motivation shapes.
+func TestFig1ShapeLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig1 grid is expensive; run without -short")
+	}
+	r, err := Fig1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := r.Degradation[Parallel]
+	alt := r.Degradation[Alternative]
+
+	// C1 representatives are agnostic to everything.
+	for _, dis := range r.Dis {
+		if par["micro-c1-rep"][dis] > 3 || alt["micro-c1-rep"][dis] > 3 {
+			t.Errorf("C1 rep degraded by %s: par %v alt %v", dis,
+				par["micro-c1-rep"][dis], alt["micro-c1-rep"][dis])
+		}
+	}
+	// C1 disruptors hurt nobody (ILC contention is not critical).
+	for _, rep := range r.Reps {
+		if par[rep]["micro-c1-dis"] > 3 {
+			t.Errorf("C1 disruptor hurt %s by %v in parallel", rep, par[rep]["micro-c1-dis"])
+		}
+	}
+	// C2 is the most penalized class, parallel >> alternative (paper:
+	// ~70% vs ~13%).
+	c2par := par["micro-c2-rep"]["micro-c2-dis"]
+	c2alt := alt["micro-c2-rep"]["micro-c2-dis"]
+	if c2par < 50 {
+		t.Errorf("C2 parallel degradation = %v, want >= 50", c2par)
+	}
+	if c2alt >= c2par/2 {
+		t.Errorf("alternative (%v) must be far milder than parallel (%v)", c2alt, c2par)
+	}
+	// C3 is also affected, less severely than C2.
+	c3par := par["micro-c3-rep"]["micro-c3-dis"]
+	if c3par < 5 || c3par > c2par {
+		t.Errorf("C3 parallel degradation = %v, want within (5, %v)", c3par, c2par)
+	}
+}
+
+// TestFig5EffectivenessLock asserts the headline enforcement result.
+func TestFig5EffectivenessLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 runs are expensive; run without -short")
+	}
+	r, err := Fig5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dis := range r.Disruptors {
+		if r.NormPerf[dis] < 0.9 {
+			t.Errorf("KS4Xen failed to protect vsen1 from %s: %v", dis, r.NormPerf[dis])
+		}
+		if r.NormPerf[dis] <= r.NormPerfXCS[dis] {
+			t.Errorf("KS4Xen (%v) must beat XCS (%v) against %s",
+				r.NormPerf[dis], r.NormPerfXCS[dis], dis)
+		}
+		if r.PunishDis[dis] <= r.PunishSen[dis] {
+			t.Errorf("disruptor %s punished %d times vs sen %d — polluter must pay",
+				dis, r.PunishDis[dis], r.PunishSen[dis])
+		}
+	}
+	// Timeline: under XCS the disruptor always runs; under KS4Xen it is
+	// deprived of the processor for long stretches.
+	ranXCS, ranK := 0.0, 0.0
+	for i := range r.Timeline.RanXCS {
+		ranXCS += r.Timeline.RanXCS[i]
+	}
+	for i := range r.Timeline.RanKyoto {
+		ranK += r.Timeline.RanKyoto[i]
+	}
+	if ranXCS < float64(len(r.Timeline.RanXCS))*0.95 {
+		t.Errorf("XCS should let the disruptor run nearly always: %v", ranXCS)
+	}
+	if ranK > ranXCS/2 {
+		t.Errorf("KS4Xen must deprive the disruptor: ran %v vs %v", ranK, ranXCS)
+	}
+}
+
+// TestFig6ScalabilityLock asserts isolation holds as disruptors multiply.
+func TestFig6ScalabilityLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive; run without -short")
+	}
+	r, err := Fig6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range r.Counts {
+		if r.NormPerf[i] < 0.9 {
+			t.Errorf("KS4Xen with %d disruptors: norm perf %v", n, r.NormPerf[i])
+		}
+	}
+}
+
+// TestFig8PiscesLock asserts the co-kernel comparison.
+func TestFig8PiscesLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 runs are expensive; run without -short")
+	}
+	r, err := Fig8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piscesGap := (r.PiscesColocated - r.PiscesAlone) / r.PiscesAlone
+	kyotoGap := (r.KS4PiscesColocated - r.KS4PiscesAlone) / r.KS4PiscesAlone
+	if piscesGap < 0.15 {
+		t.Errorf("Pisces must leak LLC contention: gap %v", piscesGap)
+	}
+	if kyotoGap > 0.10 {
+		t.Errorf("KS4Pisces must close the gap: %v", kyotoGap)
+	}
+	if kyotoGap >= piscesGap/2 {
+		t.Errorf("KS4Pisces gap (%v) must be far below Pisces gap (%v)", kyotoGap, piscesGap)
+	}
+}
+
+// TestFig9MigrationLock asserts memory-bound apps suffer most.
+func TestFig9MigrationLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 runs are expensive; run without -short")
+	}
+	r, err := Fig9(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make(map[string]float64, len(r.Apps))
+	for i, app := range r.Apps {
+		deg[app] = r.Degradation[i]
+	}
+	for _, memBound := range []string{"mcf", "milc", "lbm"} {
+		if deg[memBound] < 3 {
+			t.Errorf("memory-bound %s degradation = %v, want noticeable", memBound, deg[memBound])
+		}
+		if deg[memBound] > 20 {
+			t.Errorf("%s degradation = %v, paper caps at ~12%%", memBound, deg[memBound])
+		}
+	}
+	for _, resident := range []string{"xalan", "astar", "bzip"} {
+		if deg[resident] > 3 {
+			t.Errorf("cache-resident %s should barely degrade: %v", resident, deg[resident])
+		}
+	}
+}
+
+// TestKS4LinuxPortabilityLock asserts §1's claim that the approach ports
+// across schedulers: every Kyoto-extended system protects vsen1.
+func TestKS4LinuxPortabilityLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-system runs are expensive; run without -short")
+	}
+	r, err := KS4Linux(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, system := range r.Systems {
+		if r.NormPerf[system] < 0.9 {
+			t.Errorf("%s failed to protect vsen1: %v", system, r.NormPerf[system])
+		}
+		if r.NormPerf[system] <= r.NormPerfBase[system]+0.2 {
+			t.Errorf("%s (%v) must clearly beat its base (%v)",
+				system, r.NormPerf[system], r.NormPerfBase[system])
+		}
+	}
+}
+
+// TestFig11MonitoringLock asserts the estimator-equivalence claim.
+func TestFig11MonitoringLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 run is expensive; run without -short")
+	}
+	r, err := Fig11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TauDedicated < 0.8 {
+		t.Errorf("dedicated ordering tau = %v", r.TauDedicated)
+	}
+	if r.TauInPlace < 0.8 {
+		t.Errorf("in-place ordering tau = %v", r.TauInPlace)
+	}
+	if r.TauShadow < 0.8 {
+		t.Errorf("shadow ordering tau = %v", r.TauShadow)
+	}
+}

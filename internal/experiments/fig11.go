@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/stats"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// Fig11Result is the §4.5 monitoring-equivalence study: Equation-1 values
+// per application obtained with socket dedication vs without it, on a
+// contended host. The paper's point: the values (and hence the ordering
+// Kyoto bills from) barely change, so the cheap strategies are usable.
+//
+// We compare three estimators against the solo ground truth:
+//   - dedicated: the Dedication monitor's clean windows (migrations),
+//   - in-place: raw per-VM counters while contended (no dedication),
+//   - shadow: the McSimA+-substitute trace replay (no dedication).
+type Fig11Result struct {
+	Apps      []string
+	Solo      map[string]float64
+	Dedicated map[string]float64
+	InPlace   map[string]float64
+	Shadow    map[string]float64
+	// TauDedicated etc. are Kendall taus of each estimator's ordering
+	// against the solo ordering.
+	TauDedicated float64
+	TauInPlace   float64
+	TauShadow    float64
+}
+
+// Fig11 runs the colocated measurement studies on the R420.
+func Fig11(seed uint64) (Fig11Result, error) {
+	apps := workload.Figure4Apps()
+	res := Fig11Result{
+		Apps:      apps,
+		Solo:      make(map[string]float64, len(apps)),
+		Dedicated: make(map[string]float64, len(apps)),
+		InPlace:   make(map[string]float64, len(apps)),
+		Shadow:    make(map[string]float64, len(apps)),
+	}
+
+	// Ground truth: solo runs.
+	solos := make([]Scenario, len(apps))
+	for i, app := range apps {
+		solos[i] = soloScenario(app, seed)
+	}
+	soloRes, err := RunAll(solos)
+	if err != nil {
+		return res, err
+	}
+	for i, app := range apps {
+		res.Solo[app] = core.Equation1Value(soloRes[i].PerVM["solo"])
+	}
+
+	// Contended host: all ten apps pinned round-robin onto socket 0 of
+	// the R420, Dedication + ShadowSim monitors observing.
+	mcfg := machine.R420(seed)
+	ded := monitor.NewDedication(nil, core.Equation1)
+	// Phased applications need windows covering a full phase period
+	// (the paper samples ~1 billion cycles, tens of scaled ticks).
+	ded.WindowTicks = 6
+	shadow := monitor.NewShadowSim(nil, mcfg, 0)
+	vms := make([]vm.Spec, 0, len(apps))
+	for i, app := range apps {
+		vms = append(vms, vm.Spec{Name: app, App: app, Pins: []int{i % 4}})
+	}
+	run, err := Run(Scenario{
+		Machine: mcfg,
+		Seed:    seed,
+		VMs:     vms,
+		Hooks:   []hv.TickHook{ded, shadow},
+		Warmup:  15,
+		Measure: 10 * 8 * 2, // two full dedication rotations
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, app := range apps {
+		res.InPlace[app] = core.Equation1Value(run.PerVM[app])
+	}
+	for _, domain := range run.World.VMs() {
+		res.Dedicated[domain.Name] = ded.LastRate[domain]
+		res.Shadow[domain.Name] = shadow.LastRate[domain]
+	}
+
+	soloOrder := stats.RankByValue(res.Solo)
+	if res.TauDedicated, err = stats.KendallTau(stats.RankByValue(res.Dedicated), soloOrder); err != nil {
+		return res, err
+	}
+	if res.TauInPlace, err = stats.KendallTau(stats.RankByValue(res.InPlace), soloOrder); err != nil {
+		return res, err
+	}
+	if res.TauShadow, err = stats.KendallTau(stats.RankByValue(res.Shadow), soloOrder); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r Fig11Result) Table() Table {
+	t := Table{
+		Title:   "Figure 11: socket dedication vs cheaper llc_cap_act estimators (equation 1)",
+		Note:    "ten contended apps on one socket; taus compare each estimator's ordering to the solo ordering",
+		Columns: []string{"app", "solo (truth)", "dedicated", "in-place", "shadow replay"},
+	}
+	for _, app := range r.Apps {
+		t.AddRow(app, r.Solo[app], r.Dedicated[app], r.InPlace[app], r.Shadow[app])
+	}
+	t.Rows = append(t.Rows, []string{"kendall tau vs solo", "1", formatFloat(r.TauDedicated), formatFloat(r.TauInPlace), formatFloat(r.TauShadow)})
+	return t
+}

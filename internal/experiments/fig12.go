@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+)
+
+// Fig12TickMillis is the time-slice sweep (milliseconds per tick).
+var Fig12TickMillis = []int{3, 5, 10, 15, 20, 30}
+
+// fig12Work is the instruction budget whose completion time is measured.
+const fig12Work = 60_000_000
+
+// Fig12Result is the §4.5 monitoring-overhead study: two CPU-bound povray
+// VMs time-share one core; KS4Xen's per-tick PMC collection runs more
+// often as the tick shrinks, yet execution time stays at the XCS level —
+// the overhead is "near zero".
+type Fig12Result struct {
+	TickMillis []int
+	// ExecXCS and ExecKyoto align with TickMillis (model milliseconds of
+	// the measured VM's completion time).
+	ExecXCS   []float64
+	ExecKyoto []float64
+}
+
+// Fig12 runs the sweep.
+func Fig12(seed uint64) (Fig12Result, error) {
+	res := Fig12Result{TickMillis: Fig12TickMillis}
+	for _, ms := range Fig12TickMillis {
+		x, err := fig12Run(seed, ms, false)
+		if err != nil {
+			return res, err
+		}
+		k, err := fig12Run(seed, ms, true)
+		if err != nil {
+			return res, err
+		}
+		res.ExecXCS = append(res.ExecXCS, x)
+		res.ExecKyoto = append(res.ExecKyoto, k)
+	}
+	return res, nil
+}
+
+// fig12Run measures VM "a"'s completion time with the given tick length.
+func fig12Run(seed uint64, tickMs int, kyoto bool) (float64, error) {
+	var s sched.Scheduler = sched.NewCredit(4)
+	var hooks []hv.TickHook
+	if kyoto {
+		k := core.New(s)
+		hooks = append(hooks, monitor.NewOracle(k, core.Equation1))
+		s = k
+	}
+	w, err := hv.New(hv.Config{
+		Machine:       machine.TableOne(seed),
+		CyclesPerTick: uint64(tickMs) * machine.CPUFreqKHz,
+		Seed:          seed,
+	}, s)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range []string{"a", "b"} {
+		spec := vm.Spec{Name: name, App: "povray", Pins: []int{0}, LLCCap: Fig5LLCCap}
+		if _, err := w.AddVM(spec); err != nil {
+			return 0, err
+		}
+	}
+	for _, h := range hooks {
+		w.AddHook(h)
+	}
+	target := w.FindVM("a")
+	maxTicks := 4_000_000 / tickMs // bound total model time at 4000s/1000
+	ticks := w.RunUntil(func(*hv.World) bool {
+		return target.Counters().Instructions >= fig12Work
+	}, maxTicks)
+	return float64(ticks) * float64(tickMs), nil
+}
+
+// Table renders the two curves.
+func (r Fig12Result) Table() Table {
+	t := Table{
+		Title:   "Figure 12: KS4Xen monitoring overhead across scheduling tick lengths",
+		Note:    "two povray VMs share one core; completion time of fixed work (model ms)",
+		Columns: []string{"tick (ms)", "exec time XCS", "exec time KS4Xen", "overhead %"},
+	}
+	for i, ms := range r.TickMillis {
+		x, k := r.ExecXCS[i], r.ExecKyoto[i]
+		over := 0.0
+		if x > 0 {
+			over = 100 * (k - x) / x
+		}
+		t.AddRow(ms, x, k, over)
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kyoto/internal/core"
+	"kyoto/internal/stats"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// Fig4Result is the §4.2 indicator study: for the ten Figure 4
+// applications, the solo-run values of both pollution indicators, the
+// measured real aggressiveness (average degradation inflicted on the nine
+// co-runner applications), and the Kendall's-tau agreement of each
+// indicator's ordering with the real one.
+type Fig4Result struct {
+	// Apps lists the applications in descending real-aggressiveness order
+	// (the measured o1).
+	Apps []string
+	// Aggressiveness is the average degradation (percent) each app
+	// inflicts across all pairings.
+	Aggressiveness map[string]float64
+	// LLCM and Equation1 are the solo indicator values (misses/ms).
+	LLCM      map[string]float64
+	Equation1 map[string]float64
+	// O1, O2, O3 are the measured orderings (real, LLCM, Equation 1).
+	O1, O2, O3 []string
+	// TauLLCM and TauEq1 are Kendall's tau of O2 and O3 against O1.
+	TauLLCM float64
+	TauEq1  float64
+	// PaperTauLLCM and PaperTauEq1 are the taus computed from the
+	// orderings the paper reports, for side-by-side comparison.
+	PaperTauLLCM float64
+	PaperTauEq1  float64
+}
+
+// Fig4 runs the indicator study: 10 solo runs plus the full pairwise
+// parallel-execution matrix (90 runs).
+func Fig4(seed uint64) (Fig4Result, error) {
+	apps := workload.Figure4Apps()
+
+	// Solo characterization.
+	solos := make([]Scenario, len(apps))
+	for i, app := range apps {
+		solos[i] = soloScenario(app, seed)
+	}
+	soloRes, err := RunAll(solos)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	res := Fig4Result{
+		Aggressiveness: make(map[string]float64, len(apps)),
+		LLCM:           make(map[string]float64, len(apps)),
+		Equation1:      make(map[string]float64, len(apps)),
+	}
+	soloIPC := make(map[string]float64, len(apps))
+	for i, app := range apps {
+		d := soloRes[i].PerVM["solo"]
+		soloIPC[app] = d.IPC()
+		res.LLCM[app] = core.RawLLCMValue(d)
+		res.Equation1[app] = core.Equation1Value(d)
+	}
+
+	// Pairwise aggressiveness: attacker on core 0, victim on core 1.
+	type pair struct{ attacker, victim string }
+	var pairs []pair
+	var scenarios []Scenario
+	for _, a := range apps {
+		for _, b := range apps {
+			if a == b {
+				continue
+			}
+			pairs = append(pairs, pair{a, b})
+			scenarios = append(scenarios, Scenario{
+				Seed: seed,
+				VMs: []vm.Spec{
+					pinned("attacker", a, 0),
+					pinned("victim", b, 1),
+				},
+			})
+		}
+	}
+	pairRes, err := RunAll(scenarios)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	inflicted := make(map[string][]float64, len(apps))
+	for i, p := range pairs {
+		vIPC := pairRes[i].IPC("victim")
+		deg := stats.DegradationPercent(soloIPC[p.victim], vIPC)
+		if deg < 0 {
+			deg = 0
+		}
+		inflicted[p.attacker] = append(inflicted[p.attacker], deg)
+	}
+	for _, app := range apps {
+		res.Aggressiveness[app] = stats.Mean(inflicted[app])
+	}
+
+	res.O1 = stats.RankByValue(res.Aggressiveness)
+	res.O2 = stats.RankByValue(res.LLCM)
+	res.O3 = stats.RankByValue(res.Equation1)
+	res.Apps = res.O1
+
+	if res.TauLLCM, err = stats.KendallTau(res.O2, res.O1); err != nil {
+		return Fig4Result{}, err
+	}
+	if res.TauEq1, err = stats.KendallTau(res.O3, res.O1); err != nil {
+		return Fig4Result{}, err
+	}
+	if res.PaperTauLLCM, err = stats.KendallTau(workload.PaperOrderO2(), workload.PaperOrderO1()); err != nil {
+		return Fig4Result{}, err
+	}
+	if res.PaperTauEq1, err = stats.KendallTau(workload.PaperOrderO3(), workload.PaperOrderO1()); err != nil {
+		return Fig4Result{}, err
+	}
+	return res, nil
+}
+
+// Table renders the study as the paper's Figure 4 panels.
+func (r Fig4Result) Table() Table {
+	t := Table{
+		Title: "Figure 4: Equation 1 vs LLCM as the llc_cap indicator",
+		Note: "aggressiveness = avg % degradation inflicted across the 9 co-runners (parallel execution);\n" +
+			"indicators measured on solo runs, misses per ms",
+		Columns: []string{"app", "avg aggressiveness %", "LLCM", "equation1"},
+	}
+	for _, app := range r.Apps {
+		t.AddRow(app, r.Aggressiveness[app], r.LLCM[app], r.Equation1[app])
+	}
+	t.Rows = append(t.Rows, []string{"", "", "", ""})
+	t.Rows = append(t.Rows, []string{"o1 (real)", fmt.Sprint(r.O1), "", ""})
+	t.Rows = append(t.Rows, []string{"o2 (LLCM)", fmt.Sprint(r.O2), "", ""})
+	t.Rows = append(t.Rows, []string{"o3 (eq1)", fmt.Sprint(r.O3), "", ""})
+	t.Rows = append(t.Rows, []string{"tau(o2,o1)", formatFloat(r.TauLLCM), "paper:", formatFloat(r.PaperTauLLCM)})
+	t.Rows = append(t.Rows, []string{"tau(o3,o1)", formatFloat(r.TauEq1), "paper:", formatFloat(r.PaperTauEq1)})
+	return t
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"kyoto/internal/stats"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// Fig4Matrix computes the full pairwise degradation matrix behind Figure
+// 4's aggressiveness averages: cell (attacker, victim) is the victim's IPC
+// degradation (percent) when co-run in parallel with the attacker. It is a
+// diagnostic companion to Fig4, exposed as the "fig4matrix" experiment.
+func Fig4Matrix(seed uint64) (Table, error) {
+	apps := workload.Figure4Apps()
+
+	solos := make([]Scenario, len(apps))
+	for i, app := range apps {
+		solos[i] = soloScenario(app, seed)
+	}
+	soloRes, err := RunAll(solos)
+	if err != nil {
+		return Table{}, err
+	}
+	soloIPC := make(map[string]float64, len(apps))
+	for i, app := range apps {
+		soloIPC[app] = soloRes[i].PerVM["solo"].IPC()
+	}
+
+	type pair struct{ attacker, victim string }
+	var pairs []pair
+	var scenarios []Scenario
+	for _, a := range apps {
+		for _, b := range apps {
+			if a == b {
+				continue
+			}
+			pairs = append(pairs, pair{a, b})
+			scenarios = append(scenarios, Scenario{
+				Seed: seed,
+				VMs: []vm.Spec{
+					pinned("attacker", a, 0),
+					pinned("victim", b, 1),
+				},
+			})
+		}
+	}
+	pairRes, err := RunAll(scenarios)
+	if err != nil {
+		return Table{}, err
+	}
+	deg := make(map[pair]float64, len(pairs))
+	for i, p := range pairs {
+		deg[p] = stats.DegradationPercent(soloIPC[p.victim], pairRes[i].IPC("victim"))
+	}
+
+	t := Table{
+		Title:   "Figure 4 diagnostic: pairwise degradation matrix (attacker rows, victim columns, %)",
+		Columns: append([]string{"attacker\\victim"}, apps...),
+	}
+	for _, a := range apps {
+		cells := make([]interface{}, 0, len(apps)+1)
+		cells = append(cells, a)
+		for _, b := range apps {
+			if a == b {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, deg[pair{a, b}])
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

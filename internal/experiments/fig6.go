@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// Fig6Counts is the colocated-disruptor sweep (the paper's x axis).
+var Fig6Counts = []int{1, 2, 4, 6, 8, 10, 13, 14, 15}
+
+// Fig6Result is the §4.3 scalability study: vsen1 (booked 250) co-located
+// with N vdis1 VMs (booked 50 each) under KS4Xen. The paper's claim:
+// vsen1's performance is kept whatever the number of disruptors.
+type Fig6Result struct {
+	// Counts echoes Fig6Counts.
+	Counts []int
+	// NormPerf aligns with Counts: vsen1 IPC / solo IPC under KS4Xen.
+	NormPerf []float64
+	// NormPerfXCS is the plain-XCS contrast (not in the paper's figure,
+	// but the baseline that shows what Kyoto prevents).
+	NormPerfXCS []float64
+}
+
+// Fig6 runs the sweep.
+func Fig6(seed uint64) (Fig6Result, error) {
+	solo, err := Run(soloScenario(workload.VSen1, seed))
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	soloIPC := solo.PerVM["solo"].IPC()
+
+	res := Fig6Result{Counts: Fig6Counts}
+	for _, n := range Fig6Counts {
+		vms := []vm.Spec{
+			{Name: "sen", App: workload.VSen1, Pins: []int{0}, LLCCap: Fig5LLCCap},
+		}
+		for i := 0; i < n; i++ {
+			vms = append(vms, vm.Spec{
+				Name:   fmt.Sprintf("dis%d", i),
+				App:    workload.VDis1,
+				LLCCap: Fig6DisLLCCap,
+			})
+		}
+
+		k, hooks := ks4xen(4)
+		ks, err := Run(Scenario{
+			Seed:     seed,
+			NewSched: func(int) sched.Scheduler { return k },
+			VMs:      vms,
+			Hooks:    hooks,
+			Measure:  45,
+		})
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		res.NormPerf = append(res.NormPerf, ks.IPC("sen")/soloIPC)
+
+		xcs, err := Run(Scenario{Seed: seed, VMs: vms, Measure: 45})
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		res.NormPerfXCS = append(res.NormPerfXCS, xcs.IPC("sen")/soloIPC)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r Fig6Result) Table() Table {
+	t := Table{
+		Title:   "Figure 6: KS4Xen scalability — vsen1 normalized perf vs # colocated 50-cap vdis1",
+		Note:    "paper shows ~1.0 across the sweep; XCS column added as contrast",
+		Columns: []string{"# disruptor vCPUs", "vsen1 norm perf (KS4Xen)", "vsen1 norm perf (XCS)"},
+	}
+	for i, n := range r.Counts {
+		t.AddRow(n, r.NormPerf[i], r.NormPerfXCS[i])
+	}
+	return t
+}

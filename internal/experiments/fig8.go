@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// fig8Work is the fixed instruction budget whose completion time Figure 8
+// measures (~30 solo ticks of gcc on the scaled machine).
+const fig8Work = 25_000_000
+
+// fig8MaxTicks bounds the runs.
+const fig8MaxTicks = 2_000
+
+// Fig8Result is the §4.4 Pisces comparison: execution time of vsen1 as a
+// Pisces enclave, alone vs co-located with a vdis1 enclave on the same
+// socket, under plain Pisces and under KS4Pisces. Pisces removes
+// hypervisor-level interference by construction, but the shared LLC still
+// leaks ~24% performance; KS4Pisces closes the gap.
+type Fig8Result struct {
+	// ExecTimeMillis[system][situation] in model milliseconds;
+	// system is "pisces" or "ks4pisces", situation "alone"/"colocated".
+	PiscesAlone        float64
+	PiscesColocated    float64
+	KS4PiscesAlone     float64
+	KS4PiscesColocated float64
+}
+
+// Fig8 runs the four bars.
+func Fig8(seed uint64) (Fig8Result, error) {
+	var res Fig8Result
+	var err error
+	if res.PiscesAlone, err = fig8Run(seed, false, false); err != nil {
+		return res, err
+	}
+	if res.PiscesColocated, err = fig8Run(seed, true, false); err != nil {
+		return res, err
+	}
+	if res.KS4PiscesAlone, err = fig8Run(seed, false, true); err != nil {
+		return res, err
+	}
+	if res.KS4PiscesColocated, err = fig8Run(seed, true, true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// fig8Run measures vsen1's completion time for fig8Work instructions.
+func fig8Run(seed uint64, colocated, kyoto bool) (float64, error) {
+	var s sched.Scheduler = sched.NewPisces()
+	var hooks []hv.TickHook
+	if kyoto {
+		k := core.New(s)
+		hooks = append(hooks, monitor.NewOracle(k, core.Equation1))
+		s = k
+	}
+	w, err := hv.New(hv.Config{Machine: machine.TableOne(seed), Seed: seed}, s)
+	if err != nil {
+		return 0, err
+	}
+	sen := vm.Spec{Name: "sen", App: workload.VSen1, Pins: []int{0}, LLCCap: Fig5LLCCap}
+	if _, err := w.AddVM(sen); err != nil {
+		return 0, err
+	}
+	if colocated {
+		dis := vm.Spec{Name: "dis", App: workload.VDis1, Pins: []int{1}, LLCCap: Fig5LLCCap}
+		if _, err := w.AddVM(dis); err != nil {
+			return 0, err
+		}
+	}
+	for _, h := range hooks {
+		w.AddHook(h)
+	}
+	senVM := w.FindVM("sen")
+	ticks := w.RunUntil(func(w *hv.World) bool {
+		return senVM.Counters().Instructions >= fig8Work
+	}, fig8MaxTicks)
+	return float64(ticks) * machine.TickMillis, nil
+}
+
+// Table renders the four bars.
+func (r Fig8Result) Table() Table {
+	t := Table{
+		Title:   "Figure 8: Kyoto vs Pisces — vsen1 execution time (model ms)",
+		Note:    "Pisces isolates everything but the LLC; KS4Pisces adds the pollution permit",
+		Columns: []string{"system", "vsen1 alone", "vsen1 colocated (vdis1)", "slowdown %"},
+	}
+	slow := func(alone, col float64) float64 {
+		if alone == 0 {
+			return 0
+		}
+		return 100 * (col - alone) / alone
+	}
+	t.AddRow("Pisces", r.PiscesAlone, r.PiscesColocated, slow(r.PiscesAlone, r.PiscesColocated))
+	t.AddRow("KS4Pisces", r.KS4PiscesAlone, r.KS4PiscesColocated, slow(r.KS4PiscesAlone, r.KS4PiscesColocated))
+	return t
+}

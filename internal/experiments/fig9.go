@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/stats"
+	"kyoto/internal/vm"
+	"kyoto/internal/xrand"
+)
+
+// Fig9Apps are the eight SPEC applications of the §4.5 migration study.
+var Fig9Apps = []string{"mcf", "soplex", "milc", "omnetpp", "xalan", "astar", "bzip", "lbm"}
+
+// MigrationHook models KS4Xen's socket-dedication sampling from the
+// migrated vCPU's point of view (§4.5, Figure 9): every Period ticks the
+// victim vCPU is exiled to the other socket for a pseudo-random 1..MaxAway
+// ticks ("the return migration is performed after a random period in order
+// to mimic the time taken to compute all vCPUs' llc_capact"), then brought
+// home. While away it pays remote-memory latency and loses cache affinity.
+type MigrationHook struct {
+	// Target is the vCPU being bounced between sockets.
+	Target *vm.VCPU
+	// HomeCore and AwayCore are the two pinning targets.
+	HomeCore int
+	AwayCore int
+	// Period is the tick interval between exiles.
+	Period int
+	// MaxAway bounds the random away duration in ticks.
+	MaxAway int
+
+	rng   *xrand.Rand
+	away  bool
+	timer int
+	// Migrations counts one-way moves.
+	Migrations int
+}
+
+var _ hv.TickHook = (*MigrationHook)(nil)
+
+// NewMigrationHook builds the hook with the given seed.
+func NewMigrationHook(target *vm.VCPU, homeCore, awayCore, period, maxAway int, seed uint64) *MigrationHook {
+	return &MigrationHook{
+		Target:   target,
+		HomeCore: homeCore,
+		AwayCore: awayCore,
+		Period:   period,
+		MaxAway:  maxAway,
+		rng:      xrand.New(seed ^ 0xfeed),
+		timer:    period,
+	}
+}
+
+// OnTick implements hv.TickHook.
+func (m *MigrationHook) OnTick(w *hv.World) {
+	m.timer--
+	if m.timer > 0 {
+		return
+	}
+	if m.away {
+		m.Target.Pin = m.HomeCore
+		m.away = false
+		m.timer = m.Period
+	} else {
+		m.Target.Pin = m.AwayCore
+		m.away = true
+		m.timer = 1 + m.rng.Intn(m.MaxAway)
+	}
+	m.Migrations++
+}
+
+// Fig9Result is the migration-overhead study on the NUMA R420.
+type Fig9Result struct {
+	Apps []string
+	// Degradation aligns with Apps: percent IPC loss with periodic
+	// cross-socket migration vs undisturbed execution.
+	Degradation []float64
+}
+
+// Fig9 runs each app solo on the R420, with and without migrations.
+func Fig9(seed uint64) (Fig9Result, error) {
+	res := Fig9Result{Apps: Fig9Apps}
+	for _, app := range Fig9Apps {
+		base, err := Run(Scenario{
+			Machine: machine.R420(seed),
+			Seed:    seed,
+			VMs:     []vm.Spec{pinned("solo", app, 0)},
+			Measure: 60,
+		})
+		if err != nil {
+			return res, err
+		}
+
+		// Migrated run: build manually to wire the hook to the vCPU.
+		migrated, err := fig9MigratedRun(app, seed)
+		if err != nil {
+			return res, err
+		}
+		deg := stats.DegradationPercent(base.IPC("solo"), migrated)
+		if deg < 0 {
+			deg = 0
+		}
+		res.Degradation = append(res.Degradation, deg)
+	}
+	return res, nil
+}
+
+// fig9MigratedRun returns the app's IPC under periodic migration.
+func fig9MigratedRun(app string, seed uint64) (float64, error) {
+	k := newCreditSched(8)
+	w, err := hv.New(hv.Config{Machine: machine.R420(seed), Seed: seed}, k)
+	if err != nil {
+		return 0, err
+	}
+	domain, err := w.AddVM(pinned("solo", app, 0))
+	if err != nil {
+		return 0, err
+	}
+	awayCore := w.Machine().Socket(1).Cores[0].ID
+	w.AddHook(NewMigrationHook(domain.VCPUs[0], 0, awayCore, 6, 3, seed))
+
+	w.RunTicks(DefaultWarmupTicks)
+	before := domain.Counters()
+	w.RunTicks(60)
+	delta := domain.Counters().Delta(before)
+	return delta.IPC(), nil
+}
+
+// Table renders the per-app overhead bars.
+func (r Fig9Result) Table() Table {
+	t := Table{
+		Title:   "Figure 9: vCPU migration (socket dedication) overhead per application",
+		Note:    "periodic exile to the remote socket; memory-bound applications suffer most",
+		Columns: []string{"app", "perf degradation %"},
+	}
+	for i, app := range r.Apps {
+		t.AddRow(app, r.Degradation[i])
+	}
+	return t
+}

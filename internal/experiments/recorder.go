@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"kyoto/internal/hv"
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+// TickSeries records one per-tick scalar per VM — the building block for
+// the paper's timeline plots (Figures 2 and 5).
+type TickSeries struct {
+	// Values[name] is the per-tick series for VM name.
+	Values map[string][]float64
+	// sample extracts the scalar from a VM's counter delta for the tick.
+	sample func(domain *vm.VM, delta pmc.Counters, w *hv.World) float64
+
+	samplers map[*vm.VCPU]*pmc.Sampler
+}
+
+var _ hv.TickHook = (*TickSeries)(nil)
+
+// NewTickSeries returns a recorder applying sample each tick to each VM.
+func NewTickSeries(sample func(domain *vm.VM, delta pmc.Counters, w *hv.World) float64) *TickSeries {
+	return &TickSeries{
+		Values:   make(map[string][]float64),
+		sample:   sample,
+		samplers: make(map[*vm.VCPU]*pmc.Sampler),
+	}
+}
+
+// NewLLCMissSeries records per-tick LLC misses per VM (Figure 2's metric).
+func NewLLCMissSeries() *TickSeries {
+	return NewTickSeries(func(_ *vm.VM, delta pmc.Counters, _ *hv.World) float64 {
+		return float64(delta.LLCMisses)
+	})
+}
+
+// OnTick implements hv.TickHook.
+func (t *TickSeries) OnTick(w *hv.World) {
+	for _, domain := range w.VMs() {
+		var delta pmc.Counters
+		for _, v := range domain.VCPUs {
+			s, ok := t.samplers[v]
+			if !ok {
+				s = pmc.NewSampler(&v.Counters)
+				t.samplers[v] = s
+			}
+			delta.Add(s.Sample())
+		}
+		t.Values[domain.Name] = append(t.Values[domain.Name], t.sample(domain, delta, w))
+	}
+}

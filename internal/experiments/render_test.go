@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests exercise the table renderers on hand-built results, so the
+// presentation layer is covered without re-running the simulations.
+
+func TestFig1TablesRender(t *testing.T) {
+	r := Fig1Result{
+		Degradation: map[ExecMode]map[string]map[string]float64{
+			Alternative: {"micro-c1-rep": {"micro-c1-dis": 0.1, "micro-c2-dis": 1, "micro-c3-dis": 2}},
+			Parallel:    {"micro-c1-rep": {"micro-c1-dis": 0, "micro-c2-dis": 70, "micro-c3-dis": 40}},
+			Combined:    {"micro-c1-rep": {"micro-c1-dis": 0, "micro-c2-dis": 71, "micro-c3-dis": 41}},
+		},
+		Reps: []string{"micro-c1-rep"},
+		Dis:  []string{"micro-c1-dis", "micro-c2-dis", "micro-c3-dis"},
+	}
+	tables := r.Tables()
+	if len(tables) != 3 {
+		t.Fatalf("want 3 panels, got %d", len(tables))
+	}
+	if !strings.Contains(tables[1].String(), "70") {
+		t.Fatalf("parallel panel missing value:\n%s", tables[1])
+	}
+}
+
+func TestFig3TableRender(t *testing.T) {
+	r := Fig3Result{
+		Degradation: map[string][]float64{
+			"gcc": {1, 2, 3, 4, 5}, "omnetpp": {2, 3, 4, 5, 6}, "soplex": {1, 1, 2, 3, 4},
+		},
+		PearsonR: map[string]float64{"gcc": 0.9, "omnetpp": 0.95, "soplex": 0.99},
+		Caps:     Fig3Caps,
+	}
+	s := r.Table().String()
+	for _, want := range []string{"20%", "100%", "pearson", "0.99"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig3 table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig4TableRender(t *testing.T) {
+	apps := []string{"a", "b"}
+	r := Fig4Result{
+		Apps:           apps,
+		Aggressiveness: map[string]float64{"a": 10, "b": 5},
+		LLCM:           map[string]float64{"a": 100, "b": 50},
+		Equation1:      map[string]float64{"a": 200, "b": 60},
+		O1:             apps, O2: apps, O3: apps,
+		TauLLCM: 0.5, TauEq1: 0.8, PaperTauLLCM: 0.6, PaperTauEq1: 0.82,
+	}
+	s := r.Table().String()
+	for _, want := range []string{"tau(o2,o1)", "tau(o3,o1)", "0.8", "aggressiveness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig4 table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig5TablesRender(t *testing.T) {
+	r := Fig5Result{
+		NormPerf:    map[string]float64{"lbm": 0.96},
+		NormPerfXCS: map[string]float64{"lbm": 0.44},
+		PunishSen:   map[string]uint64{"lbm": 2},
+		PunishDis:   map[string]uint64{"lbm": 47},
+		Disruptors:  []string{"lbm"},
+		Timeline: Fig5Timeline{
+			RanXCS:   []float64{1, 1},
+			RanKyoto: []float64{1, 0},
+			Rate:     []float64{3200, 0},
+			Quota:    []float64{7500, -6000},
+		},
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "0.96") {
+		t.Fatalf("perf panel:\n%s", tables[0])
+	}
+	if !strings.Contains(tables[1].String(), "-6000") {
+		t.Fatalf("timeline panel:\n%s", tables[1])
+	}
+}
+
+func TestFig6TableRender(t *testing.T) {
+	r := Fig6Result{
+		Counts:      []int{1, 15},
+		NormPerf:    []float64{0.98, 0.97},
+		NormPerfXCS: []float64{0.44, 0.4},
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "15") || !strings.Contains(s, "0.97") {
+		t.Fatalf("fig6 table:\n%s", s)
+	}
+}
+
+func TestFig8TableRender(t *testing.T) {
+	r := Fig8Result{
+		PiscesAlone: 100, PiscesColocated: 124,
+		KS4PiscesAlone: 100, KS4PiscesColocated: 102,
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "24") || !strings.Contains(s, "KS4Pisces") {
+		t.Fatalf("fig8 table:\n%s", s)
+	}
+}
+
+func TestFig9TableRender(t *testing.T) {
+	r := Fig9Result{Apps: []string{"mcf"}, Degradation: []float64{10.1}}
+	s := r.Table().String()
+	if !strings.Contains(s, "mcf") || !strings.Contains(s, "10.1") {
+		t.Fatalf("fig9 table:\n%s", s)
+	}
+}
+
+func TestFig10TableRender(t *testing.T) {
+	r := Fig10Result{HmmerNotIsolated: 1, HmmerIsolated: 1, BzipNotIsolated: 8, BzipIsolated: 8, BzipWithDisruptors: 18}
+	s := r.Table().String()
+	if !strings.Contains(s, "hmmer") || !strings.Contains(s, "control") {
+		t.Fatalf("fig10 table:\n%s", s)
+	}
+}
+
+func TestFig11TableRender(t *testing.T) {
+	r := Fig11Result{
+		Apps:         []string{"lbm"},
+		Solo:         map[string]float64{"lbm": 3200},
+		Dedicated:    map[string]float64{"lbm": 3200},
+		InPlace:      map[string]float64{"lbm": 2400},
+		Shadow:       map[string]float64{"lbm": 3100},
+		TauDedicated: 0.96, TauInPlace: 0.91, TauShadow: 0.96,
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "kendall tau") || !strings.Contains(s, "3200") {
+		t.Fatalf("fig11 table:\n%s", s)
+	}
+}
+
+func TestFig12TableRender(t *testing.T) {
+	r := Fig12Result{
+		TickMillis: []int{3, 30},
+		ExecXCS:    []float64{1851, 1860},
+		ExecKyoto:  []float64{1851, 1860},
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "overhead %") || !strings.Contains(s, "1851") {
+		t.Fatalf("fig12 table:\n%s", s)
+	}
+}
+
+func TestFig2TableRender(t *testing.T) {
+	r := Fig2Result{
+		Series:     map[string][]float64{"alone": {5120, 0}},
+		Situations: []string{"alone"},
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "alone") || !strings.Contains(s, "5120") {
+		t.Fatalf("fig2 table:\n%s", s)
+	}
+}
+
+func TestKS4LinuxTableRender(t *testing.T) {
+	r := KS4LinuxResult{
+		NormPerf:     map[string]float64{"KS4Xen (credit)": 0.96},
+		NormPerfBase: map[string]float64{"KS4Xen (credit)": 0.44},
+		Systems:      []string{"KS4Xen (credit)"},
+	}
+	s := r.Table().String()
+	if !strings.Contains(s, "KS4Xen") || !strings.Contains(s, "0.96") {
+		t.Fatalf("ks4linux table:\n%s", s)
+	}
+}

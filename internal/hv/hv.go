@@ -1,0 +1,367 @@
+// Package hv is the virtual testbed: it owns the simulated machine, the
+// VMs, and the scheduler, and drives the deterministic tick loop in which
+// everything else happens.
+//
+// Time model (the paper's Xen defaults): a tick is 10 ms of model time
+// (machine.CyclesPerTick cycles); a time slice is 3 ticks. Scheduling
+// decisions are taken on slice boundaries (or immediately when the current
+// vCPU becomes unschedulable), accounting happens every tick — mirroring
+// XCS's 30 ms slices with 10 ms ticks.
+//
+// Within a tick, the cores that have work execute in round-robin chunks of
+// ChunkCycles so that parallel vCPUs interleave finely on the shared LLC;
+// this is what lets Figure 1's parallel-execution contention emerge
+// instead of being an artefact of running cores to completion one by one.
+package hv
+
+import (
+	"fmt"
+
+	"kyoto/internal/cpu"
+	"kyoto/internal/machine"
+	"kyoto/internal/pmc"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// DefaultChunkCycles is the intra-tick interleave granularity (0.1 ms of
+// model time): fine enough for parallel contention, coarse enough to be
+// cheap.
+const DefaultChunkCycles = 10_000
+
+// Config configures a World.
+type Config struct {
+	// Machine is the hardware description (machine.TableOne, machine.R420
+	// or custom).
+	Machine machine.Config
+	// CyclesPerTick overrides the tick length (default
+	// machine.CyclesPerTick). Figure 12 sweeps this.
+	CyclesPerTick uint64
+	// ChunkCycles overrides the interleave granularity.
+	ChunkCycles uint64
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// TickHook observes the world once per tick, after execution and charging
+// but before the scheduler's end-of-tick accounting. Monitors and
+// experiment recorders are hooks.
+type TickHook interface {
+	OnTick(w *World)
+}
+
+// TickHookFunc adapts a function to TickHook.
+type TickHookFunc func(w *World)
+
+// OnTick implements TickHook.
+func (f TickHookFunc) OnTick(w *World) { f(w) }
+
+// OverheadReporter is optionally implemented by schedulers that consume
+// measurable pCPU time themselves (the Kyoto monitoring path, §4.5). The
+// reported cycles are deducted from core 0's execution budget each tick,
+// modelling monitor work running in dom0.
+type OverheadReporter interface {
+	TickOverheadCycles() uint64
+}
+
+// World is the assembled testbed.
+type World struct {
+	cfg     Config
+	m       *machine.Machine
+	sch     sched.Scheduler
+	vms     []*vm.VM
+	vcpus   []*vm.VCPU
+	hooks   []TickHook
+	now     uint64
+	current []*vm.VCPU // per core
+	scratch []uint64   // per-core consumed cycles, reused across ticks
+
+	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
+	IdleCycles []uint64
+}
+
+// New builds a World on the given machine driving the given scheduler.
+// Core-count-dependent policies can size themselves from cfg.Machine
+// (Sockets x CoresPerSocket).
+func New(cfg Config, s sched.Scheduler) (*World, error) {
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CyclesPerTick == 0 {
+		cfg.CyclesPerTick = machine.CyclesPerTick
+	}
+	if cfg.ChunkCycles == 0 {
+		cfg.ChunkCycles = DefaultChunkCycles
+	}
+	if cfg.ChunkCycles > cfg.CyclesPerTick {
+		cfg.ChunkCycles = cfg.CyclesPerTick
+	}
+	w := &World{
+		cfg:        cfg,
+		m:          m,
+		sch:        s,
+		current:    make([]*vm.VCPU, m.NumCores()),
+		scratch:    make([]uint64, m.NumCores()),
+		IdleCycles: make([]uint64, m.NumCores()),
+	}
+	return w, nil
+}
+
+// Machine returns the simulated machine.
+func (w *World) Machine() *machine.Machine { return w.m }
+
+// Scheduler returns the scheduling policy.
+func (w *World) Scheduler() sched.Scheduler { return w.sch }
+
+// Now returns the number of completed ticks.
+func (w *World) Now() uint64 { return w.now }
+
+// NowMillis returns elapsed model time in milliseconds.
+func (w *World) NowMillis() float64 {
+	return float64(w.now) * float64(w.cfg.CyclesPerTick) / float64(machine.CPUFreqKHz)
+}
+
+// CyclesPerTick returns the configured tick length.
+func (w *World) CyclesPerTick() uint64 { return w.cfg.CyclesPerTick }
+
+// VMs returns the VMs in creation order.
+func (w *World) VMs() []*vm.VM { return w.vms }
+
+// VCPUs returns all vCPUs in id order.
+func (w *World) VCPUs() []*vm.VCPU { return w.vcpus }
+
+// FindVM returns the VM with the given name, or nil.
+func (w *World) FindVM(name string) *vm.VM {
+	for _, m := range w.vms {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// AddHook appends a tick hook.
+func (w *World) AddHook(h TickHook) { w.hooks = append(w.hooks, h) }
+
+// AddVM instantiates spec: resolves the workload profile, creates the
+// vCPUs, and registers them with the scheduler.
+func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	profile := spec.Profile
+	if len(profile.Phases) == 0 {
+		p, err := workload.Lookup(spec.App)
+		if err != nil {
+			return nil, err
+		}
+		profile = p
+	}
+	nv := spec.VCPUs
+	if nv == 0 {
+		nv = 1
+	}
+	if spec.HomeNode < 0 || spec.HomeNode >= w.m.NumSockets() {
+		return nil, fmt.Errorf("hv: VM %q home node %d out of range", spec.Name, spec.HomeNode)
+	}
+	weight := spec.Weight
+	if weight == 0 {
+		weight = vm.DefaultWeight
+	}
+	domain := &vm.VM{
+		ID:         len(w.vms) + 1,
+		Name:       spec.Name,
+		App:        profile.Name,
+		Weight:     weight,
+		CapPercent: spec.CapPercent,
+		LLCCap:     spec.LLCCap,
+		HomeNode:   spec.HomeNode,
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = w.cfg.Seed ^ uint64(domain.ID)*0x9e3779b97f4a7c15
+	}
+	for i := 0; i < nv; i++ {
+		gen, err := workload.New(profile, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		pin := vm.NoPin
+		if i < len(spec.Pins) {
+			pin = spec.Pins[i]
+		}
+		if pin != vm.NoPin && (pin < 0 || pin >= w.m.NumCores()) {
+			return nil, fmt.Errorf("hv: VM %q vCPU %d pinned to invalid core %d", spec.Name, i, pin)
+		}
+		v := &vm.VCPU{
+			VM:       domain,
+			ID:       len(w.vcpus) + 1,
+			Index:    i,
+			Gen:      gen,
+			Pin:      pin,
+			LastCore: vm.NoPin,
+		}
+		v.Ctx = cpu.Context{
+			Gen:      gen,
+			Owner:    v.Owner(),
+			AddrBase: uint64(domain.ID) << 36,
+			Counters: &v.Counters,
+		}
+		w.vcpus = append(w.vcpus, v)
+		domain.VCPUs = append(domain.VCPUs, v)
+		w.sch.Register(v)
+	}
+	w.vms = append(w.vms, domain)
+	return domain, nil
+}
+
+// MustAddVM is AddVM but panics on error, for statically valid scenarios.
+func (w *World) MustAddVM(spec vm.Spec) *vm.VM {
+	m, err := w.AddVM(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RunTicks advances the world n ticks.
+func (w *World) RunTicks(n int) {
+	for i := 0; i < n; i++ {
+		w.tick()
+	}
+}
+
+// RunUntil advances the world until pred returns true or maxTicks elapse,
+// returning the number of ticks run.
+func (w *World) RunUntil(pred func(*World) bool, maxTicks int) int {
+	for i := 0; i < maxTicks; i++ {
+		if pred(w) {
+			return i
+		}
+		w.tick()
+	}
+	return maxTicks
+}
+
+// tick executes one scheduler tick.
+func (w *World) tick() {
+	cores := w.m.Cores()
+	sliceBoundary := w.now%machine.TicksPerSlice == 0
+
+	// 1. Scheduling decisions: keep the current assignment inside a
+	// slice, re-pick at boundaries or when the incumbent cannot run.
+	for _, core := range cores {
+		cur := w.current[core.ID]
+		if cur != nil && !sliceBoundary && cur.Schedulable() && cur.AllowedOn(core.ID) {
+			continue
+		}
+		next := w.sch.PickNext(core, w.now)
+		w.current[core.ID] = next
+		if next != nil {
+			w.bind(next, core)
+		}
+	}
+
+	// 2. Overhead deduction (monitoring work, modelled on core 0).
+	budgets := w.scratch[:len(cores)]
+	for i := range budgets {
+		budgets[i] = 0
+	}
+	overhead := uint64(0)
+	if r, ok := w.sch.(OverheadReporter); ok {
+		overhead = r.TickOverheadCycles()
+		if overhead > w.cfg.CyclesPerTick {
+			overhead = w.cfg.CyclesPerTick
+		}
+	}
+
+	// 3. Interleaved execution. Sub-tick budget limits (credit caps) come
+	// from the scheduler when it implements sched.BudgetLimiter.
+	limiter, _ := w.sch.(sched.BudgetLimiter)
+	caps := make([]uint64, len(cores))
+	for _, core := range cores {
+		caps[core.ID] = ^uint64(0)
+		if v := w.current[core.ID]; v != nil && limiter != nil {
+			caps[core.ID] = limiter.TickBudget(v, w.now)
+		}
+	}
+	tickBudget := w.cfg.CyclesPerTick
+	chunk := w.cfg.ChunkCycles
+	for target := chunk; ; target += chunk {
+		if target > tickBudget {
+			target = tickBudget
+		}
+		for _, core := range cores {
+			v := w.current[core.ID]
+			if v == nil {
+				continue
+			}
+			limit := target
+			if core.ID == 0 && overhead > 0 {
+				// dom0 monitoring steals the head of core 0's tick.
+				if limit <= overhead {
+					continue
+				}
+				limit -= overhead
+			}
+			if c := caps[core.ID]; c != ^uint64(0) {
+				// Spread the capped budget evenly across the tick so a
+				// capped vCPU interleaves with its neighbours instead of
+				// bursting at the tick head (Xen's credit burn has the
+				// same pacing effect at its finer accounting quantum).
+				scaled := c * target / tickBudget
+				if limit > scaled {
+					limit = scaled
+				}
+			}
+			if budgets[core.ID] < limit {
+				budgets[core.ID] += cpu.Run(&v.Ctx, limit-budgets[core.ID])
+			}
+		}
+		if target == tickBudget {
+			break
+		}
+	}
+
+	// 4. Charging and idle accounting.
+	for _, core := range cores {
+		v := w.current[core.ID]
+		if v == nil {
+			w.IdleCycles[core.ID] += tickBudget
+			continue
+		}
+		w.sch.ChargeTick(v, budgets[core.ID], w.now)
+	}
+
+	// 5. Hooks (monitors, recorders).
+	for _, h := range w.hooks {
+		h.OnTick(w)
+	}
+
+	// 6. End-of-tick policy accounting.
+	w.sch.EndTick(w.now)
+	w.now++
+}
+
+// bind points the vCPU's execution context at its new core.
+func (w *World) bind(v *vm.VCPU, core *machine.Core) {
+	v.Ctx.Path = &core.Path
+	v.Ctx.Remote = v.VM.HomeNode != core.SocketID
+	v.LastCore = core.ID
+}
+
+// CurrentOn returns the vCPU currently assigned to core, or nil.
+func (w *World) CurrentOn(coreID int) *vm.VCPU { return w.current[coreID] }
+
+// SnapshotVMs returns each VM's aggregate counters, keyed by VM name.
+// Experiments snapshot before and after a measurement window and take
+// deltas.
+func (w *World) SnapshotVMs() map[string]pmc.Counters {
+	out := make(map[string]pmc.Counters, len(w.vms))
+	for _, m := range w.vms {
+		out[m.Name] = m.Counters()
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"fmt"
+
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+// Dedication is the socket-dedication monitor (§3.3, first strategy): to
+// measure one VM's llc_cap_act, every co-located vCPU is migrated to the
+// other socket for the sampling window, so the measured vCPU's per-core
+// PMCs reflect an uncontended LLC. VMs are measured round-robin, one
+// sampling window each.
+//
+// The migrated vCPUs keep their memory on their home node, so they pay
+// remote-access latency for the duration (Figure 9's overhead), and they
+// return with cold private caches. Two skip heuristics (§4.5, Figure 10)
+// avoid the migration when it cannot change the result:
+//
+//  1. a vCPU whose recent miss rate is below LowThreshold is measured in
+//     place (it is neither a disturber nor sensitive), and
+//  2. a vCPU whose co-runners all have miss rates below LowThreshold is
+//     measured in place (nobody is inflating its counters).
+type Dedication struct {
+	feeder Feeder
+	ind    core.Indicator
+	// WindowTicks is the sampling window per VM (default 3, one slice).
+	WindowTicks int
+	// SettleTicks discards the first ticks of each window (default 1):
+	// the measured VM is reloading the footprint its co-runners evicted,
+	// which would bias the clean estimate upward.
+	SettleTicks int
+	// LowThreshold is the misses-per-ms rate under which the skip
+	// heuristics apply; <=0 disables skipping.
+	LowThreshold float64
+
+	samplers map[*vm.VCPU]*pmc.Sampler
+
+	// rotation state
+	order     []*vm.VM
+	idx       int
+	measuring *vm.VM
+	inPlace   bool // current window measured without migration
+	phase     int
+	savedPins map[*vm.VCPU]int
+	windowAcc pmc.Counters
+
+	// LastRate is the most recent clean estimate per VM.
+	LastRate map[*vm.VM]float64
+	// rawRate tracks every VM's latest in-place rate (heuristic input).
+	rawRate map[*vm.VM]float64
+	// Migrations counts vCPU migrations performed (overhead metric).
+	Migrations uint64
+	// SkippedWindows counts sampling windows served in place.
+	SkippedWindows uint64
+}
+
+var _ hv.TickHook = (*Dedication)(nil)
+
+// NewDedication returns a socket-dedication monitor feeding f (may be
+// nil). It requires a multi-socket world; OnTick validates lazily and
+// panics on a single-socket machine, since that is a static experiment
+// misconfiguration.
+func NewDedication(f Feeder, ind core.Indicator) *Dedication {
+	return &Dedication{
+		feeder:      f,
+		ind:         ind,
+		WindowTicks: 3,
+		SettleTicks: 1,
+		samplers:    make(map[*vm.VCPU]*pmc.Sampler),
+		savedPins:   make(map[*vm.VCPU]int),
+		LastRate:    make(map[*vm.VM]float64),
+		rawRate:     make(map[*vm.VM]float64),
+	}
+}
+
+// OnTick implements hv.TickHook.
+func (d *Dedication) OnTick(w *hv.World) {
+	if w.Machine().NumSockets() < 2 {
+		panic("monitor: socket dedication requires a multi-socket machine (use machine.R420)")
+	}
+	if len(d.order) != len(w.VMs()) {
+		d.order = append([]*vm.VM(nil), w.VMs()...)
+	}
+
+	// Sample everyone; update raw in-place rates.
+	deltas := make(map[*vm.VM]pmc.Counters, len(d.order))
+	for _, domain := range d.order {
+		var delta pmc.Counters
+		for _, v := range domain.VCPUs {
+			s, ok := d.samplers[v]
+			if !ok {
+				s = pmc.NewSampler(&v.Counters)
+				d.samplers[v] = s
+			}
+			delta.Add(s.Sample())
+		}
+		deltas[domain] = delta
+		d.rawRate[domain] = d.ind.Value(delta)
+	}
+
+	// Advance the measurement window. The settle ticks let the measured
+	// VM re-establish its footprint before counting.
+	if d.measuring != nil {
+		if d.phase >= d.SettleTicks {
+			d.windowAcc.Add(deltas[d.measuring])
+		}
+		d.phase++
+		if d.phase >= d.SettleTicks+d.WindowTicks {
+			d.finishWindow(w)
+		}
+	} else {
+		d.startWindow(w)
+	}
+
+	// Feed: debit each VM by its busy time at the last clean rate.
+	if d.feeder != nil {
+		ms := make([]core.Measurement, 0, len(d.order))
+		for _, domain := range d.order {
+			rate, ok := d.LastRate[domain]
+			if !ok {
+				// Not yet measured: fall back to the raw rate so new
+				// polluters cannot free-ride until their first window.
+				rate = d.rawRate[domain]
+			}
+			busyMs := core.BusyMillis(deltas[domain])
+			ms = append(ms, core.Measurement{
+				VM:     domain,
+				Misses: rate * busyMs,
+				Rate:   rate,
+			})
+		}
+		d.feeder.Feed(ms)
+	}
+}
+
+// startWindow begins measuring the next VM in rotation.
+func (d *Dedication) startWindow(w *hv.World) {
+	if len(d.order) == 0 {
+		return
+	}
+	domain := d.order[d.idx%len(d.order)]
+	d.idx++
+	d.measuring = domain
+	d.phase = 0
+	d.windowAcc = pmc.Counters{}
+
+	if d.skipIsolation(domain) {
+		d.inPlace = true
+		d.SkippedWindows++
+		return
+	}
+	d.inPlace = false
+	d.migrateOthersAway(w, domain)
+}
+
+// skipIsolation applies the §4.5 heuristics.
+func (d *Dedication) skipIsolation(domain *vm.VM) bool {
+	if d.LowThreshold <= 0 {
+		return false
+	}
+	// Heuristic 1: the VM itself is quiet.
+	if d.rawRate[domain] < d.LowThreshold {
+		return true
+	}
+	// Heuristic 2: all co-runners are quiet.
+	for _, other := range d.order {
+		if other != domain && d.rawRate[other] >= d.LowThreshold {
+			return false
+		}
+	}
+	return true
+}
+
+// migrateOthersAway pins every other VM's vCPUs to cores of a different
+// socket than the measured VM's home NUMA node, and the measured VM to its
+// home socket — measuring with remote memory would systematically bias
+// llc_cap_act (every miss would pay the remote penalty).
+func (d *Dedication) migrateOthersAway(w *hv.World, domain *vm.VM) {
+	m := w.Machine()
+	homeSocket := domain.HomeNode
+	if homeSocket < 0 || homeSocket >= m.NumSockets() {
+		homeSocket = 0
+	}
+	awaySocket := (homeSocket + 1) % m.NumSockets()
+	away := m.Socket(awaySocket).Cores
+	home := m.Socket(homeSocket).Cores
+
+	// Hold the measured VM on its home socket, keeping cache affinity
+	// when its last core is already there.
+	for i, v := range domain.VCPUs {
+		d.savedPins[v] = v.Pin
+		core0 := v.LastCore
+		if core0 == vm.NoPin || m.Core(core0).SocketID != homeSocket {
+			core0 = home[i%len(home)].ID
+		}
+		v.Pin = core0
+	}
+	// Exile everyone else.
+	i := 0
+	for _, other := range d.order {
+		if other == domain {
+			continue
+		}
+		for _, v := range other.VCPUs {
+			d.savedPins[v] = v.Pin
+			v.Pin = away[i%len(away)].ID
+			d.Migrations++
+			i++
+		}
+	}
+}
+
+// finishWindow computes the clean rate and restores placement.
+func (d *Dedication) finishWindow(w *hv.World) {
+	domain := d.measuring
+	d.LastRate[domain] = d.ind.Value(d.windowAcc)
+	d.measuring = nil
+	if !d.inPlace {
+		for v, pin := range d.savedPins {
+			v.Pin = pin
+			delete(d.savedPins, v)
+			d.Migrations++
+		}
+	}
+}
+
+// String describes the monitor's state for debugging.
+func (d *Dedication) String() string {
+	name := "idle"
+	if d.measuring != nil {
+		name = d.measuring.Name
+	}
+	return fmt.Sprintf("dedication{measuring=%s phase=%d migrations=%d skipped=%d}",
+		name, d.phase, d.Migrations, d.SkippedWindows)
+}

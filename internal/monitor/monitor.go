@@ -1,0 +1,85 @@
+// Package monitor implements the llc_cap_act identification strategies of
+// §3.3 as testbed tick hooks that feed Measurements to the Kyoto
+// scheduler:
+//
+//   - Oracle: reads the simulator's exact per-vCPU counters. This is the
+//     in-place PMC reading a per-core counter gives on real hardware —
+//     exact attribution of the VM's own misses, but inflated by whatever
+//     contention the co-runners inflict.
+//   - ShadowSim: the McSimA+ strategy — capture each vCPU's access trace
+//     (the Pin substitute) and replay it on a dedicated cache model,
+//     yielding contention-free estimates without perturbing placement.
+//   - Dedication: the socket-dedication strategy — migrate co-located
+//     vCPUs to the other socket for the sampling window so the measured
+//     VM has the LLC to itself; pays the migration/NUMA cost Figure 9
+//     quantifies, avoidable in the Figure 10 situations via skip
+//     heuristics.
+package monitor
+
+import (
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+// Feeder receives per-tick measurements; *core.Kyoto implements it. A nil
+// Feeder is allowed: the monitor then only records, which is how the
+// characterization experiments (Figs 9-11) use monitors without
+// enforcement.
+type Feeder interface {
+	Feed([]core.Measurement)
+}
+
+// Oracle measures every VM's pollution from its exact per-vCPU counters.
+type Oracle struct {
+	feeder    Feeder
+	indicator core.Indicator
+	samplers  map[*vm.VCPU]*pmc.Sampler
+
+	// LastRate and LastDelta expose the most recent per-VM observations
+	// for recorders (Figs 2 and 5 timelines read these).
+	LastRate  map[*vm.VM]float64
+	LastDelta map[*vm.VM]pmc.Counters
+}
+
+var _ hv.TickHook = (*Oracle)(nil)
+
+// NewOracle returns an oracle monitor feeding f (which may be nil) using
+// the given indicator.
+func NewOracle(f Feeder, indicator core.Indicator) *Oracle {
+	return &Oracle{
+		feeder:    f,
+		indicator: indicator,
+		samplers:  make(map[*vm.VCPU]*pmc.Sampler),
+		LastRate:  make(map[*vm.VM]float64),
+		LastDelta: make(map[*vm.VM]pmc.Counters),
+	}
+}
+
+// OnTick implements hv.TickHook.
+func (o *Oracle) OnTick(w *hv.World) {
+	ms := make([]core.Measurement, 0, len(w.VMs()))
+	for _, domain := range w.VMs() {
+		var delta pmc.Counters
+		for _, v := range domain.VCPUs {
+			s, ok := o.samplers[v]
+			if !ok {
+				s = pmc.NewSampler(&v.Counters)
+				o.samplers[v] = s
+			}
+			delta.Add(s.Sample())
+		}
+		rate := o.indicator.Value(delta)
+		o.LastRate[domain] = rate
+		o.LastDelta[domain] = delta
+		ms = append(ms, core.Measurement{
+			VM:     domain,
+			Misses: float64(delta.LLCMisses),
+			Rate:   rate,
+		})
+	}
+	if o.feeder != nil {
+		o.feeder.Feed(ms)
+	}
+}

@@ -1,0 +1,95 @@
+package pmc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndDelta(t *testing.T) {
+	var a Counters
+	a.Add(Counters{Instructions: 10, UnhaltedCycles: 20, LLCMisses: 3})
+	a.Add(Counters{Instructions: 5, HaltedCycles: 7, LLCMisses: 1})
+	if a.Instructions != 15 || a.UnhaltedCycles != 20 || a.HaltedCycles != 7 || a.LLCMisses != 4 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	d := a.Delta(Counters{Instructions: 10, LLCMisses: 3})
+	if d.Instructions != 5 || d.LLCMisses != 1 || d.UnhaltedCycles != 20 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+}
+
+func TestWallCycles(t *testing.T) {
+	c := Counters{UnhaltedCycles: 70, HaltedCycles: 30}
+	if c.WallCycles() != 100 {
+		t.Fatalf("wall = %d", c.WallCycles())
+	}
+}
+
+func TestIPC(t *testing.T) {
+	if (Counters{}).IPC() != 0 {
+		t.Fatal("zero cycles must give IPC 0")
+	}
+	c := Counters{Instructions: 50, UnhaltedCycles: 100}
+	if c.IPC() != 0.5 {
+		t.Fatalf("IPC = %v", c.IPC())
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if (Counters{}).MissesPerKiloInstr() != 0 {
+		t.Fatal("zero instructions must give MPKI 0")
+	}
+	c := Counters{Instructions: 2000, LLCMisses: 4}
+	if c.MissesPerKiloInstr() != 2 {
+		t.Fatalf("MPKI = %v", c.MissesPerKiloInstr())
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var src Counters
+	s := NewSampler(&src)
+	src.Add(Counters{Instructions: 100, LLCMisses: 5})
+	if d := s.Peek(); d.Instructions != 100 {
+		t.Fatalf("peek = %+v", d)
+	}
+	if d := s.Sample(); d.Instructions != 100 || d.LLCMisses != 5 {
+		t.Fatalf("first sample = %+v", d)
+	}
+	src.Add(Counters{Instructions: 50})
+	if d := s.Sample(); d.Instructions != 50 || d.LLCMisses != 0 {
+		t.Fatalf("second sample = %+v", d)
+	}
+	if d := s.Sample(); d != (Counters{}) {
+		t.Fatalf("idle sample = %+v, want zero", d)
+	}
+}
+
+// Property: Delta inverts Add for monotonic counters.
+func TestQuickAddDeltaInverse(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Delta(a) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: samples over a sequence of increments sum to the total.
+func TestQuickSamplerConservation(t *testing.T) {
+	f := func(incs []uint32) bool {
+		var src Counters
+		s := NewSampler(&src)
+		var sampled, total uint64
+		for _, inc := range incs {
+			src.Add(Counters{Instructions: uint64(inc)})
+			total += uint64(inc)
+			sampled += s.Sample().Instructions
+		}
+		return sampled == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"sort"
+
+	"kyoto/internal/machine"
+	"kyoto/internal/vm"
+)
+
+// Credit reimplements the Xen credit scheduler as the paper describes it
+// (§3.2, following Cherkasova et al.): each VM is configured with a credit
+// (weight) that the scheduler converts into a per-slice budget
+// (remainCredit); running burns credits, exhausting them demotes the vCPU
+// to priority OVER, and the periodic accounting (every slice, 30 ms)
+// refills credits and restores priority UNDER. The scheduler is
+// work-conserving: OVER vCPUs run when no UNDER vCPU is runnable.
+//
+// The optional per-VM cap (vm.Spec.CapPercent) hard-limits consumption per
+// accounting window even on an idle host — the lever Figure 3 sweeps to
+// vary a disruptor's "computation power".
+type Credit struct {
+	cores  int
+	vcpus  []*vm.VCPU
+	assign assignTracker
+}
+
+var _ Scheduler = (*Credit)(nil)
+
+// NewCredit returns a credit scheduler for a machine with cores pCPUs.
+func NewCredit(cores int) *Credit {
+	return &Credit{cores: cores, assign: newAssignTracker()}
+}
+
+// Name implements Scheduler.
+func (c *Credit) Name() string { return "credit" }
+
+// Register implements Scheduler.
+func (c *Credit) Register(v *vm.VCPU) {
+	if v.VM.Weight == 0 {
+		v.VM.Weight = vm.DefaultWeight
+	}
+	// A fresh vCPU starts with one slice of credit at fair share,
+	// computed at the next accounting boundary; give it a nominal
+	// positive balance so it is UNDER immediately.
+	v.RemainCredit = 1
+	v.OverPriority = false
+	c.vcpus = append(c.vcpus, v)
+}
+
+// PickNext implements Scheduler. Priority order: UNDER before OVER (work
+// conserving), round-robin by least-recently-run within a class.
+func (c *Credit) PickNext(core *machine.Core, now uint64) *vm.VCPU {
+	var best *vm.VCPU
+	bestKey := pickKey{}
+	for _, v := range c.vcpus {
+		if !v.Schedulable() || !v.AllowedOn(core.ID) || c.assign.taken(v, now) {
+			continue
+		}
+		k := pickKey{over: v.OverPriority, lastRun: v.LastRunTick, id: v.ID}
+		if best == nil || k.less(bestKey) {
+			best, bestKey = v, k
+		}
+	}
+	if best != nil {
+		c.assign.take(best, now)
+		best.LastRunTick = now
+	}
+	return best
+}
+
+// pickKey orders candidate vCPUs: UNDER first, then least recently run,
+// then lowest id for determinism.
+type pickKey struct {
+	over    bool
+	lastRun uint64
+	id      int
+}
+
+func (k pickKey) less(o pickKey) bool {
+	if k.over != o.over {
+		return !k.over
+	}
+	if k.lastRun != o.lastRun {
+		return k.lastRun < o.lastRun
+	}
+	return k.id < o.id
+}
+
+// ChargeTick implements Scheduler: burn credits proportional to occupancy.
+func (c *Credit) ChargeTick(v *vm.VCPU, wallCycles uint64, now uint64) {
+	v.RemainCredit -= int64(wallCycles)
+	if v.RemainCredit <= 0 {
+		v.OverPriority = true
+	}
+	if v.VM.CapPercent > 0 {
+		v.WindowBurn += wallCycles
+		if v.WindowBurn >= c.capBudget(v) {
+			v.CapBlocked = true
+		}
+	}
+}
+
+// capBudget returns the wall-cycle allowance per accounting window for a
+// capped vCPU.
+func (c *Credit) capBudget(v *vm.VCPU) uint64 {
+	window := uint64(machine.CyclesPerTick) * machine.TicksPerSlice
+	return window * uint64(v.VM.CapPercent) / 100
+}
+
+// TickBudget implements BudgetLimiter: a capped vCPU may only consume the
+// remainder of its window allowance, enforcing caps at sub-tick
+// granularity (Figure 3 sweeps caps in 20% steps, finer than a tick).
+func (c *Credit) TickBudget(v *vm.VCPU, now uint64) uint64 {
+	if v.VM.CapPercent <= 0 {
+		return ^uint64(0)
+	}
+	budget := c.capBudget(v)
+	if v.WindowBurn >= budget {
+		return 0
+	}
+	return budget - v.WindowBurn
+}
+
+// EndTick implements Scheduler: on slice boundaries, refill credits
+// weighted by VM weight and reset cap windows.
+func (c *Credit) EndTick(now uint64) {
+	if (now+1)%machine.TicksPerSlice != 0 {
+		return
+	}
+	c.refill()
+	for _, v := range c.vcpus {
+		v.WindowBurn = 0
+		v.CapBlocked = false
+	}
+}
+
+// refill distributes one slice's worth of pCPU cycles as credits in
+// proportion to VM weights, clamping balances to one slice's share so
+// blocked VMs cannot bank unbounded credit (as XCS clamps).
+func (c *Credit) refill() {
+	if len(c.vcpus) == 0 {
+		return
+	}
+	var totalWeight int64
+	perVM := make(map[*vm.VM]int64)
+	for _, v := range c.vcpus {
+		if _, seen := perVM[v.VM]; !seen {
+			perVM[v.VM] = v.VM.Weight
+			totalWeight += v.VM.Weight
+		}
+	}
+	if totalWeight == 0 {
+		return
+	}
+	sliceCycles := int64(machine.CyclesPerTick) * machine.TicksPerSlice * int64(c.cores)
+	// Deterministic iteration order over VMs.
+	vms := make([]*vm.VM, 0, len(perVM))
+	for m := range perVM {
+		vms = append(vms, m)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	for _, m := range vms {
+		share := sliceCycles * m.Weight / totalWeight
+		perVCPU := share / int64(len(m.VCPUs))
+		for _, v := range m.VCPUs {
+			v.RemainCredit += perVCPU
+			if v.RemainCredit > perVCPU {
+				v.RemainCredit = perVCPU
+			}
+			v.OverPriority = v.RemainCredit <= 0
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package sched implements the vCPU schedulers the paper builds on and
+// extends: the Xen credit scheduler (XCS, §3.2), a CFS-style fair
+// scheduler (the KVM/Linux substrate of KS4Linux), and a Pisces-style
+// space-partitioned co-kernel scheduler (§4.4). The Kyoto pollution layer
+// in internal/core decorates any of them.
+//
+// All schedulers run under the deterministic tick loop of internal/hv:
+// once per tick each core asks PickNext for an assignment, execution is
+// charged back through ChargeTick, and EndTick closes the tick (credit
+// refill happens on slice boundaries).
+package sched
+
+import (
+	"kyoto/internal/machine"
+	"kyoto/internal/vm"
+)
+
+// Scheduler is the hypervisor scheduling policy driven by internal/hv.
+//
+// Implementations are single-threaded (the simulation loop owns them) and
+// must respect vm.VCPU.Schedulable and vm.VCPU.AllowedOn in PickNext so
+// that the Kyoto layer's pollution blocking and the experiments' pinning
+// work with every policy.
+type Scheduler interface {
+	// Name identifies the policy in reports ("credit", "cfs", ...).
+	Name() string
+	// Register adds a vCPU to the runqueue.
+	Register(v *vm.VCPU)
+	// PickNext chooses the vCPU core runs during the next tick, or nil to
+	// idle. hv calls it once per core per tick, in core order; a vCPU
+	// already handed out in the same tick must not be handed out twice.
+	PickNext(core *machine.Core, now uint64) *vm.VCPU
+	// ChargeTick accounts wallCycles of pCPU occupancy to v for the tick
+	// that just executed.
+	ChargeTick(v *vm.VCPU, wallCycles uint64, now uint64)
+	// EndTick finishes the tick; slice-boundary bookkeeping (credit
+	// refill, cap-window reset) happens here.
+	EndTick(now uint64)
+}
+
+// BudgetLimiter is optionally implemented by schedulers that bound how
+// many wall cycles a vCPU may consume within one tick (sub-tick cap
+// enforcement). The testbed stops the vCPU once the budget is spent and
+// leaves the core idle for the remainder of the tick.
+type BudgetLimiter interface {
+	// TickBudget returns the maximum wall cycles v may run during the
+	// coming tick; ^uint64(0) means unlimited.
+	TickBudget(v *vm.VCPU, now uint64) uint64
+}
+
+// assignment tracking shared by the policies: a vCPU picked at tick t must
+// not be picked again at tick t by another core.
+type assignTracker struct {
+	tick map[*vm.VCPU]uint64
+}
+
+func newAssignTracker() assignTracker {
+	return assignTracker{tick: make(map[*vm.VCPU]uint64)}
+}
+
+// taken reports whether v was already assigned at tick now.
+func (a *assignTracker) taken(v *vm.VCPU, now uint64) bool {
+	t, ok := a.tick[v]
+	return ok && t == now+1 // stored as now+1 so tick 0 works
+}
+
+// take marks v assigned at tick now.
+func (a *assignTracker) take(v *vm.VCPU, now uint64) {
+	a.tick[v] = now + 1
+}

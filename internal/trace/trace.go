@@ -1,0 +1,77 @@
+// Package trace captures bounded per-vCPU memory-access traces — the
+// simulator's stand-in for the Pin instrumentation the paper uses to feed
+// McSimA+ (§3.3, second monitoring solution).
+//
+// A Ring keeps the most recent accesses up to its capacity and counts how
+// many it saw in total, so a replayer can extrapolate from the retained
+// sample when a window overflows.
+package trace
+
+// Event is one recorded memory access.
+type Event struct {
+	// Addr is the virtual address accessed.
+	Addr uint64
+	// GapInstrs is the number of non-memory instructions retired since
+	// the previous access.
+	GapInstrs uint32
+	// MLP is the access's memory-level parallelism (0 means 1). Replay
+	// uses it to model overlapped latency, as McSimA+ models the
+	// microarchitecture's miss-handling registers.
+	MLP float32
+}
+
+// Ring is a fixed-capacity access recorder implementing cpu.Tracer.
+// The zero value is unusable; use NewRing.
+type Ring struct {
+	events []Event
+	head   int    // next write position
+	filled bool   // true once the ring wrapped
+	total  uint64 // accesses seen since the last Drain
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// RecordAccess implements cpu.Tracer.
+func (r *Ring) RecordAccess(addr uint64, gapInstrs uint32, mlp float64) {
+	r.events[r.head] = Event{Addr: addr, GapInstrs: gapInstrs, MLP: float32(mlp)}
+	r.head++
+	if r.head == len(r.events) {
+		r.head = 0
+		r.filled = true
+	}
+	r.total++
+}
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	if r.filled {
+		return len(r.events)
+	}
+	return r.head
+}
+
+// Total returns the number of accesses seen since the last Drain.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Drain returns the retained events in arrival order plus the total seen,
+// then resets the ring for the next window. The returned slice is freshly
+// allocated; callers own it.
+func (r *Ring) Drain() ([]Event, uint64) {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	if r.filled {
+		out = append(out, r.events[r.head:]...)
+	}
+	out = append(out, r.events[:r.head]...)
+	total := r.total
+	r.head = 0
+	r.filled = false
+	r.total = 0
+	return out, total
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndDrain(t *testing.T) {
+	r := NewRing(4)
+	r.RecordAccess(0x100, 2, 1)
+	r.RecordAccess(0x200, 3, 4)
+	if r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("len/total = %d/%d", r.Len(), r.Total())
+	}
+	events, total := r.Drain()
+	if total != 2 || len(events) != 2 {
+		t.Fatalf("drain = %d events, total %d", len(events), total)
+	}
+	if events[0].Addr != 0x100 || events[0].GapInstrs != 2 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].MLP != 4 {
+		t.Fatalf("event 1 MLP = %v", events[1].MLP)
+	}
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("drain must reset the ring")
+	}
+}
+
+func TestOverflowKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(0); i < 10; i++ {
+		r.RecordAccess(i, 0, 1)
+	}
+	events, total := r.Drain()
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	if len(events) != 3 {
+		t.Fatalf("retained = %d, want 3", len(events))
+	}
+	// Most recent three, in arrival order.
+	for i, want := range []uint64{7, 8, 9} {
+		if events[i].Addr != want {
+			t.Fatalf("events[%d].Addr = %d, want %d", i, events[i].Addr, want)
+		}
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	r := NewRing(0) // clamped to 1
+	r.RecordAccess(1, 0, 0)
+	r.RecordAccess(2, 0, 0)
+	events, total := r.Drain()
+	if total != 2 || len(events) != 1 || events[0].Addr != 2 {
+		t.Fatalf("events = %+v total %d", events, total)
+	}
+}
+
+// Property: Drain returns min(total, capacity) events, ending with the
+// last recorded address, and Total always counts every record.
+func TestQuickRingInvariants(t *testing.T) {
+	f := func(addrs []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		r := NewRing(capacity)
+		for _, a := range addrs {
+			r.RecordAccess(uint64(a), 1, 1)
+		}
+		events, total := r.Drain()
+		if total != uint64(len(addrs)) {
+			return false
+		}
+		want := len(addrs)
+		if want > capacity {
+			want = capacity
+		}
+		if len(events) != want {
+			return false
+		}
+		if want > 0 && events[want-1].Addr != uint64(addrs[len(addrs)-1]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

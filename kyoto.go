@@ -1,0 +1,248 @@
+// Package kyoto is a simulation-backed reproduction of "Mitigating
+// performance unpredictability in the IaaS using the Kyoto principle"
+// (Tchana et al., Middleware 2016): polluters-pay accounting for
+// last-level-cache (LLC) contention between co-located virtual machines.
+//
+// A VM books a pollution permit (llc_cap) the way it books vCPUs or
+// memory; the hypervisor measures each VM's actual pollution from
+// performance counters (Equation 1: LLC misses normalized by unhalted
+// cycles) and deprives VMs of the processor while they exceed their
+// permit. The package bundles everything the paper's evaluation needs:
+//
+//   - a deterministic simulated testbed (cycle-level cache hierarchy,
+//     multicore/NUMA machines, Xen-credit / CFS / Pisces schedulers),
+//   - the Kyoto scheduler extension over any of those policies
+//     (KS4Xen / KS4Linux / KS4Pisces),
+//   - three llc_cap_act monitors (exact per-vCPU counters, trace replay
+//     through a McSimA+-style shadow simulator, and socket dedication),
+//   - synthetic SPEC CPU2006 / blockie workload models calibrated to the
+//     paper's Figure 4 aggressiveness data,
+//   - the full experiment harness regenerating every table and figure.
+//
+// # Quick start
+//
+//	world, err := kyoto.NewWorld(kyoto.WorldConfig{Seed: 1})
+//	if err != nil { ... }
+//	sen, _ := world.AddVM(kyoto.VMSpec{Name: "web", App: "gcc", LLCCap: 250})
+//	dis, _ := world.AddVM(kyoto.VMSpec{Name: "batch", App: "lbm", LLCCap: 250})
+//	world.RunTicks(100)
+//	fmt.Println(sen.Counters().IPC(), dis.Punishments)
+//
+// The zero-dependency simulator is deterministic: identical seeds yield
+// identical runs, bit for bit.
+package kyoto
+
+import (
+	"fmt"
+
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/pmc"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
+)
+
+// Re-exported core types. These aliases are the supported public surface;
+// the internal packages behind them are implementation detail.
+type (
+	// MachineConfig describes a simulated machine (sockets, cores,
+	// cache hierarchy, latencies).
+	MachineConfig = machine.Config
+	// VMSpec declares a VM: its workload, pinning, credit weight, CPU
+	// cap, and its Kyoto pollution permit (LLCCap).
+	VMSpec = vm.Spec
+	// VM is a running domain; Punishments counts pollution sanctions.
+	VM = vm.VM
+	// VCPU is a virtual CPU.
+	VCPU = vm.VCPU
+	// Counters is a PMC block (instructions, unhalted cycles, LLC
+	// misses, ...).
+	Counters = pmc.Counters
+	// Profile is a synthetic application model.
+	Profile = workload.Profile
+	// Phase is one phase of a Profile.
+	Phase = workload.Phase
+	// Scheduler is a vCPU scheduling policy.
+	Scheduler = sched.Scheduler
+	// Kyoto is the pollution-enforcing scheduler decorator.
+	Kyoto = core.Kyoto
+	// Measurement is a per-tick pollution observation fed to Kyoto.
+	Measurement = core.Measurement
+	// Indicator selects the pollution metric (Equation1 or RawLLCM).
+	Indicator = core.Indicator
+	// TickHook observes the world once per scheduler tick.
+	TickHook = hv.TickHook
+)
+
+// Pollution indicators (§4.2 of the paper).
+const (
+	// Equation1 is llc_misses x cpu_freq_khz / unhalted_core_cycles,
+	// the paper's validated indicator.
+	Equation1 = core.Equation1
+	// RawLLCM is the wall-time-normalized baseline indicator.
+	RawLLCM = core.RawLLCM
+)
+
+// SchedulerKind selects the base scheduling policy of a World.
+type SchedulerKind int
+
+// Base schedulers (the three systems the paper patched).
+const (
+	// CreditScheduler is the Xen credit scheduler (XCS).
+	CreditScheduler SchedulerKind = iota + 1
+	// CFSScheduler is the Linux/KVM completely-fair scheduler.
+	CFSScheduler
+	// PiscesScheduler is the space-partitioned co-kernel: every vCPU
+	// must be pinned and owns its core outright.
+	PiscesScheduler
+)
+
+// WorldConfig assembles a simulated host.
+type WorldConfig struct {
+	// Machine is the hardware; the zero value selects the paper's
+	// Table 1 machine (TableOneMachine).
+	Machine MachineConfig
+	// Scheduler picks the base policy (default CreditScheduler).
+	Scheduler SchedulerKind
+	// EnableKyoto wraps the scheduler with pollution enforcement
+	// (KS4Xen / KS4Linux / KS4Pisces) and attaches a monitor.
+	EnableKyoto bool
+	// Monitor selects the llc_cap_act identification strategy when
+	// Kyoto is enabled; the zero value uses the exact per-vCPU counters
+	// (what per-core PMCs provide). MonitorShadowSim replays captured
+	// traces on a private cache model instead.
+	Monitor MonitorKind
+	// Indicator is the pollution metric (default Equation1).
+	Indicator Indicator
+	// Seed drives all randomness; identical seeds reproduce runs
+	// exactly. The zero value means seed 1.
+	Seed uint64
+}
+
+// MonitorKind selects a pollution monitor.
+type MonitorKind int
+
+// Monitors (§3.3 of the paper).
+const (
+	// MonitorCounters reads each vCPU's performance counters directly.
+	MonitorCounters MonitorKind = iota
+	// MonitorShadowSim captures per-vCPU access traces and replays them
+	// on a dedicated cache model (the McSimA+ strategy).
+	MonitorShadowSim
+)
+
+// World is a running simulated host.
+type World struct {
+	inner *hv.World
+	kyoto *core.Kyoto
+}
+
+// TableOneMachine returns the scaled replica of the paper's Table 1
+// machine (Xeon E5-1603 v3: 4 cores, 10 MB 20-way LLC).
+func TableOneMachine(seed uint64) MachineConfig { return machine.TableOne(seed) }
+
+// R420Machine returns the scaled two-socket NUMA PowerEdge R420 used by
+// the paper's §4.5 study.
+func R420Machine(seed uint64) MachineConfig { return machine.R420(seed) }
+
+// LookupProfile returns a built-in application profile by name ("gcc",
+// "lbm", "blockie", ...). See ProfileNames.
+func LookupProfile(name string) (Profile, error) { return workload.Lookup(name) }
+
+// ProfileNames lists the built-in application profiles.
+func ProfileNames() []string { return workload.Names() }
+
+// NewWorld builds a simulated host from cfg.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Machine.Sockets == 0 {
+		cfg.Machine = machine.TableOne(cfg.Seed)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cores := cfg.Machine.Sockets * cfg.Machine.CoresPerSocket
+
+	var base sched.Scheduler
+	switch cfg.Scheduler {
+	case 0, CreditScheduler:
+		base = sched.NewCredit(cores)
+	case CFSScheduler:
+		base = sched.NewCFS()
+	case PiscesScheduler:
+		base = sched.NewPisces()
+	default:
+		return nil, fmt.Errorf("kyoto: unknown scheduler kind %d", cfg.Scheduler)
+	}
+
+	w := &World{}
+	s := base
+	if cfg.EnableKyoto {
+		w.kyoto = core.New(base)
+		s = w.kyoto
+	}
+	inner, err := hv.New(hv.Config{Machine: cfg.Machine, Seed: cfg.Seed}, s)
+	if err != nil {
+		return nil, err
+	}
+	w.inner = inner
+
+	if cfg.EnableKyoto {
+		ind := cfg.Indicator
+		if ind == 0 {
+			ind = core.Equation1
+		}
+		switch cfg.Monitor {
+		case MonitorCounters:
+			inner.AddHook(monitor.NewOracle(w.kyoto, ind))
+		case MonitorShadowSim:
+			inner.AddHook(monitor.NewShadowSim(w.kyoto, cfg.Machine, 0))
+		default:
+			return nil, fmt.Errorf("kyoto: unknown monitor kind %d", cfg.Monitor)
+		}
+	}
+	return w, nil
+}
+
+// AddVM instantiates a VM from spec.
+func (w *World) AddVM(spec VMSpec) (*VM, error) { return w.inner.AddVM(spec) }
+
+// RunTicks advances the host n scheduler ticks (10 ms of model time each).
+func (w *World) RunTicks(n int) { w.inner.RunTicks(n) }
+
+// RunUntil advances until pred holds or maxTicks elapse; it returns the
+// ticks run.
+func (w *World) RunUntil(pred func(*World) bool, maxTicks int) int {
+	return w.inner.RunUntil(func(*hv.World) bool { return pred(w) }, maxTicks)
+}
+
+// Now returns the completed tick count.
+func (w *World) Now() uint64 { return w.inner.Now() }
+
+// NowMillis returns elapsed model time in milliseconds.
+func (w *World) NowMillis() float64 { return w.inner.NowMillis() }
+
+// VMs returns the VMs in creation order.
+func (w *World) VMs() []*VM { return w.inner.VMs() }
+
+// FindVM returns the VM with the given name, or nil.
+func (w *World) FindVM(name string) *VM { return w.inner.FindVM(name) }
+
+// AddHook attaches a per-tick observer.
+func (w *World) AddHook(h TickHook) { w.inner.AddHook(h) }
+
+// Kyoto returns the pollution ledger when EnableKyoto was set, else nil.
+// Use it to read quota balances and measured rates.
+func (w *World) Kyoto() *Kyoto { return w.kyoto }
+
+// MachineTable renders the machine description as the paper's Table 1.
+func (w *World) MachineTable() string { return w.inner.Machine().Config().TableString() }
+
+// Equation1Value computes the paper's Equation 1 over a counter delta:
+// LLC misses per millisecond of unhalted execution.
+func Equation1Value(d Counters) float64 { return core.Equation1Value(d) }
+
+// RawLLCMValue computes the wall-normalized baseline indicator.
+func RawLLCMValue(d Counters) float64 { return core.RawLLCMValue(d) }
