@@ -10,9 +10,12 @@ package kyoto
 // EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"fmt"
 	"testing"
 
 	"kyoto/internal/experiments"
+	"kyoto/internal/vm"
+	"kyoto/internal/workload"
 )
 
 // BenchmarkTable1Machine renders the experimental machine description.
@@ -207,6 +210,99 @@ func BenchmarkKS4AllSystems(b *testing.B) {
 		b.ReportMetric(r.NormPerf["KS4Xen (credit)"], "ks4xen-normperf")
 		b.ReportMetric(r.NormPerf["KS4Linux (cfs)"], "ks4linux-normperf")
 		b.ReportMetric(r.NormPerf["KS4Pisces (pisces)"], "ks4pisces-normperf")
+	}
+}
+
+// --- Cluster-scale benches (the fleet layer and the parallel runner). ---
+
+// benchFleet builds a 16-host Kyoto fleet with two VMs per host behind
+// the given worker cap.
+func benchFleet(b *testing.B, workers int) *Cluster {
+	b.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Hosts: 16,
+		World: WorldConfig{Seed: 42, EnableKyoto: true},
+		// Two default 64 MB bookings per host: first-fit fills the fleet
+		// evenly, so every worker has the same amount of work.
+		HostMemoryMB: 128,
+		Placer:       PlacerFirstFit,
+		Workers:      workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := []string{"gcc", "lbm", "omnetpp", "blockie"}
+	for i := 0; i < 2*c.Hosts(); i++ {
+		_, err := c.Place(ClusterVMSpec{VMSpec: VMSpec{
+			Name:   fmt.Sprintf("vm%d", i),
+			App:    apps[i%len(apps)],
+			Pins:   []int{i % 2},
+			LLCCap: 250,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkClusterRun drives a 16-host fleet (32 VMs) serially vs through
+// the worker pool; the parallel/serial ratio is the fleet-level speedup
+// on the host machine.
+func BenchmarkClusterRun(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := benchFleet(b, bc.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.RunTicks(5)
+			}
+			b.ReportMetric(float64(5*b.N), "model-ticks/host")
+		})
+	}
+}
+
+// BenchmarkRunnerParallel runs an independent-scenario batch (the shape
+// of every FigNN regeneration) through the experiment runner serially vs
+// fanned out across GOMAXPROCS workers.
+func BenchmarkRunnerParallel(b *testing.B) {
+	apps := workload.Figure4Apps()
+	scenarios := make([]experiments.Scenario, 0, 2*len(apps))
+	for i, app := range apps {
+		scenarios = append(scenarios,
+			experiments.Scenario{
+				Seed: uint64(i + 1),
+				VMs:  []vm.Spec{{Name: "solo", App: app, Pins: []int{0}}},
+			},
+			experiments.Scenario{
+				Seed: uint64(i + 1),
+				VMs: []vm.Spec{
+					{Name: "victim", App: app, Pins: []int{0}},
+					{Name: "attacker", App: "lbm", Pins: []int{1}},
+				},
+			})
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAllWorkers(scenarios, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+		})
 	}
 }
 

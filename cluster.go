@@ -1,0 +1,211 @@
+package kyoto
+
+// The cluster facade: a Fleet of simulated hosts behind a placement
+// policy, the layer on which the paper's cluster-scoped argument runs.
+// Contention-aware placement (PlacerSpread) needs to know every VM's
+// behaviour and still degenerates as the fleet fills; Kyoto admission
+// (PlacerKyoto) books llc_cap like any other resource and makes whatever
+// placement results safe.
+
+import (
+	"fmt"
+
+	"kyoto/internal/cluster"
+	"kyoto/internal/machine"
+	"kyoto/internal/sched"
+)
+
+// ErrUnplaceable is wrapped by Cluster.Place when no host can take the
+// VM — capacity exhaustion under any policy, or a permit rejection under
+// PlacerKyoto. Test with errors.Is.
+var ErrUnplaceable = cluster.ErrUnplaceable
+
+// PlacerKind selects a built-in placement policy.
+type PlacerKind int
+
+// Placement policies.
+const (
+	// PlacerFirstFit is contention-blind first-fit bin-packing on vCPU
+	// and memory (the IaaS default).
+	PlacerFirstFit PlacerKind = iota
+	// PlacerSpread is contention-aware placement balancing Figure-4
+	// aggressiveness across hosts (the related-work approach).
+	PlacerSpread
+	// PlacerKyoto is Kyoto admission control: llc_cap is booked as a
+	// first-class resource and VMs whose permits oversubscribe every
+	// host are rejected.
+	PlacerKyoto
+)
+
+// placerOf maps the public enum to the internal policy.
+func placerOf(kind PlacerKind) (cluster.Placer, error) {
+	switch kind {
+	case PlacerFirstFit:
+		return cluster.FirstFit{}, nil
+	case PlacerSpread:
+		return cluster.Spread{}, nil
+	case PlacerKyoto:
+		return cluster.Admission{}, nil
+	default:
+		return nil, fmt.Errorf("kyoto: unknown placer kind %d", kind)
+	}
+}
+
+// PlacerKindByName returns the policy with the given CLI name (see
+// PlacerNames); the name set lives with the policies themselves.
+func PlacerKindByName(name string) (PlacerKind, error) {
+	p, err := cluster.PlacerByName(name)
+	if err != nil {
+		return 0, err
+	}
+	switch p.(type) {
+	case cluster.FirstFit:
+		return PlacerFirstFit, nil
+	case cluster.Spread:
+		return PlacerSpread, nil
+	case cluster.Admission:
+		return PlacerKyoto, nil
+	}
+	return 0, fmt.Errorf("kyoto: placer %q has no public kind", name)
+}
+
+// PlacerNames lists the built-in placement policy names.
+func PlacerNames() []string { return cluster.PlacerNames() }
+
+// ClusterConfig assembles a simulated fleet.
+type ClusterConfig struct {
+	// Hosts is the fleet size (at least 1).
+	Hosts int
+	// World is the per-host template: machine, scheduler, Kyoto
+	// enforcement, monitor and seed, exactly as for NewWorld. Host i
+	// derives its own seed from World.Seed.
+	World WorldConfig
+	// Placer picks the placement policy (default PlacerFirstFit).
+	Placer PlacerKind
+	// HostMemoryMB overrides each host's memory capacity for admission
+	// (default the machine's MainMemoryMB).
+	HostMemoryMB int
+	// HostLLCBudget overrides each host's pollution-permit budget in
+	// Equation-1 units (default cores x 250, the paper's Figure-5
+	// booking per core).
+	HostLLCBudget float64
+	// Workers caps RunTicks concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// ClusterVMSpec asks a cluster for a VM: the usual VMSpec plus the
+// memory booking the placement policies bin-pack on.
+type ClusterVMSpec struct {
+	VMSpec
+	// MemoryMB is the VM's booked memory (default 64 MB, 1/8 of the
+	// scaled Table-1 host).
+	MemoryMB int
+}
+
+// ClusterPlacement records where a VM landed.
+type ClusterPlacement struct {
+	// HostID is the chosen host.
+	HostID int
+	// VM is the instantiated domain on that host.
+	VM *VM
+}
+
+// Cluster is a running simulated fleet.
+type Cluster struct {
+	fleet *cluster.Fleet
+	hosts []*World
+}
+
+// NewCluster builds a fleet of cfg.Hosts identical hosts.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	placer, err := placerOf(cfg.Placer)
+	if err != nil {
+		return nil, err
+	}
+	wc := cfg.World
+	var newSched func(cores int) sched.Scheduler
+	switch wc.Scheduler {
+	case 0, CreditScheduler:
+		newSched = func(cores int) sched.Scheduler { return sched.NewCredit(cores) }
+	case CFSScheduler:
+		newSched = func(int) sched.Scheduler { return sched.NewCFS() }
+	case PiscesScheduler:
+		newSched = func(int) sched.Scheduler { return sched.NewPisces() }
+	default:
+		return nil, fmt.Errorf("kyoto: unknown scheduler kind %d", wc.Scheduler)
+	}
+	var shadow bool
+	switch wc.Monitor {
+	case MonitorCounters:
+	case MonitorShadowSim:
+		shadow = true
+	default:
+		return nil, fmt.Errorf("kyoto: unknown monitor kind %d", wc.Monitor)
+	}
+	var mcfg machine.Config = wc.Machine
+	f, err := cluster.New(cluster.Config{
+		Hosts: cfg.Hosts,
+		Template: cluster.HostTemplate{
+			Machine:       mcfg,
+			NewSched:      newSched,
+			EnableKyoto:   wc.EnableKyoto,
+			ShadowMonitor: shadow,
+			Seed:          wc.Seed,
+			MemoryMB:      cfg.HostMemoryMB,
+			LLCBudget:     cfg.HostLLCBudget,
+		},
+		Placer:  placer,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{fleet: f}
+	for _, h := range f.Hosts() {
+		c.hosts = append(c.hosts, &World{inner: h.World, kyoto: h.Kyoto()})
+	}
+	return c, nil
+}
+
+// Place asks the policy for a host and instantiates the VM there. The
+// error reports a policy rejection (Kyoto admission refusing an
+// oversubscribing permit) or fleet exhaustion.
+func (c *Cluster) Place(spec ClusterVMSpec) (ClusterPlacement, error) {
+	p, err := c.fleet.Place(cluster.Request{Spec: spec.VMSpec, MemoryMB: spec.MemoryMB})
+	if err != nil {
+		return ClusterPlacement{}, err
+	}
+	return ClusterPlacement{HostID: p.HostID, VM: p.VM}, nil
+}
+
+// RunTicks advances every host n scheduler ticks, fanning hosts out
+// across a bounded worker pool. Hosts are independent worlds, so the
+// result is bit-identical to running them one after another.
+func (c *Cluster) RunTicks(n int) { c.fleet.RunTicks(n) }
+
+// Hosts returns the fleet size.
+func (c *Cluster) Hosts() int { return c.fleet.Size() }
+
+// Host returns host i as a World, giving access to its VMs, clock and
+// Kyoto ledger.
+func (c *Cluster) Host(i int) *World { return c.hosts[i] }
+
+// Placements returns every successful placement in request order.
+func (c *Cluster) Placements() []ClusterPlacement {
+	ps := c.fleet.Placements()
+	out := make([]ClusterPlacement, len(ps))
+	for i, p := range ps {
+		out[i] = ClusterPlacement{HostID: p.HostID, VM: p.VM}
+	}
+	return out
+}
+
+// FindVM returns the named VM and its host ID, or (nil, -1).
+func (c *Cluster) FindVM(name string) (*VM, int) {
+	for _, h := range c.fleet.Hosts() {
+		if v := h.World.FindVM(name); v != nil {
+			return v, h.ID
+		}
+	}
+	return nil, -1
+}

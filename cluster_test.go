@@ -1,0 +1,129 @@
+package kyoto
+
+import (
+	"testing"
+)
+
+func TestNewClusterDefaults(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Hosts: 2, World: WorldConfig{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hosts() != 2 {
+		t.Fatalf("hosts = %d", c.Hosts())
+	}
+	for i := 0; i < c.Hosts(); i++ {
+		if c.Host(i).MachineTable() == "" {
+			t.Fatalf("host %d machine table empty", i)
+		}
+	}
+	if _, err := NewCluster(ClusterConfig{Hosts: 0}); err == nil {
+		t.Fatal("zero hosts must fail")
+	}
+	if _, err := NewCluster(ClusterConfig{Hosts: 1, World: WorldConfig{Scheduler: 99}}); err == nil {
+		t.Fatal("unknown scheduler must fail")
+	}
+	if _, err := NewCluster(ClusterConfig{Hosts: 1, World: WorldConfig{Monitor: 99}}); err == nil {
+		t.Fatal("unknown monitor must fail")
+	}
+	if _, err := NewCluster(ClusterConfig{Hosts: 1, Placer: 99}); err == nil {
+		t.Fatal("unknown placer must fail")
+	}
+}
+
+func TestClusterPlaceAndRun(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Hosts:  2,
+		World:  WorldConfig{Seed: 1, EnableKyoto: true},
+		Placer: PlacerKyoto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []ClusterVMSpec{
+		{VMSpec: VMSpec{Name: "sen", App: "gcc", LLCCap: 500}},
+		{VMSpec: VMSpec{Name: "dis", App: "lbm", LLCCap: 500}},
+		{VMSpec: VMSpec{Name: "dis2", App: "blockie", LLCCap: 500}},
+		{VMSpec: VMSpec{Name: "sen2", App: "omnetpp", LLCCap: 500}},
+	}
+	for _, s := range specs {
+		if _, err := c.Place(s); err != nil {
+			t.Fatalf("placing %s: %v", s.Name, err)
+		}
+	}
+	// Both hosts' permit budgets (1000 each) are now fully booked.
+	if _, err := c.Place(ClusterVMSpec{VMSpec: VMSpec{Name: "late", App: "mcf", LLCCap: 100}}); err == nil {
+		t.Fatal("admission must reject the fifth permit")
+	}
+	if got := len(c.Placements()); got != 4 {
+		t.Fatalf("placements = %d", got)
+	}
+	c.RunTicks(30)
+	v, host := c.FindVM("sen")
+	if v == nil || host < 0 {
+		t.Fatal("sen lost")
+	}
+	if v.Counters().Instructions == 0 {
+		t.Fatal("sen made no progress")
+	}
+	for i := 0; i < c.Hosts(); i++ {
+		if c.Host(i).Now() != 30 {
+			t.Fatalf("host %d at tick %d", i, c.Host(i).Now())
+		}
+		if c.Host(i).Kyoto() == nil {
+			t.Fatalf("host %d has no ledger", i)
+		}
+	}
+	if v, host := c.FindVM("nope"); v != nil || host != -1 {
+		t.Fatal("FindVM must miss cleanly")
+	}
+}
+
+func TestPlacerKindByName(t *testing.T) {
+	want := map[string]PlacerKind{
+		"first-fit": PlacerFirstFit,
+		"spread":    PlacerSpread,
+		"kyoto":     PlacerKyoto,
+	}
+	names := PlacerNames()
+	if len(names) != len(want) {
+		t.Fatalf("placer names = %v", names)
+	}
+	for _, name := range names {
+		kind, err := PlacerKindByName(name)
+		if err != nil || kind != want[name] {
+			t.Fatalf("%s -> %v, %v", name, kind, err)
+		}
+	}
+	if _, err := PlacerKindByName("magic"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestClusterPlacerKindsDiffer(t *testing.T) {
+	// The same request stream lands differently under first-fit (pack)
+	// and spread (balance) — the cluster-level contrast the paper draws.
+	place := func(kind PlacerKind) []int {
+		c, err := NewCluster(ClusterConfig{Hosts: 2, World: WorldConfig{Seed: 1}, Placer: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hosts []int
+		for _, app := range []string{"lbm", "blockie"} {
+			p, err := c.Place(ClusterVMSpec{VMSpec: VMSpec{Name: app, App: app, LLCCap: 250}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts = append(hosts, p.HostID)
+		}
+		return hosts
+	}
+	ff := place(PlacerFirstFit)
+	sp := place(PlacerSpread)
+	if ff[0] != 0 || ff[1] != 0 {
+		t.Fatalf("first-fit must pack: %v", ff)
+	}
+	if sp[0] != 0 || sp[1] != 1 {
+		t.Fatalf("spread must separate the polluters: %v", sp)
+	}
+}

@@ -150,6 +150,7 @@ func run(args []string) error {
 		runList = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
 		seed    = fs.Uint64("seed", 1, "simulation seed")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
+		workers = fs.Int("workers", 0, "experiment-level parallelism (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,21 +173,37 @@ func run(args []string) error {
 	if *runList != "all" {
 		selected = strings.Split(*runList, ",")
 	}
-	for _, id := range selected {
-		id = strings.TrimSpace(id)
-		f, ok := reg[id]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", id)
+	for i, id := range selected {
+		selected[i] = strings.TrimSpace(id)
+		if _, ok := reg[selected[i]]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", selected[i])
 		}
+	}
+
+	// Experiments are independent: fan them out across workers (each one
+	// also fans its own scenarios out) and print in selection order.
+	type outcome struct {
+		tables  []experiments.Table
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(selected))
+	err := experiments.ForEach(len(selected), *workers, func(i int) error {
 		start := time.Now()
-		tables, err := f(*seed)
+		tables, err := reg[selected[i]](*seed)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return fmt.Errorf("%s: %w", selected[i], err)
 		}
-		for _, t := range tables {
+		outcomes[i] = outcome{tables: tables, elapsed: time.Since(start)}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, id := range selected {
+		for _, t := range outcomes[i].tables {
 			fmt.Println(t.String())
 		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", id, outcomes[i].elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -6,6 +6,15 @@
 //
 //	kyotosim -scenario scenario.json
 //	kyotosim -example | kyotosim -scenario -
+//	kyotosim -scenario fleet.json -hosts 8 -placer kyoto
+//
+// With -hosts N > 1 the scenario runs on a simulated fleet instead of a
+// single machine: every host is built from the scenario's machine /
+// scheduler / kyoto settings, the -placer policy decides which host gets
+// each VM (first-fit bin-packing, contention-aware spread, or Kyoto
+// llc_cap admission control), and the report gains a host column. VMs the
+// policy rejects are reported, not fatal — rejection is Kyoto admission
+// control doing its job.
 //
 // Scenario schema (JSON):
 //
@@ -20,13 +29,15 @@
 //	  "vms": [
 //	    {"name": "web", "app": "gcc", "pins": [0], "llc_cap": 250},
 //	    {"name": "batch", "app": "lbm", "pins": [1], "llc_cap": 250,
-//	     "weight": 256, "cap_percent": 0, "home_node": 0}
+//	     "weight": 256, "cap_percent": 0, "home_node": 0,
+//	     "memory_mb": 64}
 //	  ]
 //	}
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +69,17 @@ type vmSpec struct {
 	CapPercent int     `json:"cap_percent"`
 	HomeNode   int     `json:"home_node"`
 	VCPUs      int     `json:"vcpus"`
+	// MemoryMB is the fleet-mode memory booking (default 64 MB).
+	MemoryMB int `json:"memory_mb"`
+}
+
+// toSpec maps the JSON shape onto the public VM spec.
+func (s vmSpec) toSpec() kyoto.VMSpec {
+	return kyoto.VMSpec{
+		Name: s.Name, App: s.App, Pins: s.Pins, LLCCap: s.LLCCap,
+		Weight: s.Weight, CapPercent: s.CapPercent,
+		HomeNode: s.HomeNode, VCPUs: s.VCPUs,
+	}
 }
 
 const exampleScenario = `{
@@ -86,6 +108,8 @@ func run(args []string, out io.Writer) error {
 		path    = fs.String("scenario", "", "scenario JSON file ('-' for stdin)")
 		example = fs.Bool("example", false, "print an example scenario and exit")
 		apps    = fs.Bool("apps", false, "list built-in application profiles and exit")
+		hosts   = fs.Int("hosts", 1, "fleet size; > 1 runs the scenario on a cluster")
+		placer  = fs.String("placer", "first-fit", "fleet placement policy: first-fit, spread or kyoto")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,10 +144,22 @@ func run(args []string, out io.Writer) error {
 	if err := dec.Decode(&sc); err != nil {
 		return fmt.Errorf("parsing scenario: %w", err)
 	}
+	if *hosts < 1 {
+		return fmt.Errorf("-hosts must be at least 1, got %d", *hosts)
+	}
+	placerKind, err := kyoto.PlacerKindByName(*placer)
+	if err != nil {
+		return err
+	}
+	if *hosts > 1 {
+		return executeFleet(sc, *hosts, *placer, placerKind, out)
+	}
 	return execute(sc, out)
 }
 
-func execute(sc scenario, out io.Writer) error {
+
+// worldConfig maps the scenario's host settings onto a WorldConfig.
+func worldConfig(sc scenario) (kyoto.WorldConfig, error) {
 	cfg := kyoto.WorldConfig{Seed: sc.Seed, EnableKyoto: sc.Kyoto}
 	switch sc.Machine {
 	case "", "table1":
@@ -131,7 +167,7 @@ func execute(sc scenario, out io.Writer) error {
 	case "r420":
 		cfg.Machine = kyoto.R420Machine(sc.Seed)
 	default:
-		return fmt.Errorf("unknown machine %q", sc.Machine)
+		return cfg, fmt.Errorf("unknown machine %q", sc.Machine)
 	}
 	switch sc.Scheduler {
 	case "", "credit":
@@ -141,7 +177,7 @@ func execute(sc scenario, out io.Writer) error {
 	case "pisces":
 		cfg.Scheduler = kyoto.PiscesScheduler
 	default:
-		return fmt.Errorf("unknown scheduler %q", sc.Scheduler)
+		return cfg, fmt.Errorf("unknown scheduler %q", sc.Scheduler)
 	}
 	switch sc.Monitor {
 	case "", "counters":
@@ -149,9 +185,37 @@ func execute(sc scenario, out io.Writer) error {
 	case "shadow":
 		cfg.Monitor = kyoto.MonitorShadowSim
 	default:
-		return fmt.Errorf("unknown monitor %q", sc.Monitor)
+		return cfg, fmt.Errorf("unknown monitor %q", sc.Monitor)
 	}
+	return cfg, nil
+}
 
+// windows returns the scenario's warmup and measurement tick counts.
+func windows(sc scenario) (warmup, ticks int) {
+	warmup, ticks = sc.Warmup, sc.Ticks
+	if warmup == 0 {
+		warmup = 12
+	}
+	if ticks == 0 {
+		ticks = 60
+	}
+	return warmup, ticks
+}
+
+// statsRow writes one VM's measurement-window report line.
+func statsRow(tw io.Writer, prefix string, v *kyoto.VM, before kyoto.Counters) {
+	d := v.Counters().Delta(before)
+	fmt.Fprintf(tw, "%s%s\t%s\t%.4f\t%.2f\t%.1f\t%.1f\t%d\n",
+		prefix, v.Name, v.App, d.IPC(), d.MissesPerKiloInstr(),
+		kyoto.Equation1Value(d), float64(d.WallCycles())/100_000,
+		v.Punishments)
+}
+
+func execute(sc scenario, out io.Writer) error {
+	cfg, err := worldConfig(sc)
+	if err != nil {
+		return err
+	}
 	w, err := kyoto.NewWorld(cfg)
 	if err != nil {
 		return err
@@ -161,25 +225,14 @@ func execute(sc scenario, out io.Writer) error {
 	}
 	vms := make([]*kyoto.VM, 0, len(sc.VMs))
 	for _, s := range sc.VMs {
-		v, err := w.AddVM(kyoto.VMSpec{
-			Name: s.Name, App: s.App, Pins: s.Pins, LLCCap: s.LLCCap,
-			Weight: s.Weight, CapPercent: s.CapPercent,
-			HomeNode: s.HomeNode, VCPUs: s.VCPUs,
-		})
+		v, err := w.AddVM(s.toSpec())
 		if err != nil {
 			return err
 		}
 		vms = append(vms, v)
 	}
 
-	warmup := sc.Warmup
-	if warmup == 0 {
-		warmup = 12
-	}
-	ticks := sc.Ticks
-	if ticks == 0 {
-		ticks = 60
-	}
+	warmup, ticks := windows(sc)
 	w.RunTicks(warmup)
 	before := make([]kyoto.Counters, len(vms))
 	for i, v := range vms {
@@ -191,11 +244,69 @@ func execute(sc scenario, out io.Writer) error {
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "vm\tapp\tIPC\tMPKI\teq1 (misses/ms)\tCPU ms\tpunishments")
 	for i, v := range vms {
-		d := v.Counters().Delta(before[i])
-		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.2f\t%.1f\t%.1f\t%d\n",
-			v.Name, v.App, d.IPC(), d.MissesPerKiloInstr(),
-			kyoto.Equation1Value(d), float64(d.WallCycles())/100_000,
-			v.Punishments)
+		statsRow(tw, "", v, before[i])
+	}
+	return tw.Flush()
+}
+
+// executeFleet runs the scenario on a cluster of identical hosts behind
+// the named placement policy.
+func executeFleet(sc scenario, hosts int, placerName string, placer kyoto.PlacerKind, out io.Writer) error {
+	cfg, err := worldConfig(sc)
+	if err != nil {
+		return err
+	}
+	if len(sc.VMs) == 0 {
+		return fmt.Errorf("scenario has no VMs")
+	}
+	c, err := kyoto.NewCluster(kyoto.ClusterConfig{Hosts: hosts, World: cfg, Placer: placer})
+	if err != nil {
+		return err
+	}
+
+	// rows parallels sc.VMs by index (names need not be unique): a row
+	// holds either the placed VM or the policy's rejection.
+	type row struct {
+		v    *kyoto.VM
+		host int
+		err  error
+	}
+	rows := make([]row, len(sc.VMs))
+	for i, s := range sc.VMs {
+		p, err := c.Place(kyoto.ClusterVMSpec{VMSpec: s.toSpec(), MemoryMB: s.MemoryMB})
+		if err != nil {
+			if errors.Is(err, kyoto.ErrUnplaceable) {
+				// Rejection is the policy speaking (Kyoto admission
+				// refusing an oversubscribing permit, or a full fleet):
+				// report it alongside the admitted VMs.
+				rows[i] = row{err: err}
+				continue
+			}
+			return err
+		}
+		rows[i] = row{v: p.VM, host: p.HostID}
+	}
+
+	warmup, ticks := windows(sc)
+	c.RunTicks(warmup)
+	before := make([]kyoto.Counters, len(rows))
+	for i, r := range rows {
+		if r.v != nil {
+			before[i] = r.v.Counters()
+		}
+	}
+	c.RunTicks(ticks)
+
+	fmt.Fprintf(out, "fleet: %d hosts, placer %s\nper-host machine:\n%s\n",
+		hosts, placerName, c.Host(0).MachineTable())
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "vm\tapp\tIPC\tMPKI\teq1 (misses/ms)\tCPU ms\tpunishments")
+	for i, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(tw, "%s\t-\tREJECTED\t\t\t\t(%v)\n", sc.VMs[i].Name, r.err)
+			continue
+		}
+		statsRow(tw, fmt.Sprintf("host%d/", r.host), r.v, before[i])
 	}
 	return tw.Flush()
 }

@@ -94,3 +94,71 @@ func TestR420CFSScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFleetModeReport(t *testing.T) {
+	body := `{
+	  "kyoto": true, "ticks": 12, "warmup": 3,
+	  "vms": [
+	    {"name": "web", "app": "gcc", "llc_cap": 250},
+	    {"name": "batch", "app": "lbm", "llc_cap": 250}
+	  ]
+	}`
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", path, "-hosts", "2", "-placer", "spread"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fleet: 2 hosts", "placer spread", "host0/web", "host1/batch"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fleet report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFleetModeAdmissionRejects(t *testing.T) {
+	body := `{
+	  "kyoto": true, "ticks": 6, "warmup": 2,
+	  "vms": [
+	    {"name": "a", "app": "lbm", "llc_cap": 1000},
+	    {"name": "b", "app": "gcc", "llc_cap": 1000},
+	    {"name": "late", "app": "mcf", "llc_cap": 100},
+	    {"name": "nopermit", "app": "bzip"}
+	  ]
+	}`
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scenario", path, "-hosts", "2", "-placer", "kyoto"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "host0/a") || !strings.Contains(s, "host1/b") {
+		t.Fatalf("admitted VMs missing:\n%s", s)
+	}
+	if !strings.Contains(s, "late") || !strings.Contains(s, "oversubscribes") {
+		t.Fatalf("permit rejection not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "books no llc_cap") {
+		t.Fatalf("missing-permit rejection not reported:\n%s", s)
+	}
+}
+
+func TestFleetModeFlagValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	body := `{"vms": [{"name":"a","app":"gcc"}]}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-hosts", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("hosts 0 must fail")
+	}
+	if err := run([]string{"-scenario", path, "-hosts", "2", "-placer", "magic"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown placer must fail")
+	}
+}

@@ -1,0 +1,3 @@
+module kyoto
+
+go 1.24

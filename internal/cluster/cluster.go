@@ -1,0 +1,352 @@
+// Package cluster scales the single-host testbed to an IaaS fleet: N
+// simulated hosts, each wrapping an independent hv.World, driven
+// concurrently by a bounded worker pool and fed by a pluggable placement
+// policy.
+//
+// The paper's argument is cluster-scoped: contention-aware VM placement
+// (the related-work approach) must solve an NP-hard bin-packing across
+// exactly these hosts, while Kyoto permits make *any* placement safe by
+// charging polluters at the hypervisor. This package expresses both sides:
+// a Placer decides which host gets each VM, and because every host is a
+// full Kyoto-capable World, the same fleet can be run with or without
+// permit enforcement.
+//
+// Determinism is preserved: hosts share no mutable state, each host's
+// World is seeded independently, and RunTicks merely distributes whole
+// hosts across workers — so a concurrent fleet run is bit-identical to
+// driving the hosts serially (cluster tests assert this under -race).
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/pmc"
+	"kyoto/internal/sched"
+	"kyoto/internal/vm"
+)
+
+// DefaultVMMemoryMB is booked for a VM whose request leaves MemoryMB
+// zero — 1/8 of the scaled Table-1 host's 506 MB.
+const DefaultVMMemoryMB = 64
+
+// DefaultLLCCapPerCore sizes a host's pollution-permit budget: the
+// paper's Figure-5 booking (llc_cap 250) per core. A Table-1 host can
+// thus admit four fully-booked VMs before Kyoto admission says no.
+const DefaultLLCCapPerCore = 250
+
+// HostTemplate describes how each host of a fleet is assembled; it is the
+// internal mirror of the public WorldConfig.
+type HostTemplate struct {
+	// Machine is the per-host hardware; the zero value selects the
+	// paper's Table 1 machine.
+	Machine machine.Config
+	// NewSched builds the base scheduler; nil selects the Xen credit
+	// scheduler, the paper's baseline.
+	NewSched func(cores int) sched.Scheduler
+	// EnableKyoto wraps every host's scheduler with pollution
+	// enforcement and attaches a monitor.
+	EnableKyoto bool
+	// ShadowMonitor selects the trace-replay monitor instead of the
+	// exact per-vCPU counters when Kyoto is enabled.
+	ShadowMonitor bool
+	// Seed drives all randomness; host i derives its own stream from it.
+	Seed uint64
+	// MemoryMB overrides the host memory capacity used for admission
+	// (default Machine.MainMemoryMB).
+	MemoryMB int
+	// LLCBudget overrides the host's pollution-permit budget in
+	// Equation-1 units (default cores x DefaultLLCCapPerCore).
+	LLCBudget float64
+}
+
+// Host is one machine of the fleet: a World plus the resource ledger the
+// placement policies book against.
+type Host struct {
+	// ID is the host's index in the fleet, fixed at construction.
+	ID int
+	// World is the host's simulated testbed.
+	World *hv.World
+
+	kyoto *core.Kyoto
+
+	// Capacity of the three first-class resources. CPUs counts vCPU
+	// slots (one per physical core: the paper's §2.2 assumption of
+	// unshared cores for admission purposes), MemMB main memory, and
+	// LLCBudget the total pollution permit the host will book.
+	CapacityCPUs  int
+	CapacityMemMB int
+	LLCBudget     float64
+
+	// Booked resources, updated by Fleet.Place.
+	BookedCPUs  int
+	BookedMemMB int
+	BookedLLC   float64
+
+	vms []Placement
+}
+
+// Kyoto returns the host's pollution ledger when the template enabled
+// enforcement, else nil.
+func (h *Host) Kyoto() *core.Kyoto { return h.kyoto }
+
+// Placements returns the VMs placed on this host, in placement order.
+func (h *Host) Placements() []Placement { return h.vms }
+
+// FreeCPUs returns the unbooked vCPU slots.
+func (h *Host) FreeCPUs() int { return h.CapacityCPUs - h.BookedCPUs }
+
+// FreeMemMB returns the unbooked memory.
+func (h *Host) FreeMemMB() int { return h.CapacityMemMB - h.BookedMemMB }
+
+// FreeLLC returns the unbooked pollution budget.
+func (h *Host) FreeLLC() float64 { return h.LLCBudget - h.BookedLLC }
+
+// Fits reports whether the request's vCPU and memory bookings fit.
+func (h *Host) Fits(req Request) bool {
+	return req.CPUs() <= h.FreeCPUs() && req.MemMB() <= h.FreeMemMB()
+}
+
+// Request asks the fleet for a VM. The embedded spec is handed verbatim
+// to the chosen host's World; MemoryMB is the booking the placement
+// policies see.
+type Request struct {
+	vm.Spec
+	// MemoryMB is the VM's booked memory (default DefaultVMMemoryMB).
+	MemoryMB int
+}
+
+// CPUs returns the vCPU slots the request books.
+func (r Request) CPUs() int {
+	if r.VCPUs == 0 {
+		return 1
+	}
+	return r.VCPUs
+}
+
+// MemMB returns the memory the request books.
+func (r Request) MemMB() int {
+	if r.MemoryMB == 0 {
+		return DefaultVMMemoryMB
+	}
+	return r.MemoryMB
+}
+
+// Placement records where a VM landed.
+type Placement struct {
+	// HostID is the chosen host.
+	HostID int
+	// VM is the instantiated domain on that host's World.
+	VM *vm.VM
+	// Request echoes what was asked.
+	Request Request
+}
+
+// Config assembles a Fleet.
+type Config struct {
+	// Hosts is the fleet size (at least 1).
+	Hosts int
+	// Template describes every host.
+	Template HostTemplate
+	// Placer decides which host gets each VM (default FirstFit).
+	Placer Placer
+	// Workers caps RunTicks concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Fleet is a cluster of simulated hosts behind one placement policy.
+type Fleet struct {
+	hosts      []*Host
+	placer     Placer
+	workers    int
+	placements []Placement
+}
+
+// New builds a fleet of cfg.Hosts identical hosts.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 host, got %d", cfg.Hosts)
+	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = FirstFit{}
+	}
+	f := &Fleet{placer: placer, workers: cfg.Workers}
+	for i := 0; i < cfg.Hosts; i++ {
+		h, err := newHost(i, cfg.Template)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %d: %w", i, err)
+		}
+		f.hosts = append(f.hosts, h)
+	}
+	return f, nil
+}
+
+// newHost assembles one host from the template, deriving a per-host seed
+// the same way hv derives per-VM seeds.
+func newHost(id int, t HostTemplate) (*Host, error) {
+	mcfg := t.Machine
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	seed ^= uint64(id+1) * 0x9e3779b97f4a7c15
+	if mcfg.Sockets == 0 {
+		mcfg = machine.TableOne(seed)
+	}
+	// The per-host seed must reach the cache RNGs even when the template
+	// carries an explicit machine config, or every host replays identical
+	// replacement streams.
+	mcfg.Seed = seed
+	cores := mcfg.Sockets * mcfg.CoresPerSocket
+
+	var base sched.Scheduler
+	if t.NewSched != nil {
+		base = t.NewSched(cores)
+	} else {
+		base = sched.NewCredit(cores)
+	}
+	var k *core.Kyoto
+	s := base
+	if t.EnableKyoto {
+		k = core.New(base)
+		s = k
+	}
+	w, err := hv.New(hv.Config{Machine: mcfg, Seed: seed}, s)
+	if err != nil {
+		return nil, err
+	}
+	if t.EnableKyoto {
+		if t.ShadowMonitor {
+			w.AddHook(monitor.NewShadowSim(k, mcfg, 0))
+		} else {
+			w.AddHook(monitor.NewOracle(k, core.Equation1))
+		}
+	}
+	memMB := t.MemoryMB
+	if memMB == 0 {
+		memMB = mcfg.MainMemoryMB
+	}
+	llc := t.LLCBudget
+	if llc == 0 {
+		llc = float64(cores) * DefaultLLCCapPerCore
+	}
+	return &Host{
+		ID:            id,
+		World:         w,
+		kyoto:         k,
+		CapacityCPUs:  cores,
+		CapacityMemMB: memMB,
+		LLCBudget:     llc,
+	}, nil
+}
+
+// Hosts returns the fleet's hosts in ID order.
+func (f *Fleet) Hosts() []*Host { return f.hosts }
+
+// Host returns host i.
+func (f *Fleet) Host(i int) *Host { return f.hosts[i] }
+
+// Size returns the number of hosts.
+func (f *Fleet) Size() int { return len(f.hosts) }
+
+// Placer returns the fleet's placement policy.
+func (f *Fleet) Placer() Placer { return f.placer }
+
+// Placements returns every successful placement, in request order.
+func (f *Fleet) Placements() []Placement { return f.placements }
+
+// Place asks the policy for a host, books the request's resources and
+// instantiates the VM there. The error is ErrUnplaceable (wrapped with
+// the policy's reason) when no host can take the VM.
+func (f *Fleet) Place(req Request) (Placement, error) {
+	hostID, err := f.placer.Place(f.hosts, req)
+	if err != nil {
+		return Placement{}, fmt.Errorf("cluster: placing %q: %w", req.Name, err)
+	}
+	if hostID < 0 || hostID >= len(f.hosts) {
+		return Placement{}, fmt.Errorf("cluster: placer %s chose invalid host %d", f.placer.Name(), hostID)
+	}
+	h := f.hosts[hostID]
+	domain, err := h.World.AddVM(req.Spec)
+	if err != nil {
+		return Placement{}, fmt.Errorf("cluster: host %d: %w", hostID, err)
+	}
+	h.BookedCPUs += req.CPUs()
+	h.BookedMemMB += req.MemMB()
+	h.BookedLLC += req.LLCCap
+	p := Placement{HostID: hostID, VM: domain, Request: req}
+	h.vms = append(h.vms, p)
+	f.placements = append(f.placements, p)
+	return p, nil
+}
+
+// PlaceAll places every request in order, returning all placements or the
+// first error.
+func (f *Fleet) PlaceAll(reqs []Request) ([]Placement, error) {
+	out := make([]Placement, 0, len(reqs))
+	for _, req := range reqs {
+		p, err := f.Place(req)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunTicks advances every host n ticks, distributing whole hosts across a
+// worker pool of min(Workers, hosts, GOMAXPROCS) goroutines. Hosts share
+// no state, so the result is identical to RunTicksSerial.
+func (f *Fleet) RunTicks(n int) {
+	workers := f.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(f.hosts) {
+		workers = len(f.hosts)
+	}
+	if workers <= 1 {
+		f.RunTicksSerial(n)
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *Host)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range ch {
+				h.World.RunTicks(n)
+			}
+		}()
+	}
+	for _, h := range f.hosts {
+		ch <- h
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// RunTicksSerial advances every host n ticks on the calling goroutine, in
+// host-ID order — the reference execution the concurrent path must match.
+func (f *Fleet) RunTicksSerial(n int) {
+	for _, h := range f.hosts {
+		h.World.RunTicks(n)
+	}
+}
+
+// SnapshotVMs returns every host's per-VM aggregate counters, indexed by
+// host ID then VM name.
+func (f *Fleet) SnapshotVMs() []map[string]pmc.Counters {
+	out := make([]map[string]pmc.Counters, len(f.hosts))
+	for i, h := range f.hosts {
+		out[i] = h.World.SnapshotVMs()
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"kyoto/internal/vm"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{Hosts: 0}); err == nil {
+		t.Fatal("zero hosts must fail")
+	}
+	f, err := New(Config{Hosts: 3, Template: HostTemplate{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 || len(f.Hosts()) != 3 {
+		t.Fatalf("fleet size %d", f.Size())
+	}
+	if f.Placer().Name() != "first-fit" {
+		t.Fatalf("default placer %q", f.Placer().Name())
+	}
+	for i, h := range f.Hosts() {
+		if h.ID != i {
+			t.Fatalf("host %d has ID %d", i, h.ID)
+		}
+	}
+}
+
+func TestHostsAreIndependentlySeeded(t *testing.T) {
+	f, err := New(Config{Hosts: 2, Template: HostTemplate{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range f.Hosts() {
+		if _, err := h.World.AddVM(vm.Spec{Name: "v", App: "gcc"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RunTicksSerial(20)
+	c0 := f.Host(0).World.FindVM("v").Counters()
+	c1 := f.Host(1).World.FindVM("v").Counters()
+	if c0 == c1 {
+		t.Fatal("distinct hosts must not replay the identical workload stream")
+	}
+}
+
+func TestKyotoTemplateEnforcesPermits(t *testing.T) {
+	f, err := New(Config{
+		Hosts:    1,
+		Template: HostTemplate{Seed: 1, EnableKyoto: true},
+		Placer:   Admission{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Host(0).Kyoto() == nil {
+		t.Fatal("kyoto ledger missing")
+	}
+	p, err := f.Place(Request{Spec: vm.Spec{Name: "dis", App: "lbm", Pins: []int{0}, LLCCap: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.RunTicks(30)
+	if p.VM.Punishments == 0 {
+		t.Fatal("over-permit polluter must be punished on its host")
+	}
+}
+
+// fleetScenario builds a fleet of the given size, places one sensitive and
+// one disruptive VM per host, and returns it.
+func fleetScenario(t testing.TB, hosts, workers int) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		Hosts:    hosts,
+		Template: HostTemplate{Seed: 42, EnableKyoto: true},
+		Placer:   FirstFit{},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []string{"gcc", "lbm", "omnetpp", "blockie", "soplex", "mcf"}
+	for i := 0; i < hosts; i++ {
+		for j := 0; j < 2; j++ {
+			app := apps[(2*i+j)%len(apps)]
+			_, err := f.Place(Request{Spec: vm.Spec{
+				Name:   fmt.Sprintf("h%d-%s%d", i, app, j),
+				App:    app,
+				Pins:   []int{j},
+				LLCCap: 250,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+// TestFleetParallelMatchesSerial is the determinism lock for the worker
+// pool: a >=16-host fleet driven concurrently (run it under -race) must
+// produce per-host results bit-identical to serial execution.
+func TestFleetParallelMatchesSerial(t *testing.T) {
+	const hosts = 16
+	serial := fleetScenario(t, hosts, 1)
+	parallel := fleetScenario(t, hosts, 8)
+
+	serial.RunTicksSerial(30)
+	parallel.RunTicks(30)
+
+	sSnap := serial.SnapshotVMs()
+	pSnap := parallel.SnapshotVMs()
+	for i := 0; i < hosts; i++ {
+		if len(sSnap[i]) != len(pSnap[i]) {
+			t.Fatalf("host %d: VM count diverged", i)
+		}
+		for name, sc := range sSnap[i] {
+			if pc, ok := pSnap[i][name]; !ok || pc != sc {
+				t.Errorf("host %d VM %s: parallel counters diverged from serial\nserial:   %+v\nparallel: %+v",
+					i, name, sc, pc)
+			}
+		}
+		sw, pw := serial.Host(i).World, parallel.Host(i).World
+		if sw.Now() != pw.Now() {
+			t.Errorf("host %d clocks diverged: %d vs %d", i, sw.Now(), pw.Now())
+		}
+		for _, p := range serial.Host(i).Placements() {
+			pv := parallel.Host(i).World.FindVM(p.VM.Name)
+			if pv == nil || pv.Punishments != p.VM.Punishments {
+				t.Errorf("host %d VM %s: punishments diverged", i, p.VM.Name)
+			}
+		}
+	}
+}
+
+func TestRunTicksWorkerCapFallsBackToSerial(t *testing.T) {
+	f := fleetScenario(t, 2, 1)
+	f.RunTicks(5) // workers <= 1 takes the serial path
+	for _, h := range f.Hosts() {
+		if h.World.Now() != 5 {
+			t.Fatalf("host %d ran %d ticks", h.ID, h.World.Now())
+		}
+	}
+}

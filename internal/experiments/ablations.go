@@ -149,24 +149,30 @@ func AblationTable(seed uint64) (Table, error) {
 		Note:    "vsen1 normalized performance on the Figure 5 scenario unless stated",
 		Columns: []string{"ablation", "arm", "vsen1 norm perf"},
 	}
-	eq1, llcm, err := AblationIndicator(seed)
+	// The three ablations are independent studies: fan them out and add
+	// the rows in presentation order afterwards.
+	var eq1, llcm, kyotoPerf, part, noBank, bank float64
+	arms := []struct {
+		label string
+		run   func() error
+	}{
+		{"indicator ablation", func() (err error) { eq1, llcm, err = AblationIndicator(seed); return }},
+		{"partitioning ablation", func() (err error) { kyotoPerf, part, err = AblationPartitioning(seed); return }},
+		{"banking ablation", func() (err error) { noBank, bank, err = AblationBanking(seed); return }},
+	}
+	err := ForEach(len(arms), 0, func(i int) error {
+		if err := arms[i].run(); err != nil {
+			return fmt.Errorf("%s: %w", arms[i].label, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return t, fmt.Errorf("indicator ablation: %w", err)
+		return t, err
 	}
 	t.AddRow("quota indicator", "equation 1 (paper)", eq1)
 	t.AddRow("quota indicator", "raw LLCM", llcm)
-
-	kyotoPerf, part, err := AblationPartitioning(seed)
-	if err != nil {
-		return t, fmt.Errorf("partitioning ablation: %w", err)
-	}
 	t.AddRow("vs hardware partitioning", "KS4Xen (software)", kyotoPerf)
 	t.AddRow("vs hardware partitioning", "UCP-style 10/10 ways", part)
-
-	noBank, bank, err := AblationBanking(seed)
-	if err != nil {
-		return t, fmt.Errorf("banking ablation: %w", err)
-	}
 	t.AddRow("quota banking (vs blockie)", "no banking (paper)", noBank)
 	t.AddRow("quota banking (vs blockie)", "bank 4 slices", bank)
 	return t, nil

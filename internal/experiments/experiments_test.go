@@ -144,6 +144,9 @@ func TestMigrationHookBounces(t *testing.T) {
 }
 
 func TestFig2ShapesQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 timeline runs are expensive; run without -short")
+	}
 	r, err := Fig2(1)
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +189,9 @@ func TestFig2ShapesQuickly(t *testing.T) {
 }
 
 func TestFig10SkipEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 runs are expensive; run without -short")
+	}
 	r, err := Fig10(1)
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +211,9 @@ func TestFig10SkipEquivalence(t *testing.T) {
 }
 
 func TestFig12NearZeroOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 sweep is expensive; run without -short")
+	}
 	r, err := Fig12(1)
 	if err != nil {
 		t.Fatal(err)

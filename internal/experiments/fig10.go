@@ -24,68 +24,49 @@ type Fig10Result struct {
 	BzipWithDisruptors float64
 }
 
-// Fig10 runs the five measurements.
+// Fig10 runs the five measurements concurrently (each is an independent
+// world).
 func Fig10(seed uint64) (Fig10Result, error) {
 	var res Fig10Result
 
-	eq1 := func(r Result, name string) float64 {
-		return core.Equation1Value(r.PerVM[name])
-	}
-
-	// hmmer among disruptors (in place).
-	r, err := Run(Scenario{
-		Seed: seed,
-		VMs: []vm.Spec{
+	scenarios := []Scenario{
+		// hmmer among disruptors (in place).
+		{Seed: seed, VMs: []vm.Spec{
 			pinned("target", "hmmer", 0),
 			pinned("d1", "lbm", 1),
 			pinned("d2", "blockie", 2),
 			pinned("d3", "mcf", 3),
-		},
-	})
-	if err != nil {
-		return res, err
-	}
-	res.HmmerNotIsolated = eq1(r, "target")
-
-	if r, err = Run(soloScenario("hmmer", seed)); err != nil {
-		return res, err
-	}
-	res.HmmerIsolated = eq1(r, "solo")
-
-	// bzip among hmmers (in place).
-	if r, err = Run(Scenario{
-		Seed: seed,
-		VMs: []vm.Spec{
+		}},
+		soloScenario("hmmer", seed),
+		// bzip among hmmers (in place).
+		{Seed: seed, VMs: []vm.Spec{
 			pinned("target", "bzip", 0),
 			pinned("h1", "hmmer", 1),
 			pinned("h2", "hmmer", 2),
 			pinned("h3", "hmmer", 3),
-		},
-	}); err != nil {
-		return res, err
-	}
-	res.BzipNotIsolated = eq1(r, "target")
-
-	if r, err = Run(soloScenario("bzip", seed)); err != nil {
-		return res, err
-	}
-	res.BzipIsolated = eq1(r, "solo")
-
-	// Control: bzip among disruptors (what the heuristics must avoid
-	// treating as bzip's own pollution).
-	if r, err = Run(Scenario{
-		Seed: seed,
-		VMs: []vm.Spec{
+		}},
+		soloScenario("bzip", seed),
+		// Control: bzip among disruptors (what the heuristics must avoid
+		// treating as bzip's own pollution).
+		{Seed: seed, VMs: []vm.Spec{
 			pinned("target", "bzip", 0),
 			pinned("d1", "lbm", 1),
 			pinned("d2", "blockie", 2),
 			pinned("d3", "mcf", 3),
-		},
-	}); err != nil {
+		}},
+	}
+	rs, err := RunAll(scenarios)
+	if err != nil {
 		return res, err
 	}
-	res.BzipWithDisruptors = eq1(r, "target")
-
+	eq1 := func(r Result, name string) float64 {
+		return core.Equation1Value(r.PerVM[name])
+	}
+	res.HmmerNotIsolated = eq1(rs[0], "target")
+	res.HmmerIsolated = eq1(rs[1], "solo")
+	res.BzipNotIsolated = eq1(rs[2], "target")
+	res.BzipIsolated = eq1(rs[3], "solo")
+	res.BzipWithDisruptors = eq1(rs[4], "target")
 	return res, nil
 }
 

@@ -27,22 +27,29 @@ type Fig12Result struct {
 	ExecKyoto []float64
 }
 
-// Fig12 runs the sweep.
+// Fig12 runs the sweep, fanning the independent tick lengths out across
+// workers.
 func Fig12(seed uint64) (Fig12Result, error) {
-	res := Fig12Result{TickMillis: Fig12TickMillis}
-	for _, ms := range Fig12TickMillis {
+	res := Fig12Result{
+		TickMillis: Fig12TickMillis,
+		ExecXCS:    make([]float64, len(Fig12TickMillis)),
+		ExecKyoto:  make([]float64, len(Fig12TickMillis)),
+	}
+	err := ForEach(len(Fig12TickMillis), 0, func(i int) error {
+		ms := Fig12TickMillis[i]
 		x, err := fig12Run(seed, ms, false)
 		if err != nil {
-			return res, err
+			return err
 		}
 		k, err := fig12Run(seed, ms, true)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.ExecXCS = append(res.ExecXCS, x)
-		res.ExecKyoto = append(res.ExecKyoto, k)
-	}
-	return res, nil
+		res.ExecXCS[i] = x
+		res.ExecKyoto[i] = k
+		return nil
+	})
+	return res, err
 }
 
 // fig12Run measures VM "a"'s completion time with the given tick length.

@@ -38,23 +38,33 @@ func Fig2(seed uint64) (Fig2Result, error) {
 		{"alter+para", []vm.Spec{pinned("rep", rep, 0), pinned("dis", dis, 0), pinned("dis2", dis, 1)}},
 	}
 	out := Fig2Result{Series: make(map[string][]float64, len(situations))}
-	for _, sit := range situations {
+	// The four situations are independent worlds with private recorders:
+	// fan them out and assemble the series in presentation order.
+	collected := make([][]float64, len(situations))
+	err := ForEach(len(situations), 0, func(i int) error {
 		rec := NewLLCMissSeries()
 		_, err := Run(Scenario{
 			Seed:    seed,
-			VMs:     sit.vms,
+			VMs:     situations[i].vms,
 			Hooks:   []hv.TickHook{rec},
 			Warmup:  1, // snapshot boundary only; recording starts at tick 0
 			Measure: Fig2Ticks,
 		})
 		if err != nil {
-			return Fig2Result{}, err
+			return err
 		}
 		series := rec.Values["rep"]
 		if len(series) > Fig2Ticks {
 			series = series[:Fig2Ticks]
 		}
-		out.Series[sit.name] = series
+		collected[i] = series
+		return nil
+	})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	for i, sit := range situations {
+		out.Series[sit.name] = collected[i]
 		out.Situations = append(out.Situations, sit.name)
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"kyoto/internal/core"
 	"kyoto/internal/hv"
@@ -79,7 +80,10 @@ func Fig5(seed uint64) (Fig5Result, error) {
 	}
 	soloIPC := solo.PerVM["solo"].IPC()
 
-	for _, dis := range disruptors {
+	// Each disruptor's XCS/KS4Xen pair is independent: fan them out.
+	var mu sync.Mutex
+	err = ForEach(len(disruptors), 0, func(i int) error {
+		dis := disruptors[i]
 		// Plain XCS.
 		xcs, err := Run(Scenario{
 			Seed:    seed,
@@ -87,9 +91,8 @@ func Fig5(seed uint64) (Fig5Result, error) {
 			Measure: 45,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.NormPerfXCS[dis] = xcs.IPC("sen") / soloIPC
 
 		// KS4Xen.
 		k, hooks := ks4xen(4)
@@ -101,11 +104,18 @@ func Fig5(seed uint64) (Fig5Result, error) {
 			Measure:  45,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
+		mu.Lock()
+		defer mu.Unlock()
+		res.NormPerfXCS[dis] = xcs.IPC("sen") / soloIPC
 		res.NormPerf[dis] = ks.IPC("sen") / soloIPC
 		res.PunishSen[dis] = ks.World.FindVM("sen").Punishments
 		res.PunishDis[dis] = ks.World.FindVM("dis").Punishments
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
 
 	tl, err := fig5Timeline(seed)

@@ -32,14 +32,20 @@ func Fig6(seed uint64) (Fig6Result, error) {
 	}
 	soloIPC := solo.PerVM["solo"].IPC()
 
-	res := Fig6Result{Counts: Fig6Counts}
-	for _, n := range Fig6Counts {
+	res := Fig6Result{
+		Counts:      Fig6Counts,
+		NormPerf:    make([]float64, len(Fig6Counts)),
+		NormPerfXCS: make([]float64, len(Fig6Counts)),
+	}
+	// Every sweep point is an independent pair of worlds: fan them out.
+	err = ForEach(len(Fig6Counts), 0, func(i int) error {
+		n := Fig6Counts[i]
 		vms := []vm.Spec{
 			{Name: "sen", App: workload.VSen1, Pins: []int{0}, LLCCap: Fig5LLCCap},
 		}
-		for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			vms = append(vms, vm.Spec{
-				Name:   fmt.Sprintf("dis%d", i),
+				Name:   fmt.Sprintf("dis%d", j),
 				App:    workload.VDis1,
 				LLCCap: Fig6DisLLCCap,
 			})
@@ -54,15 +60,19 @@ func Fig6(seed uint64) (Fig6Result, error) {
 			Measure:  45,
 		})
 		if err != nil {
-			return Fig6Result{}, err
+			return err
 		}
-		res.NormPerf = append(res.NormPerf, ks.IPC("sen")/soloIPC)
+		res.NormPerf[i] = ks.IPC("sen") / soloIPC
 
 		xcs, err := Run(Scenario{Seed: seed, VMs: vms, Measure: 45})
 		if err != nil {
-			return Fig6Result{}, err
+			return err
 		}
-		res.NormPerfXCS = append(res.NormPerfXCS, xcs.IPC("sen")/soloIPC)
+		res.NormPerfXCS[i] = xcs.IPC("sen") / soloIPC
+		return nil
+	})
+	if err != nil {
+		return Fig6Result{}, err
 	}
 	return res, nil
 }

@@ -31,23 +31,27 @@ type Fig8Result struct {
 	KS4PiscesColocated float64
 }
 
-// Fig8 runs the four bars.
+// Fig8 runs the four bars concurrently (each is an independent world).
 func Fig8(seed uint64) (Fig8Result, error) {
 	var res Fig8Result
-	var err error
-	if res.PiscesAlone, err = fig8Run(seed, false, false); err != nil {
-		return res, err
+	bars := []struct {
+		colocated, kyoto bool
+		out              *float64
+	}{
+		{false, false, &res.PiscesAlone},
+		{true, false, &res.PiscesColocated},
+		{false, true, &res.KS4PiscesAlone},
+		{true, true, &res.KS4PiscesColocated},
 	}
-	if res.PiscesColocated, err = fig8Run(seed, true, false); err != nil {
-		return res, err
-	}
-	if res.KS4PiscesAlone, err = fig8Run(seed, false, true); err != nil {
-		return res, err
-	}
-	if res.KS4PiscesColocated, err = fig8Run(seed, true, true); err != nil {
-		return res, err
-	}
-	return res, nil
+	err := ForEach(len(bars), 0, func(i int) error {
+		v, err := fig8Run(seed, bars[i].colocated, bars[i].kyoto)
+		if err != nil {
+			return err
+		}
+		*bars[i].out = v
+		return nil
+	})
+	return res, err
 }
 
 // fig8Run measures vsen1's completion time for fig8Work instructions.

@@ -78,8 +78,10 @@ type Fig9Result struct {
 
 // Fig9 runs each app solo on the R420, with and without migrations.
 func Fig9(seed uint64) (Fig9Result, error) {
-	res := Fig9Result{Apps: Fig9Apps}
-	for _, app := range Fig9Apps {
+	res := Fig9Result{Apps: Fig9Apps, Degradation: make([]float64, len(Fig9Apps))}
+	// Each app's base/migrated pair is independent: fan them out.
+	err := ForEach(len(Fig9Apps), 0, func(i int) error {
+		app := Fig9Apps[i]
 		base, err := Run(Scenario{
 			Machine: machine.R420(seed),
 			Seed:    seed,
@@ -87,21 +89,22 @@ func Fig9(seed uint64) (Fig9Result, error) {
 			Measure: 60,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 
 		// Migrated run: build manually to wire the hook to the vCPU.
 		migrated, err := fig9MigratedRun(app, seed)
 		if err != nil {
-			return res, err
+			return err
 		}
 		deg := stats.DegradationPercent(base.IPC("solo"), migrated)
 		if deg < 0 {
 			deg = 0
 		}
-		res.Degradation = append(res.Degradation, deg)
-	}
-	return res, nil
+		res.Degradation[i] = deg
+		return nil
+	})
+	return res, err
 }
 
 // fig9MigratedRun returns the app's IPC under periodic migration.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"kyoto/internal/core"
 	"kyoto/internal/hv"
 	"kyoto/internal/monitor"
@@ -42,7 +44,11 @@ func KS4Linux(seed uint64) (KS4LinuxResult, error) {
 		"KS4Linux (cfs)":     func() sched.Scheduler { return sched.NewCFS() },
 		"KS4Pisces (pisces)": func() sched.Scheduler { return sched.NewPisces() },
 	}
-	for _, system := range res.Systems {
+	// The three systems are independent world pairs: fan them out. The
+	// result maps are pre-sized and each worker writes distinct keys.
+	var mu sync.Mutex
+	err = ForEach(len(res.Systems), 0, func(i int) error {
+		system := res.Systems[i]
 		mk := bases[system]
 
 		base, err := Run(Scenario{
@@ -52,9 +58,8 @@ func KS4Linux(seed uint64) (KS4LinuxResult, error) {
 			Measure:  45,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.NormPerfBase[system] = base.IPC("sen") / soloIPC
 
 		k := core.New(mk())
 		mon := monitor.NewOracle(k, core.Equation1)
@@ -66,11 +71,15 @@ func KS4Linux(seed uint64) (KS4LinuxResult, error) {
 			Measure:  45,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
+		mu.Lock()
+		res.NormPerfBase[system] = base.IPC("sen") / soloIPC
 		res.NormPerf[system] = ks.IPC("sen") / soloIPC
-	}
-	return res, nil
+		mu.Unlock()
+		return nil
+	})
+	return res, err
 }
 
 // Table renders the cross-system comparison.

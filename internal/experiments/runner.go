@@ -125,26 +125,69 @@ func MustRun(s Scenario) Result {
 // RunAll executes scenarios concurrently (each run is an independent,
 // deterministic world) and returns results in input order.
 func RunAll(scenarios []Scenario) ([]Result, error) {
+	return RunAllWorkers(scenarios, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit worker cap: 1 runs the
+// scenarios serially on the calling goroutine (the reference execution
+// BenchmarkRunnerParallel compares against), 0 defaults to GOMAXPROCS.
+// Results are in input order and identical whatever the cap, because
+// every scenario is an isolated world.
+func RunAllWorkers(scenarios []Scenario, workers int) ([]Result, error) {
 	results := make([]Result, len(scenarios))
-	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i := range scenarios {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(scenarios[i])
-		}(i)
+	err := ForEach(len(scenarios), workers, func(i int) error {
+		var err error
+		results[i], err = Run(scenarios[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	return results, nil
+}
+
+// ForEach runs f(0) .. f(n-1) across a bounded worker pool (0 workers
+// means GOMAXPROCS; 1 means serial in index order) and returns the error
+// of the lowest-indexed failure. Experiment sweeps use it to fan their
+// independent arms out across cores.
+func ForEach(n, workers int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // newCreditSched builds the default XCS policy.
