@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kyoto/internal/experiments"
+	"kyoto/internal/profiling"
 )
 
 func main() {
@@ -144,17 +145,24 @@ func registry() map[string]experimentFunc {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("kyotobench", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed    = fs.Uint64("seed", 1, "simulation seed")
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		workers = fs.Int("workers", 0, "experiment-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+		runList    = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		workers    = fs.Int("workers", 0, "experiment-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer profiling.StopInto(stopProf, &err)
 	reg := registry()
 	ids := make([]string, 0, len(reg))
 	for id := range reg {
@@ -187,7 +195,7 @@ func run(args []string) error {
 		elapsed time.Duration
 	}
 	outcomes := make([]outcome, len(selected))
-	err := experiments.ForEach(len(selected), *workers, func(i int) error {
+	err = experiments.ForEach(len(selected), *workers, func(i int) error {
 		start := time.Now()
 		tables, err := reg[selected[i]](*seed)
 		if err != nil {

@@ -46,6 +46,7 @@ import (
 	"text/tabwriter"
 
 	"kyoto"
+	"kyoto/internal/profiling"
 )
 
 // scenario is the JSON schema.
@@ -102,7 +103,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("kyotosim", flag.ContinueOnError)
 	var (
 		path    = fs.String("scenario", "", "scenario JSON file ('-' for stdin)")
@@ -110,10 +111,18 @@ func run(args []string, out io.Writer) error {
 		apps    = fs.Bool("apps", false, "list built-in application profiles and exit")
 		hosts   = fs.Int("hosts", 1, "fleet size; > 1 runs the scenario on a cluster")
 		placer  = fs.String("placer", "first-fit", "fleet placement policy: first-fit, spread or kyoto")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer profiling.StopInto(stopProf, &err)
 	if *example {
 		fmt.Fprintln(out, exampleScenario)
 		return nil
@@ -129,7 +138,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var raw []byte
-	var err error
 	if *path == "-" {
 		raw, err = io.ReadAll(os.Stdin)
 	} else {
@@ -156,7 +164,6 @@ func run(args []string, out io.Writer) error {
 	}
 	return execute(sc, out)
 }
-
 
 // worldConfig maps the scenario's host settings onto a WorldConfig.
 func worldConfig(sc scenario) (kyoto.WorldConfig, error) {

@@ -115,13 +115,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag   uint64
-	stamp uint64 // recency: higher = more recently used
-	owner Owner
-	valid bool
-}
+// The cache's line metadata is kept in structure-of-arrays form: the hit
+// path scans only the dense tags array (8 bytes per way instead of a
+// 24-byte line struct), the victim scan touches only stamps, and validity
+// is one bitmask per set so "any invalid way?" is a single mask compare.
+// This layout is what makes a simulated memory access cheap enough for
+// the multi-thousand-world sweeps; see the package benchmarks.
 
 // OwnerStats aggregates a single owner's activity at one cache level.
 type OwnerStats struct {
@@ -152,27 +151,42 @@ func (s OwnerStats) Hits() uint64 { return s.Accesses - s.Misses }
 // cores deterministically on a single goroutine (see internal/hv), which is
 // what makes runs reproducible.
 type Cache struct {
-	cfg       Config
-	lines     []line // sets*ways, set-major
+	cfg    Config
+	tags   []uint64 // sets*ways, set-major; meaningful only where valid
+	stamps []uint64 // recency: higher = more recently used (nil under plain LRU)
+	owners []Owner  // filling owner per line
+	valid  []uint64 // per-set bitmask: bit i set = way i holds a line
+	// Plain LRU keeps recency as a doubly-linked list of ways per set
+	// (byte indices), so a hit's MRU promotion and a miss's LRU victim
+	// are both O(1) — no stamp scan, no list search. lruNext points
+	// towards LRU, lruPrev towards MRU.
+	lruNext   []uint8 // indexed base+way
+	lruPrev   []uint8 // indexed base+way
+	lruHead   []uint8 // per set: MRU way
+	lruTail   []uint8 // per set: LRU way
 	ways      uint32
 	setMask   uint64
 	lineShift uint
 	clock     uint64 // global recency stamp source
 	rng       *xrand.Rand
 
-	// Per-owner statistics, allocated lazily as owners appear. The
-	// memoized last lookup keeps the per-access hot path off the map:
-	// owners run for whole scheduling chunks, so the memo almost always
-	// hits.
-	stats     map[Owner]*OwnerStats
-	occupancy []int // indexed by owner, grown on demand
-	memoOwner Owner
-	memoStats *OwnerStats
+	// Per-owner statistics and occupancy, dense slices indexed by Owner.
+	// Owners are small dense ints (vCPU ids, bounded by MaxOwners), so a
+	// direct index replaces the map+memo the hot path used to pay for.
+	// Both slices grow together on demand; see growOwners.
+	stats     []OwnerStats
+	occupancy []int
 
 	// Way partitioning (PartitionedLRU): per-owner allowed-way bitmasks.
 	// Owners without an entry may use defaultMask.
 	partition   map[Owner]uint64
 	defaultMask uint64
+
+	// Policy fast-path flags, fixed at construction.
+	plainLRU   bool // LRU: recency kept in order, not stamps; O(1) victim
+	touchMRU   bool // every policy but Random promotes to MRU on hit
+	simpleFill bool // PartitionedLRU/Random: insert at clock, no dueling
+	fastVictim bool // BIP/DIP: all ways allowed, stamp-scan victim
 
 	// DIP set-dueling state.
 	psel     int
@@ -197,20 +211,52 @@ func New(cfg Config) (*Cache, error) {
 	sets := lines / cfg.Ways
 	c := &Cache{
 		cfg:         cfg,
-		lines:       make([]line, lines),
+		tags:        make([]uint64, lines),
+		owners:      make([]Owner, lines),
+		valid:       make([]uint64, sets),
 		ways:        uint32(cfg.Ways),
 		setMask:     uint64(sets - 1),
 		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		rng:         xrand.New(cfg.Seed ^ 0xcafef00d),
-		stats:       make(map[Owner]*OwnerStats),
+		stats:       make([]OwnerStats, presizeOwners),
+		occupancy:   make([]int, presizeOwners),
 		partition:   make(map[Owner]uint64),
 		defaultMask: wayMaskAll(cfg.Ways),
+		plainLRU:    cfg.Policy == LRU,
+		touchMRU:    cfg.Policy != Random,
+		simpleFill:  cfg.Policy == PartitionedLRU || cfg.Policy == Random,
+		fastVictim:  cfg.Policy == BIP || cfg.Policy == DIP,
 		pselMax:     1024,
 		psel:        512,
 		epsilonQ:    uint64(eps * float64(1<<32)),
 	}
+	if c.plainLRU {
+		// Plain LRU keeps recency as a per-set linked list instead of
+		// stamps. LRU stamps are strictly increasing and unique, so the
+		// list's recency order and the stamp order are the same total
+		// order — victim choice stays bit-identical to a stamp scan.
+		c.lruNext = make([]uint8, lines)
+		c.lruPrev = make([]uint8, lines)
+		c.lruHead = make([]uint8, sets)
+		c.lruTail = make([]uint8, sets)
+		for s := 0; s < sets; s++ {
+			base := s * cfg.Ways
+			for w := 0; w < cfg.Ways; w++ {
+				c.lruNext[base+w] = uint8(w + 1)
+				c.lruPrev[base+w] = uint8(w - 1)
+			}
+			c.lruHead[s] = 0
+			c.lruTail[s] = uint8(cfg.Ways - 1)
+		}
+	} else {
+		c.stamps = make([]uint64, lines)
+	}
 	return c, nil
 }
+
+// presizeOwners is the initial length of the per-owner stats/occupancy
+// slices: enough for a typical host's vCPU population without growth.
+const presizeOwners = 16
 
 // MustNew is New but panics on error; for tests and static configs whose
 // validity is established by construction.
@@ -247,27 +293,61 @@ func (c *Cache) SetPartition(owner Owner, mask uint64) error {
 // Access performs one load/store lookup for owner at byte address addr.
 // It returns true on hit. On miss the line is filled (write-allocate) and a
 // victim is evicted per the replacement policy.
+//
+// The hit path is deliberately lean: one dense stats index, one sequential
+// scan over the set's tags, and a single conditional stamp store. All
+// policy dispatch and eviction bookkeeping live on the miss path.
 func (c *Cache) Access(addr uint64, owner Owner) bool {
 	tag := addr >> c.lineShift
 	set := uint32(tag & c.setMask)
 	base := set * c.ways
-	ways := c.lines[base : base+c.ways : base+c.ways]
 	c.clock++
-	st := c.ownerStats(owner)
+	if int(owner) >= len(c.stats) {
+		c.growOwners(owner)
+	}
+	st := &c.stats[owner]
 	st.Accesses++
 	c.totals.Accesses++
 
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			c.touch(&ways[i], set)
+	vmask := c.valid[set]
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	for i := range tags {
+		// The validity test only runs on a tag match (stale tags of
+		// invalidated ways must not hit), so the common non-matching way
+		// costs one load and one compare.
+		if tags[i] == tag && vmask>>uint(i)&1 != 0 {
+			if c.plainLRU {
+				c.touchLRU(base, set, uint8(i))
+			} else if c.touchMRU {
+				c.stamps[base+uint32(i)] = c.clock
+			}
 			return true
 		}
 	}
 
 	st.Misses++
 	c.totals.Misses++
-	c.fill(ways, set, tag, owner, st)
+	c.fill(base, set, tag, owner, st)
 	return false
+}
+
+// touchLRU promotes way w to MRU in the set's recency list: an unlink and
+// a head insert, a handful of byte stores whatever the associativity.
+func (c *Cache) touchLRU(base, set uint32, w uint8) {
+	if c.lruHead[set] == w {
+		return
+	}
+	p, n := c.lruPrev[base+uint32(w)], c.lruNext[base+uint32(w)]
+	c.lruNext[base+uint32(p)] = n // w != head, so p is a real way
+	if c.lruTail[set] == w {
+		c.lruTail[set] = p
+	} else {
+		c.lruPrev[base+uint32(n)] = p
+	}
+	h := c.lruHead[set]
+	c.lruPrev[base+uint32(h)] = w
+	c.lruNext[base+uint32(w)] = h
+	c.lruHead[set] = w
 }
 
 // Probe reports whether addr is present without updating replacement state
@@ -276,60 +356,60 @@ func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
 	set := uint32(tag & c.setMask)
 	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
+	vmask := c.valid[set]
+	for i := uint32(0); i < c.ways; i++ {
+		if c.tags[base+i] == tag && vmask>>i&1 != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// touch updates replacement metadata on a hit.
-func (c *Cache) touch(l *line, set uint32) {
-	switch c.effectivePolicy(set) {
-	case Random:
-		// Random replacement keeps no recency state.
-	default:
-		// LRU, BIP, DIP, PartitionedLRU: promote to MRU on hit.
-		l.stamp = c.clock
-	}
-}
-
 // fill installs tag into the set for owner, evicting a victim if needed.
-func (c *Cache) fill(ways []line, set uint32, tag uint64, owner Owner, st *OwnerStats) {
-	victim := c.pickVictim(ways, set, owner)
-	v := &ways[victim]
-	if v.valid {
-		vst := c.ownerStats(v.owner)
+func (c *Cache) fill(base, set uint32, tag uint64, owner Owner, st *OwnerStats) {
+	victim := c.pickVictim(base, set, owner)
+	idx := base + victim
+	vbit := uint64(1) << victim
+	evicting := c.valid[set]&vbit != 0
+	if evicting {
+		vowner := c.owners[idx]
+		// The victim's owner filled this line earlier, so its stats row
+		// already exists; st stays valid because no growth can occur here.
+		vst := &c.stats[vowner]
 		vst.EvictionsSuffered++
 		c.totals.EvictionsSuffered++
-		c.occupancySlot(v.owner)[0]--
-		if v.owner == owner {
+		c.occupancy[vowner]--
+		if vowner == owner {
 			st.SelfEvictions++
 			c.totals.SelfEvictions++
 		} else {
 			st.EvictionsInflicted++
 			c.totals.EvictionsInflicted++
 		}
+	} else {
+		c.valid[set] |= vbit
 	}
-	v.tag = tag
-	v.owner = owner
-	v.valid = true
-	c.occupancySlot(owner)[0]++
+	c.tags[idx] = tag
+	c.owners[idx] = owner
+	c.occupancy[owner]++
 	st.Fills++
 	c.totals.Fills++
 
+	if c.plainLRU {
+		c.touchLRU(base, set, uint8(victim))
+		return
+	}
+	if c.simpleFill {
+		c.stamps[idx] = c.clock
+		return
+	}
 	switch c.effectivePolicy(set) {
 	case BIP:
 		c.dipUpdate(set)
-		v.stamp = c.bipStamp()
-	case LRU, PartitionedLRU:
-		c.dipUpdate(set)
-		v.stamp = c.clock
-	case Random:
-		v.stamp = c.clock
+		c.stamps[idx] = c.bipStamp()
 	default:
-		v.stamp = c.clock
+		c.dipUpdate(set)
+		c.stamps[idx] = c.clock
 	}
 }
 
@@ -343,7 +423,34 @@ func (c *Cache) bipStamp() uint64 {
 }
 
 // pickVictim chooses the way to evict in the given set.
-func (c *Cache) pickVictim(ways []line, set uint32, owner Owner) uint32 {
+func (c *Cache) pickVictim(base, set uint32, owner Owner) uint32 {
+	vmask := c.valid[set]
+	if c.plainLRU {
+		// The lowest clear valid bit is exactly the first invalid way the
+		// masked scan used to find; with all ways valid the LRU victim is
+		// the recency list's tail: one byte load, no scan.
+		if free := ^vmask & c.defaultMask; free != 0 {
+			return uint32(bits.TrailingZeros64(free))
+		}
+		return uint32(c.lruTail[set])
+	}
+	if c.fastVictim {
+		// BIP/DIP: every way is allowed; a straight stamp scan picks the
+		// victim (lowest stamp wins, lowest index breaks the stamp-0 ties
+		// BIP insertion creates, keeping victim choice deterministic).
+		if free := ^vmask & c.defaultMask; free != 0 {
+			return uint32(bits.TrailingZeros64(free))
+		}
+		stamps := c.stamps[base : base+c.ways : base+c.ways]
+		best, bestStamp := uint32(0), stamps[0]
+		for i := uint32(1); i < c.ways; i++ {
+			if stamps[i] < bestStamp {
+				best, bestStamp = i, stamps[i]
+			}
+		}
+		return best
+	}
+
 	mask := c.defaultMask
 	if c.cfg.Policy == PartitionedLRU {
 		if m, ok := c.partition[owner]; ok {
@@ -351,10 +458,8 @@ func (c *Cache) pickVictim(ways []line, set uint32, owner Owner) uint32 {
 		}
 	}
 	// Prefer an invalid way inside the allowed mask.
-	for i := uint32(0); i < c.ways; i++ {
-		if mask&(1<<i) != 0 && !ways[i].valid {
-			return i
-		}
+	if free := ^vmask & mask; free != 0 {
+		return uint32(bits.TrailingZeros64(free))
 	}
 	if c.effectivePolicy(set) == Random {
 		// Choose uniformly among allowed ways.
@@ -377,8 +482,8 @@ func (c *Cache) pickVictim(ways []line, set uint32, owner Owner) uint32 {
 		if mask&(1<<i) == 0 {
 			continue
 		}
-		if best == ^uint32(0) || ways[i].stamp < bestStamp {
-			best, bestStamp = i, ways[i].stamp
+		if best == ^uint32(0) || c.stamps[base+i] < bestStamp {
+			best, bestStamp = i, c.stamps[base+i]
 		}
 	}
 	return best
@@ -420,41 +525,33 @@ func (c *Cache) dipUpdate(set uint32) {
 	}
 }
 
-// ownerStats returns (allocating if needed) the stats row for owner.
-func (c *Cache) ownerStats(owner Owner) *OwnerStats {
-	if c.memoStats != nil && c.memoOwner == owner {
-		return c.memoStats
+// growOwners extends the dense stats and occupancy slices to cover owner.
+// Growth doubles (bounded below by the owner's index) so repeated new
+// owners amortize; MaxOwners documents the intended population bound, but
+// the slices simply grow to whatever owner ids actually appear.
+func (c *Cache) growOwners(owner Owner) {
+	n := len(c.stats) * 2
+	if n <= int(owner) {
+		n = int(owner) + 1
 	}
-	s, ok := c.stats[owner]
-	if !ok {
-		s = &OwnerStats{}
-		c.stats[owner] = s
-	}
-	c.memoOwner, c.memoStats = owner, s
-	return s
+	stats := make([]OwnerStats, n)
+	copy(stats, c.stats)
+	c.stats = stats
+	occ := make([]int, n)
+	copy(occ, c.occupancy)
+	c.occupancy = occ
 }
 
 // Stats returns a copy of owner's statistics at this level.
 func (c *Cache) Stats(owner Owner) OwnerStats {
-	if s, ok := c.stats[owner]; ok {
-		return *s
+	if int(owner) >= len(c.stats) {
+		return OwnerStats{}
 	}
-	return OwnerStats{}
+	return c.stats[owner]
 }
 
 // Totals returns aggregate statistics across all owners.
 func (c *Cache) Totals() OwnerStats { return c.totals }
-
-// occupancySlot returns a one-element slice addressing owner's occupancy
-// counter, growing the backing store on demand.
-func (c *Cache) occupancySlot(owner Owner) []int {
-	if int(owner) >= len(c.occupancy) {
-		grown := make([]int, int(owner)+1)
-		copy(grown, c.occupancy)
-		c.occupancy = grown
-	}
-	return c.occupancy[owner : owner+1]
-}
 
 // Occupancy returns the number of valid lines currently owned by owner.
 func (c *Cache) Occupancy(owner Owner) int {
@@ -466,22 +563,32 @@ func (c *Cache) Occupancy(owner Owner) int {
 
 // OccupancyFraction returns owner's share of the cache's lines, in [0,1].
 func (c *Cache) OccupancyFraction(owner Owner) float64 {
-	return float64(c.occupancy[owner]) / float64(len(c.lines))
+	return float64(c.Occupancy(owner)) / float64(len(c.tags))
 }
 
 // ResetStats zeroes all statistics (occupancy and content are preserved).
 // Sampling windows call this between measurements.
 func (c *Cache) ResetStats() {
-	for _, s := range c.stats {
-		*s = OwnerStats{}
+	for i := range c.stats {
+		c.stats[i] = OwnerStats{}
 	}
 	c.totals = OwnerStats{}
 }
 
 // Flush invalidates every line and clears occupancy. Statistics are kept.
+// Recency state (stamps or the LRU order list) needs no reset: victims are
+// taken from invalid ways until the set refills, and by then the recency
+// order has been rebuilt entirely from the new fills.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.owners[i] = 0
+	}
+	for i := range c.stamps {
+		c.stamps[i] = 0
+	}
+	for i := range c.valid {
+		c.valid[i] = 0
 	}
 	for i := range c.occupancy {
 		c.occupancy[i] = 0
@@ -492,14 +599,24 @@ func (c *Cache) Flush() {
 // footprint loss a vCPU suffers when migrated to another socket.
 func (c *Cache) FlushOwner(owner Owner) {
 	removed := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].owner == owner {
-			c.lines[i] = line{}
-			removed++
+	for set := range c.valid {
+		vmask := c.valid[set]
+		for rest := vmask; rest != 0; rest &= rest - 1 {
+			i := uint32(bits.TrailingZeros64(rest))
+			idx := uint32(set)*c.ways + i
+			if c.owners[idx] == owner {
+				c.valid[set] &^= 1 << i
+				c.tags[idx], c.owners[idx] = 0, 0
+				if c.stamps != nil {
+					c.stamps[idx] = 0
+				}
+				removed++
+			}
 		}
 	}
 	if removed > 0 {
-		c.occupancySlot(owner)[0] -= removed
+		// owner filled the removed lines, so its occupancy slot exists.
+		c.occupancy[owner] -= removed
 	}
 }
 

@@ -353,6 +353,222 @@ func TestQuickProbeConsistency(t *testing.T) {
 	}
 }
 
+// refLRU is a brute-force reference LRU model: full tags, uint64 stamps,
+// linear victim scan with lowest-index tie-break — the semantics the
+// production cache's linked recency list must reproduce exactly.
+type refLRU struct {
+	ways   int
+	sets   uint64
+	tags   [][]uint64
+	stamps [][]uint64
+	owners [][]Owner
+	valid  [][]bool
+	clock  uint64
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	r := &refLRU{ways: ways, sets: uint64(sets)}
+	for s := 0; s < sets; s++ {
+		r.tags = append(r.tags, make([]uint64, ways))
+		r.stamps = append(r.stamps, make([]uint64, ways))
+		r.owners = append(r.owners, make([]Owner, ways))
+		r.valid = append(r.valid, make([]bool, ways))
+	}
+	return r
+}
+
+func (r *refLRU) access(addr uint64, owner Owner) bool {
+	tag := addr >> 6
+	set := tag % r.sets
+	r.clock++
+	for w := 0; w < r.ways; w++ {
+		if r.valid[set][w] && r.tags[set][w] == tag {
+			r.stamps[set][w] = r.clock
+			return true
+		}
+	}
+	victim := -1
+	for w := 0; w < r.ways; w++ {
+		if !r.valid[set][w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		var bestStamp uint64
+		for w := 0; w < r.ways; w++ {
+			if victim < 0 || r.stamps[set][w] < bestStamp {
+				victim, bestStamp = w, r.stamps[set][w]
+			}
+		}
+	}
+	r.tags[set][victim] = tag
+	r.stamps[set][victim] = r.clock
+	r.owners[set][victim] = owner
+	r.valid[set][victim] = true
+	return false
+}
+
+func (r *refLRU) flushOwner(owner Owner) {
+	for s := range r.valid {
+		for w := 0; w < r.ways; w++ {
+			if r.valid[s][w] && r.owners[s][w] == owner {
+				r.valid[s][w] = false
+				r.stamps[s][w] = 0
+			}
+		}
+	}
+}
+
+// Property: the linked-list LRU replacement is access-for-access identical
+// to the reference stamp-scan model, with interleaved owners and under
+// both full-Flush and FlushOwner holes (invalidated ways keep stale
+// positions in the recency list; the old code zeroed their stamps — the
+// victim choice must come out the same either way).
+func TestQuickLRUMatchesReference(t *testing.T) {
+	f := func(seq []uint16, flushAt, flushOwnerAt uint8) bool {
+		const sets, ways = 4, 4
+		c := MustNew(Config{
+			Name: "lru-eq", SizeBytes: sets * ways * 64, Ways: ways, LineBytes: 64, Seed: 13,
+		})
+		ref := newRefLRU(sets, ways)
+		for i, a := range seq {
+			addr := uint64(a) * 64
+			owner := Owner(i%3) + 1
+			if c.Access(addr, owner) != ref.access(addr, owner) {
+				return false
+			}
+			if len(seq) > 0 && i == int(flushAt)%len(seq) {
+				c.Flush()
+				for s := 0; s < sets; s++ {
+					for w := 0; w < ways; w++ {
+						ref.valid[s][w] = false
+					}
+				}
+			}
+			if len(seq) > 0 && i == int(flushOwnerAt)%len(seq) {
+				c.FlushOwner(2)
+				ref.flushOwner(2)
+			}
+		}
+		// Residency must agree line-for-line at the end.
+		for _, a := range seq {
+			addr := uint64(a) * 64
+			tag := addr >> 6
+			set := tag % sets
+			present := false
+			for w := 0; w < ways; w++ {
+				if ref.valid[set][w] && ref.tags[set][w] == tag {
+					present = true
+				}
+			}
+			if c.Probe(addr) != present {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerStatsGrowth(t *testing.T) {
+	c := tiny(t, LRU)
+	// Owners far beyond the pre-sized slice must work and stay isolated.
+	high := Owner(900)
+	c.Access(0, high)
+	c.Access(0, high)
+	st := c.Stats(high)
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("high-owner stats = %+v", st)
+	}
+	if got := c.Occupancy(high); got != 1 {
+		t.Fatalf("high-owner occupancy = %d, want 1", got)
+	}
+	// Unseen owners (in and out of the grown range) read as zero.
+	if c.Stats(5) != (OwnerStats{}) || c.Stats(1023) != (OwnerStats{}) {
+		t.Fatal("unseen owners must have zero stats")
+	}
+	if c.Occupancy(5) != 0 || c.Occupancy(1023) != 0 {
+		t.Fatal("unseen owners must have zero occupancy")
+	}
+}
+
+func TestFlushOwnerInterleaved(t *testing.T) {
+	c := tiny(t, LRU) // 4 sets x 2 ways
+	// Owners 1 and 2 each own one way of every set.
+	for set := uint64(0); set < 4; set++ {
+		c.Access(set*64, 1)
+		c.Access(set*64+256, 2)
+	}
+	if c.Occupancy(1) != 4 || c.Occupancy(2) != 4 {
+		t.Fatalf("occupancy = %d/%d, want 4/4", c.Occupancy(1), c.Occupancy(2))
+	}
+	c.FlushOwner(1)
+	if c.Occupancy(1) != 0 {
+		t.Fatalf("owner 1 occupancy after flush = %d", c.Occupancy(1))
+	}
+	if c.Occupancy(2) != 4 {
+		t.Fatalf("owner 2 occupancy disturbed: %d", c.Occupancy(2))
+	}
+	for set := uint64(0); set < 4; set++ {
+		if c.Probe(set * 64) {
+			t.Fatal("owner 1 line survived FlushOwner")
+		}
+		if !c.Probe(set*64 + 256) {
+			t.Fatal("owner 2 line lost by FlushOwner")
+		}
+	}
+	// Flushing an owner that never filled anything is a no-op.
+	c.FlushOwner(777)
+	if c.Occupancy(2) != 4 || c.Occupancy(777) != 0 {
+		t.Fatal("FlushOwner of unseen owner must not disturb state")
+	}
+	// The flushed ways refill before any valid line is evicted.
+	before := c.Totals().EvictionsSuffered
+	for set := uint64(0); set < 4; set++ {
+		c.Access(set*64+512, 3)
+	}
+	if c.Totals().EvictionsSuffered != before {
+		t.Fatal("refill after FlushOwner must use the freed ways")
+	}
+}
+
+func TestResetStatsKeepsOccupancyAndContent(t *testing.T) {
+	c := tiny(t, LRU)
+	c.Access(0, 1)
+	c.Access(256, 2)
+	c.ResetStats()
+	if c.Stats(1) != (OwnerStats{}) || c.Stats(2) != (OwnerStats{}) || c.Totals() != (OwnerStats{}) {
+		t.Fatal("ResetStats must zero all rows and totals")
+	}
+	if c.Occupancy(1) != 1 || c.Occupancy(2) != 1 {
+		t.Fatal("ResetStats must preserve occupancy")
+	}
+	if !c.Probe(0) || !c.Probe(256) {
+		t.Fatal("ResetStats must preserve content")
+	}
+	// Stats resume accumulating after the reset.
+	c.Access(0, 1)
+	if st := c.Stats(1); st.Accesses != 1 || st.Hits() != 1 {
+		t.Fatalf("post-reset stats = %+v", st)
+	}
+}
+
+func TestOccupancyFractionBounds(t *testing.T) {
+	c := tiny(t, LRU)
+	if got := c.OccupancyFraction(3); got != 0 {
+		t.Fatalf("unseen owner fraction = %v, want 0", got)
+	}
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i*64, 1)
+	}
+	if got := c.OccupancyFraction(1); got != 1 {
+		t.Fatalf("full-cache fraction = %v, want 1", got)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() OwnerStats {
 		c := MustNew(Config{
@@ -375,7 +591,61 @@ func BenchmarkAccessLRU(b *testing.B) {
 		Name: "bench", SizeBytes: 640 * 1024, Ways: 20, LineBytes: 64, Seed: 5,
 	})
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(uint64(i*64)%(2*640*1024), 1)
 	}
+}
+
+// BenchmarkCacheAccess covers the shapes the simulation hot path actually
+// issues: hammering a resident line (the L1-hit fast path), streaming
+// through twice the capacity (miss + eviction path), and interleaving four
+// owners (the per-owner stats path a multi-VM host exercises).
+func BenchmarkCacheAccess(b *testing.B) {
+	mk := func() *Cache {
+		return MustNew(Config{
+			Name: "bench", SizeBytes: 640 * 1024, Ways: 20, LineBytes: 64, Seed: 5,
+		})
+	}
+	b.Run("hit", func(b *testing.B) {
+		c := mk()
+		c.Access(0x1000, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0x1000, 1)
+		}
+	})
+	b.Run("stream-miss", func(b *testing.B) {
+		c := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i)*64%(2*640*1024), 1)
+		}
+	})
+	b.Run("multi-owner", func(b *testing.B) {
+		c := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i)*64%(2*640*1024), Owner(i&3)+1)
+		}
+	})
+	b.Run("path", func(b *testing.B) {
+		l1 := MustNew(Config{Name: "L1", SizeBytes: 2 * 1024, Ways: 8, LineBytes: 64, HitLatencyCycles: 4, Seed: 5})
+		l2 := MustNew(Config{Name: "L2", SizeBytes: 16 * 1024, Ways: 8, LineBytes: 64, HitLatencyCycles: 12, Seed: 6})
+		llc := MustNew(Config{Name: "LLC", SizeBytes: 640 * 1024, Ways: 20, LineBytes: 64, HitLatencyCycles: 45, Seed: 7})
+		p := &Path{L1D: l1, L2: l2, LLC: llc, MemLatencyCycles: 180, RemotePenaltyCycles: 120}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// 7/8 of accesses revisit a small hot set (L1 hits), 1/8 streams.
+			addr := uint64(i) * 64 % 1024
+			if i&7 == 0 {
+				addr = uint64(i) * 64 % (2 * 640 * 1024)
+			}
+			p.Access(addr, 1, false)
+		}
+	})
 }

@@ -1,0 +1,105 @@
+package cluster
+
+// Fleet-level golden determinism guard: a 4-host Kyoto fleet run serially
+// and through the worker pool must produce the same committed fingerprint.
+// Together with internal/hv's golden.json this locks serial-vs-parallel
+// equivalence across hot-path refactors.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+var updateFleetGolden = flag.Bool("update", false, "rewrite testdata/golden_fleet.json with the observed fingerprint")
+
+const fleetGoldenTicks = 30
+
+// goldenFleet builds a 4-host Kyoto fleet with two VMs per host, the shape
+// of the PR-1 parallel-vs-serial determinism tests.
+func goldenFleet(t testing.TB, workers int) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		Hosts: 4,
+		Template: HostTemplate{
+			Seed:        42,
+			EnableKyoto: true,
+			MemoryMB:    128,
+		},
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []string{"gcc", "lbm", "omnetpp", "blockie"}
+	for i := 0; i < 2*f.Size(); i++ {
+		_, err := f.Place(Request{Spec: vm.Spec{
+			Name:   fmt.Sprintf("vm%d", i),
+			App:    apps[i%len(apps)],
+			Pins:   []int{i % 2},
+			LLCCap: 250,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// fleetFingerprint folds every host's vCPU counters in host-ID then
+// vCPU-id order.
+func fleetFingerprint(f *Fleet) string {
+	h := pmc.FoldSeed
+	for _, host := range f.Hosts() {
+		for _, v := range host.World.VCPUs() {
+			h = v.Counters.Fold(h)
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func TestGoldenFleetSerialParallel(t *testing.T) {
+	serial := goldenFleet(t, 1)
+	serial.RunTicks(fleetGoldenTicks)
+	parallel := goldenFleet(t, 0)
+	parallel.RunTicks(fleetGoldenTicks)
+
+	got := fleetFingerprint(serial)
+	if pg := fleetFingerprint(parallel); pg != got {
+		t.Fatalf("parallel fleet fingerprint %s != serial %s", pg, got)
+	}
+
+	path := filepath.Join("testdata", "golden_fleet.json")
+	if *updateFleetGolden {
+		data, err := json.MarshalIndent(map[string]string{"kyoto-fleet-4x2": got}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want["kyoto-fleet-4x2"] {
+		t.Fatalf("fleet fingerprint %s, want %s — fleet execution is no longer bit-identical to the committed baseline",
+			got, want["kyoto-fleet-4x2"])
+	}
+}

@@ -19,6 +19,12 @@ import (
 // beat the L2 round trip.
 const minOverlappedLatency = 12
 
+// batchSteps is how many steps Run pulls from the generator per refill.
+// Generating ahead is safe: the stream is deterministic and buffered steps
+// are executed in order, so the executed sequence is identical to step-at-
+// a-time generation — only the interface-dispatch cost is amortized.
+const batchSteps = 64
+
 // Context carries everything needed to execute one vCPU on one core.
 // The hypervisor rebinds Path/Remote when it migrates the vCPU.
 type Context struct {
@@ -39,6 +45,13 @@ type Context struct {
 	// Tracer, when non-nil, observes every memory access (the Pin-tool
 	// substitute used by the shadow-simulator monitor).
 	Tracer Tracer
+
+	// Step batching state: steps[head:n] are generated but not yet
+	// executed. The buffer survives across Run calls (budget boundaries
+	// never discard steps) and across Path rebinds (steps carry only
+	// workload state, never core state).
+	steps   []workload.Step
+	head, n int
 }
 
 // Tracer observes executed memory accesses.
@@ -58,17 +71,44 @@ func Run(ctx *Context, budget uint64) uint64 {
 	if budget == 0 {
 		return 0
 	}
+	// Counters is hoisted out of the per-step path once per Run; the
+	// generator refills in batches so the Generator interface is crossed
+	// once per batchSteps steps in the common case.
+	c := ctx.Counters
 	var used uint64
-	for used < budget {
-		used += execStep(ctx, ctx.Gen.Next())
+	for {
+		for ctx.head < ctx.n {
+			used += execStep(ctx, &ctx.steps[ctx.head], c)
+			ctx.head++
+			if used >= budget {
+				return used
+			}
+		}
+		ctx.refill()
 	}
-	return used
+}
+
+// refill replenishes the step buffer from the generator. The batch
+// assertion is resolved here, once per batchSteps steps rather than per
+// step, so rebinding ctx.Gen between Runs (a future migration or
+// trace-replay path) takes effect at the next refill. Note that steps
+// already buffered from the previous generator still execute first.
+func (ctx *Context) refill() {
+	if ctx.steps == nil {
+		ctx.steps = make([]workload.Step, batchSteps)
+	}
+	if bg, ok := ctx.Gen.(workload.BatchGenerator); ok {
+		ctx.n = bg.NextBatch(ctx.steps)
+	} else {
+		ctx.steps[0] = ctx.Gen.Next()
+		ctx.n = 1
+	}
+	ctx.head = 0
 }
 
 // execStep executes one step and returns its wall-cycle cost.
-func execStep(ctx *Context, step workload.Step) uint64 {
+func execStep(ctx *Context, step *workload.Step, c *pmc.Counters) uint64 {
 	busy := uint64(step.ComputeCycles)
-	c := ctx.Counters
 	if step.HasAccess {
 		level, lat := ctx.Path.Access(ctx.AddrBase+step.Addr, ctx.Owner, ctx.Remote)
 		if level >= cache.HitLLC && step.MLP > 1 {

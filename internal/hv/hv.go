@@ -12,6 +12,29 @@
 // ChunkCycles so that parallel vCPUs interleave finely on the shared LLC;
 // this is what lets Figure 1's parallel-execution contention emerge
 // instead of being an artefact of running cores to completion one by one.
+//
+// # Performance
+//
+// The tick loop is the hot path of every experiment sweep — a tick on a
+// loaded 4-core host is millions of simulated memory accesses, and the
+// Figure 4 matrix alone is 90 worlds. The path is engineered to be
+// allocation-free and cache-lean in steady state:
+//
+//   - workload generators emit steps in batches (workload.BatchGenerator)
+//     into a per-vCPU buffer owned by cpu.Context, so the Generator
+//     interface is crossed once per 64 steps, not once per step;
+//   - cache lookups index dense per-owner stats slices (no maps on the
+//     access path) and plain-LRU caches keep recency in a per-set linked
+//     list, making both MRU promotion and victim choice O(1);
+//   - the per-tick scratch (core budgets, budget caps, monitor buffers)
+//     is pre-allocated in New and reused, so steady-state ticks report
+//     0 allocs/op (BenchmarkWorldTick enforces this).
+//
+// Determinism is the contract that lets the hot path be rewritten at all:
+// the golden fingerprints in testdata/golden.json (and the fleet golden
+// in internal/cluster) pin runs bit-for-bit, so any optimization must
+// prove itself arithmetic-preserving before it lands. Profile with
+// `kyotobench -cpuprofile` and track ns/op via scripts/bench_json.sh.
 package hv
 
 import (
@@ -76,6 +99,7 @@ type World struct {
 	now     uint64
 	current []*vm.VCPU // per core
 	scratch []uint64   // per-core consumed cycles, reused across ticks
+	caps    []uint64   // per-core budget caps, reused across ticks
 
 	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
 	IdleCycles []uint64
@@ -104,6 +128,7 @@ func New(cfg Config, s sched.Scheduler) (*World, error) {
 		sch:        s,
 		current:    make([]*vm.VCPU, m.NumCores()),
 		scratch:    make([]uint64, m.NumCores()),
+		caps:       make([]uint64, m.NumCores()),
 		IdleCycles: make([]uint64, m.NumCores()),
 	}
 	return w, nil
@@ -280,7 +305,7 @@ func (w *World) tick() {
 	// 3. Interleaved execution. Sub-tick budget limits (credit caps) come
 	// from the scheduler when it implements sched.BudgetLimiter.
 	limiter, _ := w.sch.(sched.BudgetLimiter)
-	caps := make([]uint64, len(cores))
+	caps := w.caps[:len(cores)]
 	for _, core := range cores {
 		caps[core.ID] = ^uint64(0)
 		if v := w.current[core.ID]; v != nil && limiter != nil {
@@ -359,9 +384,19 @@ func (w *World) CurrentOn(coreID int) *vm.VCPU { return w.current[coreID] }
 // Experiments snapshot before and after a measurement window and take
 // deltas.
 func (w *World) SnapshotVMs() map[string]pmc.Counters {
-	out := make(map[string]pmc.Counters, len(w.vms))
-	for _, m := range w.vms {
-		out[m.Name] = m.Counters()
+	return w.SnapshotVMsInto(nil)
+}
+
+// SnapshotVMsInto fills dst with each VM's aggregate counters and returns
+// it, allocating only when dst is nil. Periodic samplers (per-tick hooks,
+// fleet monitors) pass their previous map back to snapshot without
+// re-allocating; entries for VMs no longer in the world are not removed.
+func (w *World) SnapshotVMsInto(dst map[string]pmc.Counters) map[string]pmc.Counters {
+	if dst == nil {
+		dst = make(map[string]pmc.Counters, len(w.vms))
 	}
-	return out
+	for _, m := range w.vms {
+		dst[m.Name] = m.Counters()
+	}
+	return dst
 }

@@ -27,6 +27,10 @@ import (
 // Feeder is allowed: the monitor then only records, which is how the
 // characterization experiments (Figs 9-11) use monitors without
 // enforcement.
+//
+// The slice is only valid for the duration of the call: monitors reuse
+// their measurement buffer across ticks, so an implementation that wants
+// to retain measurements must copy them out (as core.Kyoto does).
 type Feeder interface {
 	Feed([]core.Measurement)
 }
@@ -36,6 +40,7 @@ type Oracle struct {
 	feeder    Feeder
 	indicator core.Indicator
 	samplers  map[*vm.VCPU]*pmc.Sampler
+	scratch   []core.Measurement // per-tick buffer, reused (Feed copies)
 
 	// LastRate and LastDelta expose the most recent per-VM observations
 	// for recorders (Figs 2 and 5 timelines read these).
@@ -59,7 +64,7 @@ func NewOracle(f Feeder, indicator core.Indicator) *Oracle {
 
 // OnTick implements hv.TickHook.
 func (o *Oracle) OnTick(w *hv.World) {
-	ms := make([]core.Measurement, 0, len(w.VMs()))
+	ms := o.scratch[:0]
 	for _, domain := range w.VMs() {
 		var delta pmc.Counters
 		for _, v := range domain.VCPUs {
@@ -79,6 +84,7 @@ func (o *Oracle) OnTick(w *hv.World) {
 			Rate:   rate,
 		})
 	}
+	o.scratch = ms
 	if o.feeder != nil {
 		o.feeder.Feed(ms)
 	}

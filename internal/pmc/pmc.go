@@ -73,6 +73,39 @@ func (c Counters) Delta(earlier Counters) Counters {
 // (busy plus halted occupancy).
 func (c Counters) WallCycles() uint64 { return c.UnhaltedCycles + c.HaltedCycles }
 
+// FoldSeed is the canonical starting value for Fold chains (the FNV-1a
+// 64-bit offset basis).
+const FoldSeed uint64 = 14695981039346656037
+
+// foldPrime is the FNV-1a 64-bit prime.
+const foldPrime uint64 = 1099511628211
+
+// Fold mixes every field of c into a running FNV-style hash and returns
+// the new hash. Folding the counters of all vCPUs of a run (in vCPU-id
+// order, starting from FoldSeed) yields a stable fingerprint of the whole
+// simulation — the golden determinism tests pin these fingerprints so that
+// hot-path refactors can prove they are bit-identical.
+func (c Counters) Fold(h uint64) uint64 {
+	for _, f := range [...]uint64{
+		c.Instructions,
+		c.UnhaltedCycles,
+		c.HaltedCycles,
+		c.L1Misses,
+		c.L2Misses,
+		c.LLCReferences,
+		c.LLCMisses,
+		c.MemReads,
+		c.MemWrites,
+		c.RemoteAccesses,
+		c.Accesses,
+	} {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (f >> i & 0xff)) * foldPrime
+		}
+	}
+	return h
+}
+
 // IPC returns instructions per unhalted cycle — the paper's §2.2.3
 // performance metric. Zero cycles yields 0.
 func (c Counters) IPC() float64 {

@@ -93,3 +93,22 @@ func TestQuickSamplerConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFoldFingerprint(t *testing.T) {
+	a := Counters{Instructions: 1, LLCMisses: 2}
+	b := Counters{Instructions: 1, LLCMisses: 2}
+	if a.Fold(FoldSeed) != b.Fold(FoldSeed) {
+		t.Fatal("equal counters must fold to equal hashes")
+	}
+	c := Counters{Instructions: 2, LLCMisses: 1}
+	if a.Fold(FoldSeed) == c.Fold(FoldSeed) {
+		t.Fatal("field swap must change the fold (fields are position-sensitive)")
+	}
+	if a.Fold(FoldSeed) == (Counters{}).Fold(FoldSeed) {
+		t.Fatal("non-zero counters must not collide with the zero block")
+	}
+	// Chaining is order-sensitive: fold(a, then c) != fold(c, then a).
+	if c.Fold(a.Fold(FoldSeed)) == a.Fold(c.Fold(FoldSeed)) {
+		t.Fatal("fold chains must be order-sensitive")
+	}
+}

@@ -1,0 +1,64 @@
+// Package profiling wires the standard pprof profilers into the CLIs so
+// simulator hot-path work can be profiled without recompiling: every perf
+// investigation starts with `kyotobench -run fig1 -cpuprofile cpu.out`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StopInto runs stop and merges its error into *err when *err is still
+// nil. CLIs defer it so a profile that failed to write fails the run —
+// perf tooling must not be handed a missing or truncated profile by a
+// process that exited 0:
+//
+//	stop, err := profiling.Start(*cpuProfile, *memProfile)
+//	if err != nil { return err }
+//	defer profiling.StopInto(stop, &err) // err: named return
+func StopInto(stop func() error, err *error) {
+	if perr := stop(); perr != nil && *err == nil {
+		*err = perr
+	}
+}
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// stop time to memPath; either path may be empty to skip that profile.
+// The returned stop function must be called (typically deferred via
+// StopInto) before the process exits, and reports any error writing the
+// profiles.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

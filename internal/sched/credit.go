@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"kyoto/internal/machine"
 	"kyoto/internal/vm"
 )
@@ -21,6 +19,7 @@ import (
 type Credit struct {
 	cores  int
 	vcpus  []*vm.VCPU
+	vms    []*vm.VM // distinct VMs, ascending ID (refill iterates this)
 	assign assignTracker
 }
 
@@ -45,6 +44,20 @@ func (c *Credit) Register(v *vm.VCPU) {
 	v.RemainCredit = 1
 	v.OverPriority = false
 	c.vcpus = append(c.vcpus, v)
+	// Maintain the distinct-VM list sorted by ID here, on the cold path,
+	// so the every-slice refill never sorts or allocates.
+	for _, m := range c.vms {
+		if m == v.VM {
+			return
+		}
+	}
+	i := len(c.vms)
+	for i > 0 && c.vms[i-1].ID > v.VM.ID {
+		i--
+	}
+	c.vms = append(c.vms, nil)
+	copy(c.vms[i+1:], c.vms[i:])
+	c.vms[i] = v.VM
 }
 
 // PickNext implements Scheduler. Priority order: UNDER before OVER (work
@@ -136,30 +149,19 @@ func (c *Credit) EndTick(now uint64) {
 
 // refill distributes one slice's worth of pCPU cycles as credits in
 // proportion to VM weights, clamping balances to one slice's share so
-// blocked VMs cannot bank unbounded credit (as XCS clamps).
+// blocked VMs cannot bank unbounded credit (as XCS clamps). It runs every
+// slice on the hot tick path and is allocation-free: Register maintains
+// the deterministic ID-ordered VM list.
 func (c *Credit) refill() {
-	if len(c.vcpus) == 0 {
-		return
-	}
 	var totalWeight int64
-	perVM := make(map[*vm.VM]int64)
-	for _, v := range c.vcpus {
-		if _, seen := perVM[v.VM]; !seen {
-			perVM[v.VM] = v.VM.Weight
-			totalWeight += v.VM.Weight
-		}
+	for _, m := range c.vms {
+		totalWeight += m.Weight
 	}
 	if totalWeight == 0 {
 		return
 	}
 	sliceCycles := int64(machine.CyclesPerTick) * machine.TicksPerSlice * int64(c.cores)
-	// Deterministic iteration order over VMs.
-	vms := make([]*vm.VM, 0, len(perVM))
-	for m := range perVM {
-		vms = append(vms, m)
-	}
-	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-	for _, m := range vms {
+	for _, m := range c.vms {
 		share := sliceCycles * m.Weight / totalWeight
 		perVCPU := share / int64(len(m.VCPUs))
 		for _, v := range m.VCPUs {

@@ -29,18 +29,13 @@ import (
 
 // Step is one unit of execution emitted by a Generator: a run of compute
 // instructions optionally followed by a single memory access.
+//
+// Field order packs the struct into 40 bytes (wide fields first): the
+// execution engine writes and reads one Step per simulated step, so its
+// size is hot-path-relevant.
 type Step struct {
-	// Instrs is the number of instructions this step retires, including
-	// the memory access when HasAccess is set. At least 1.
-	Instrs uint32
-	// ComputeCycles is the cycle cost of the non-memory instructions.
-	ComputeCycles uint32
-	// HasAccess reports whether the step ends with a memory access.
-	HasAccess bool
 	// Addr is the virtual byte address of the access (valid when HasAccess).
 	Addr uint64
-	// IsWrite marks stores (valid when HasAccess).
-	IsWrite bool
 	// HaltFrac is the fraction of wall time the application halts during
 	// this phase, in [0,1). The execution engine stretches wall time by
 	// 1/(1-HaltFrac) without advancing the unhalted-cycle counter.
@@ -50,6 +45,15 @@ type Step struct {
 	// hardware prefetching. 0 means 1 (fully serialized, e.g. pointer
 	// chasing). Streaming patterns reach 4-8 on real hardware.
 	MLP float64
+	// Instrs is the number of instructions this step retires, including
+	// the memory access when HasAccess is set. At least 1.
+	Instrs uint32
+	// ComputeCycles is the cycle cost of the non-memory instructions.
+	ComputeCycles uint32
+	// HasAccess reports whether the step ends with a memory access.
+	HasAccess bool
+	// IsWrite marks stores (valid when HasAccess).
+	IsWrite bool
 }
 
 // Generator produces an infinite deterministic stream of Steps.
@@ -57,6 +61,19 @@ type Step struct {
 type Generator interface {
 	// Next returns the next step.
 	Next() Step
+}
+
+// BatchGenerator is optionally implemented by generators that can emit
+// many steps per call. NextBatch must be arithmetic-preserving: filling a
+// buffer draws exactly the same RNG values and carries the same fractional
+// accumulators as the equivalent sequence of Next calls, so the step
+// stream is bit-identical however it is consumed. The execution engine
+// (internal/cpu) uses it to amortize the per-step interface dispatch.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills buf with the next len(buf) steps of the stream and
+	// returns the number written (len(buf), except when buf is empty).
+	NextBatch(buf []Step) int
 }
 
 // PatternKind selects an address-generation mechanism.
@@ -265,6 +282,24 @@ func (g *gen) enterPhase(i int) {
 
 // Next implements Generator.
 func (g *gen) Next() Step {
+	var s Step
+	g.nextInto(&s)
+	return s
+}
+
+// NextBatch implements BatchGenerator. The loop body is the exact Next
+// step function, so batch consumption preserves every RNG draw and
+// accumulator update of the serial stream.
+func (g *gen) NextBatch(buf []Step) int {
+	for i := range buf {
+		g.nextInto(&buf[i])
+	}
+	return len(buf)
+}
+
+// nextInto writes the next step to out (in place, sparing the caller a
+// 40-byte struct copy per step).
+func (g *gen) nextInto(out *Step) {
 	ph := &g.profile.Phases[g.phaseIdx]
 
 	if ph.Kind == Compute || ph.MemRatio == 0 {
@@ -278,12 +313,13 @@ func (g *gen) Next() Step {
 		}
 		cycles := g.cyclesFor(n)
 		g.advance(n)
-		return Step{
+		*out = Step{
 			Instrs:        uint32(n),
 			ComputeCycles: cycles,
 			HaltFrac:      ph.HaltFrac,
 			MLP:           ph.MLP,
 		}
+		return
 	}
 
 	// Number of compute instructions before the next access: from the
@@ -307,7 +343,7 @@ func (g *gen) Next() Step {
 	instrs := gap + 1
 	cycles := g.cyclesFor(gap)
 	g.advance(instrs)
-	return Step{
+	*out = Step{
 		Instrs:        uint32(instrs),
 		ComputeCycles: cycles,
 		HasAccess:     true,

@@ -292,3 +292,67 @@ func TestQuickSattoloSingleCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkWorkloadGen measures step-stream generation for the profiles
+// the evaluation leans on hardest: a memory-heavy phase mix (gcc), a pure
+// streamer (lbm), and a compute-dominated app (povray).
+func BenchmarkWorkloadGen(b *testing.B) {
+	for _, app := range []string{"gcc", "lbm", "povray"} {
+		b.Run(app, func(b *testing.B) {
+			p, err := Lookup(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := MustNew(p, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				instrs += uint64(g.Next().Instrs)
+			}
+			b.ReportMetric(float64(instrs)/float64(b.N), "instrs/step")
+		})
+	}
+	// The batched path the execution engine actually uses: one interface
+	// call per 64 steps, steps written in place.
+	b.Run("gcc-batch", func(b *testing.B) {
+		p, err := Lookup("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := MustNew(p, 1).(BatchGenerator)
+		buf := make([]Step, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(buf) {
+			g.NextBatch(buf)
+		}
+	})
+}
+
+// TestNextBatchMatchesNext pins the batch API's arithmetic-preservation
+// contract: the batched stream must be bit-identical to repeated Next
+// calls, whatever buffer size slices it.
+func TestNextBatchMatchesNext(t *testing.T) {
+	for _, app := range []string{"gcc", "lbm", "mcf", "povray"} {
+		p, err := Lookup(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := MustNew(p, 99)
+		batched := MustNew(p, 99).(BatchGenerator)
+		buf := make([]Step, 7) // odd size: batches straddle phase boundaries
+		for n := 0; n < 3000; n += len(buf) {
+			got := batched.NextBatch(buf)
+			if got != len(buf) {
+				t.Fatalf("%s: NextBatch returned %d, want %d", app, got, len(buf))
+			}
+			for i := range buf[:got] {
+				want := serial.Next()
+				if buf[i] != want {
+					t.Fatalf("%s: step %d diverged:\nbatch  %+v\nserial %+v", app, n+i, buf[i], want)
+				}
+			}
+		}
+	}
+}

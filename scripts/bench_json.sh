@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the hot-path microbenchmarks and emit BENCH_kyoto.json
+# (benchmark name -> ns/op, allocs/op), so the perf trajectory of the
+# simulator is tracked commit over commit.
+#
+# Usage:
+#   ./scripts/bench_json.sh              # ~1s per benchmark, writes BENCH_kyoto.json
+#   BENCHTIME=10x ./scripts/bench_json.sh   # CI smoke: fast, noisy, still alloc-exact
+#   OUT=/tmp/b.json ./scripts/bench_json.sh
+#
+# The "baseline_pr2" block records the pre-refactor numbers measured on the
+# dev container (Xeon @ 2.70GHz) immediately before the PR-2 hot-path
+# rewrite; compare against "benchmarks" from the same machine class only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_kyoto.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+run_bench() {
+	go test -run '^$' -bench 'BenchmarkWorldTick|BenchmarkCacheAccess|BenchmarkWorkloadGen|BenchmarkAccessLRU' \
+		-benchtime "$BENCHTIME" -benchmem ./internal/hv ./internal/cache ./internal/workload
+}
+
+run_bench | awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	ns = ""
+	allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns != "") {
+		if (n++) printf ",\n"
+		printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, (allocs == "" ? "null" : allocs)
+	}
+}
+BEGIN {
+	printf "{\n  \"schema\": \"kyoto-bench-v1\",\n"
+	printf "  \"benchmarks\": {\n"
+}
+END {
+	printf "\n  },\n"
+	printf "  \"baseline_pr2\": {\n"
+	printf "    \"BenchmarkWorldTick/credit\": {\"ns_per_op\": 6327740, \"allocs_per_op\": 2},\n"
+	printf "    \"BenchmarkWorldTick/credit-4vm\": {\"ns_per_op\": 13261971, \"allocs_per_op\": 1},\n"
+	printf "    \"BenchmarkWorldTick/kyoto-4vm\": {\"ns_per_op\": 5656224, \"allocs_per_op\": 3},\n"
+	printf "    \"BenchmarkCacheAccess/hit\": {\"ns_per_op\": 5.166, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkCacheAccess/stream-miss\": {\"ns_per_op\": 81.71, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkCacheAccess/multi-owner\": {\"ns_per_op\": 90.68, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkCacheAccess/path\": {\"ns_per_op\": 33.70, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkAccessLRU\": {\"ns_per_op\": 86.02, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkWorkloadGen/gcc\": {\"ns_per_op\": 24.02, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkWorkloadGen/lbm\": {\"ns_per_op\": 25.19, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkWorkloadGen/povray\": {\"ns_per_op\": 25.17, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkFig1Contention\": {\"ns_per_op\": 20569638032, \"allocs_per_op\": null}\n"
+	printf "  }\n}\n"
+}' > "$OUT"
+
+echo "wrote $OUT" >&2
