@@ -1,0 +1,71 @@
+package kyoto
+
+// The fleet lifecycle facade: replayable arrival/departure traces,
+// synthetic churn, and the sweep that contrasts the three placement
+// policies over one trace. See internal/arrivals for the engine and its
+// README for the on-disk trace format.
+
+import (
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cluster"
+	"kyoto/internal/experiments"
+)
+
+// Re-exported lifecycle types.
+type (
+	// TraceEvent is one trace record: submit tick, lifetime, sizing and
+	// cache-aggressiveness class of one VM.
+	TraceEvent = arrivals.Event
+	// Trace is an ordered set of lifecycle events.
+	Trace = arrivals.Trace
+	// ChurnConfig parameterizes the seeded synthetic churn generator
+	// (Poisson-style arrivals, heavy-tailed lifetimes).
+	ChurnConfig = arrivals.SynthConfig
+	// ClassShare weights one application class in a synthetic mix.
+	ClassShare = arrivals.ClassShare
+	// ReplayOptions tunes a trace replay.
+	ReplayOptions = arrivals.Options
+	// ReplayRecord is one VM's outcome: placement (or rejection),
+	// residency bounds, and lifetime counters.
+	ReplayRecord = arrivals.Record
+	// ReplayResult is a whole replay's outcome, with a deterministic
+	// Fingerprint.
+	ReplayResult = arrivals.Result
+	// HostOverride customizes one host of an otherwise uniform fleet
+	// (heterogeneous machines, memory or permit budgets).
+	HostOverride = cluster.HostOverride
+	// TraceSweepConfig parameterizes a three-placer trace sweep.
+	TraceSweepConfig = experiments.TraceSweepConfig
+	// TraceSweepResult compares the placers over one trace; its Table
+	// renders the rejection-rate / p99 report.
+	TraceSweepResult = experiments.TraceSweepResult
+)
+
+// LoadTrace reads a JSON or CSV trace file (format by extension; see
+// internal/arrivals/README.md for the schema).
+func LoadTrace(path string) (Trace, error) { return arrivals.Load(path) }
+
+// SynthesizeTrace generates a seeded synthetic churn trace; identical
+// configs yield identical traces.
+func SynthesizeTrace(cfg ChurnConfig) Trace { return arrivals.Synthesize(cfg) }
+
+// ReplayTrace builds a fleet from cfg and feeds the trace through it:
+// arrivals are placed by cfg.Placer, departures free their bookings and
+// cache footprint. Rejections are recorded in the result, not returned
+// as errors. The replay is deterministic for a given trace and config,
+// serial or parallel (Result.Fingerprint).
+func ReplayTrace(cfg ClusterConfig, tr Trace, opts ReplayOptions) (ReplayResult, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	return arrivals.Replay(c.fleet, tr, opts)
+}
+
+// SweepTrace replays the trace through all three placement policies on
+// identically seeded fleets and reports per-policy rejection rate,
+// utilization and fleet-wide p50/p95/p99 normalized performance — the
+// paper's contrast under churn.
+func SweepTrace(tr Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
+	return experiments.TraceSweep(tr, cfg)
+}

@@ -89,6 +89,10 @@ type ClusterConfig struct {
 	// Equation-1 units (default cores x 250, the paper's Figure-5
 	// booking per core).
 	HostLLCBudget float64
+	// HostOverrides customizes individual hosts by ID (machine, memory,
+	// permit budget), making the fleet heterogeneous; hosts without an
+	// entry are stamped from the template.
+	HostOverrides map[int]HostOverride
 	// Workers caps RunTicks concurrency (default GOMAXPROCS).
 	Workers int
 }
@@ -154,8 +158,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			MemoryMB:      cfg.HostMemoryMB,
 			LLCBudget:     cfg.HostLLCBudget,
 		},
-		Placer:  placer,
-		Workers: cfg.Workers,
+		Overrides: cfg.HostOverrides,
+		Placer:    placer,
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -176,6 +181,18 @@ func (c *Cluster) Place(spec ClusterVMSpec) (ClusterPlacement, error) {
 		return ClusterPlacement{}, err
 	}
 	return ClusterPlacement{HostID: p.HostID, VM: p.VM}, nil
+}
+
+// Remove tears the named VM down wherever it landed, freeing its booked
+// vCPUs, memory and llc_cap permit and evicting its cache footprint.
+// Removing a VM the fleet does not hold returns an error and changes
+// nothing. The departed VM is returned with its lifetime counters intact.
+func (c *Cluster) Remove(name string) (*VM, error) {
+	p, err := c.fleet.Remove(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.VM, nil
 }
 
 // RunTicks advances every host n scheduler ticks, fanning hosts out
@@ -201,11 +218,4 @@ func (c *Cluster) Placements() []ClusterPlacement {
 }
 
 // FindVM returns the named VM and its host ID, or (nil, -1).
-func (c *Cluster) FindVM(name string) (*VM, int) {
-	for _, h := range c.fleet.Hosts() {
-		if v := h.World.FindVM(name); v != nil {
-			return v, h.ID
-		}
-	}
-	return nil, -1
-}
+func (c *Cluster) FindVM(name string) (*VM, int) { return c.fleet.FindVM(name) }

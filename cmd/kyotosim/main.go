@@ -7,6 +7,8 @@
 //	kyotosim -scenario scenario.json
 //	kyotosim -example | kyotosim -scenario -
 //	kyotosim -scenario fleet.json -hosts 8 -placer kyoto
+//	kyotosim -trace trace.json -hosts 4
+//	kyotosim -churn 24 -hosts 4 -seed 7 [-trace-out churn.json]
 //
 // With -hosts N > 1 the scenario runs on a simulated fleet instead of a
 // single machine: every host is built from the scenario's machine /
@@ -15,6 +17,15 @@
 // llc_cap admission control), and the report gains a host column. VMs the
 // policy rejects are reported, not fatal — rejection is Kyoto admission
 // control doing its job.
+//
+// With -trace the simulator leaves fixed-population mode entirely: the
+// file (JSON or CSV, schema in internal/arrivals/README.md) is an
+// arrival/departure trace that is replayed through all three placement
+// policies on identically seeded -hosts fleets, and the report is the
+// per-policy rejection-rate / utilization / p50-p95-p99
+// normalized-performance comparison table. -churn N does the same for a
+// seeded synthetic trace of N VMs (Poisson-style arrivals, heavy-tailed
+// lifetimes); -trace-out writes the synthesized trace for later replay.
 //
 // Scenario schema (JSON):
 //
@@ -112,6 +123,13 @@ func run(args []string, out io.Writer) (err error) {
 		hosts   = fs.Int("hosts", 1, "fleet size; > 1 runs the scenario on a cluster")
 		placer  = fs.String("placer", "first-fit", "fleet placement policy: first-fit, spread or kyoto")
 
+		tracePath = fs.String("trace", "", "arrival/departure trace file (.json or .csv); replays it through all three placers")
+		churn     = fs.Int("churn", 0, "synthesize a churn trace of this many VMs and replay it through all three placers")
+		seed      = fs.Uint64("seed", 1, "seed for -trace/-churn fleets and the synthetic generator")
+		horizon   = fs.Uint64("churn-horizon", 0, "ticks the synthetic arrivals spread over (default 120)")
+		meanLife  = fs.Float64("churn-life", 0, "mean synthetic VM lifetime in ticks (default 45)")
+		traceOut  = fs.String("trace-out", "", "write the synthesized -churn trace to this JSON file")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -132,6 +150,62 @@ func run(args []string, out io.Writer) (err error) {
 			fmt.Fprintln(out, n)
 		}
 		return nil
+	}
+	// Flags from the other mode must not be silently dropped, in either
+	// direction: trace/churn mode rejects scenario flags, scenario mode
+	// rejects trace/churn flags.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *tracePath == "" && *churn == 0 {
+		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out"} {
+			if set[name] {
+				return fmt.Errorf("-%s only applies in -trace/-churn mode", name)
+			}
+		}
+	}
+	if *tracePath != "" || *churn > 0 {
+		if *hosts < 1 {
+			return fmt.Errorf("-hosts must be at least 1, got %d", *hosts)
+		}
+		if *tracePath != "" && *churn > 0 {
+			return fmt.Errorf("-trace and -churn are mutually exclusive")
+		}
+		if *path != "" {
+			return fmt.Errorf("-scenario does not apply in -trace/-churn mode")
+		}
+		if set["placer"] {
+			return fmt.Errorf("-placer does not apply in -trace/-churn mode: the trace is swept through all three placers")
+		}
+		if *tracePath != "" && (set["trace-out"] || set["churn-horizon"] || set["churn-life"]) {
+			return fmt.Errorf("-trace-out/-churn-horizon/-churn-life only apply with -churn")
+		}
+		var tr kyoto.Trace
+		if *tracePath != "" {
+			tr, err = kyoto.LoadTrace(*tracePath)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace: %s (%d events)\n", *tracePath, len(tr.Events))
+		} else {
+			cfg := kyoto.ChurnConfig{Seed: *seed, VMs: *churn, Horizon: *horizon, MeanLifetime: *meanLife}
+			tr = kyoto.SynthesizeTrace(cfg)
+			fmt.Fprintf(out, "synthetic churn: %d VMs, seed %d\n", *churn, *seed)
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return err
+				}
+				if err := tr.WriteJSON(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n", *traceOut)
+			}
+		}
+		return executeTrace(tr, *hosts, *seed, out)
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -scenario (use -example for a template)")
@@ -163,6 +237,28 @@ func run(args []string, out io.Writer) (err error) {
 		return executeFleet(sc, *hosts, *placer, placerKind, out)
 	}
 	return execute(sc, out)
+}
+
+// executeTrace replays the trace through all three placement policies and
+// prints the comparison table plus a short per-policy rejection digest.
+func executeTrace(tr kyoto.Trace, hosts int, seed uint64, out io.Writer) error {
+	res, err := kyoto.SweepTrace(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Table().String())
+	for _, row := range res.Rows {
+		if row.Rejected == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%s rejections:\n", row.Placer)
+		for _, rec := range row.Replay.Records {
+			if rec.Rejected {
+				fmt.Fprintf(out, "  t=%d %s (%s): %s\n", rec.Submit, rec.Name, rec.App, rec.Reason)
+			}
+		}
+	}
+	return nil
 }
 
 // worldConfig maps the scenario's host settings onto a WorldConfig.

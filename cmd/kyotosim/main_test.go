@@ -162,3 +162,94 @@ func TestFleetModeFlagValidation(t *testing.T) {
 		t.Fatal("unknown placer must fail")
 	}
 }
+
+// TestTraceModeComparisonTable is the acceptance lock for -trace: the
+// committed example trace replayed through all three placers must print
+// the rejection-rate / p99 comparison table.
+func TestTraceModeComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the committed example trace on three 4-host fleets")
+	}
+	var out strings.Builder
+	trace := filepath.Join("..", "..", "internal", "arrivals", "testdata", "example.json")
+	if err := run([]string{"-trace", trace, "-hosts", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"22 events", "Trace sweep", "first-fit", "spread", "kyoto",
+		"rej rate", "p99 norm", "cpu util",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChurnModeSynthesizesAndWritesTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace on three fleets")
+	}
+	outFile := filepath.Join(t.TempDir(), "churn.json")
+	var out strings.Builder
+	if err := run([]string{"-churn", "8", "-hosts", "2", "-seed", "3", "-trace-out", outFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "synthetic churn: 8 VMs") ||
+		!strings.Contains(out.String(), "Trace sweep") {
+		t.Fatalf("churn report wrong:\n%s", out.String())
+	}
+	// The written trace must replay to the identical table (same seed).
+	var replayOut strings.Builder
+	if err := run([]string{"-trace", outFile, "-hosts", "2", "-seed", "3"}, &replayOut); err != nil {
+		t.Fatal(err)
+	}
+	tableOf := func(s string) string {
+		i := strings.Index(s, "== Trace sweep")
+		if i < 0 {
+			t.Fatalf("no table in output:\n%s", s)
+		}
+		return s[i:]
+	}
+	if tableOf(out.String()) != tableOf(replayOut.String()) {
+		t.Fatalf("write-then-replay diverged:\n%s\nvs\n%s", out.String(), replayOut.String())
+	}
+}
+
+func TestTraceModeFlagValidation(t *testing.T) {
+	if err := run([]string{"-trace", "x.json", "-churn", "5"}, &strings.Builder{}); err == nil {
+		t.Fatal("-trace with -churn must fail")
+	}
+	if err := run([]string{"-trace", "missing.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing trace file must fail")
+	}
+	if err := run([]string{"-churn", "5", "-hosts", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("hosts 0 must fail in trace mode")
+	}
+}
+
+func TestTraceModeRejectsForeignFlags(t *testing.T) {
+	trace := filepath.Join("..", "..", "internal", "arrivals", "testdata", "example.csv")
+	for name, args := range map[string][]string{
+		"scenario":  {"-trace", trace, "-scenario", "s.json"},
+		"placer":    {"-trace", trace, "-placer", "kyoto"},
+		"trace-out": {"-trace", trace, "-trace-out", "o.json"},
+		"life":      {"-trace", trace, "-churn-life", "10"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("%s: conflicting flag must be rejected, not silently ignored", name)
+		}
+	}
+}
+
+func TestScenarioModeRejectsTraceFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"seed":      {"-scenario", "s.json", "-seed", "9"},
+		"trace-out": {"-scenario", "s.json", "-trace-out", "o.json"},
+		"life":      {"-scenario", "s.json", "-churn-life", "10"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("%s: trace-mode flag must be rejected in scenario mode", name)
+		}
+	}
+}

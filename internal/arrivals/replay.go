@@ -1,0 +1,235 @@
+package arrivals
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"kyoto/internal/cluster"
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+// Options tunes a replay.
+type Options struct {
+	// DrainTicks runs the fleet this many extra ticks after the last
+	// event before final counters are read, letting VMs that never depart
+	// accumulate a measurable window (default 0).
+	DrainTicks int
+}
+
+// Record is one event's outcome: where the VM landed (or why it was
+// rejected) and the PMC counters it accumulated over its residency.
+type Record struct {
+	// Index is the event's position in the sorted trace.
+	Index int
+	// Name and App echo the resolved event.
+	Name string
+	App  string
+	// Submit and Depart bound the VM's residency in ticks. For VMs still
+	// running when the replay ends (Lifetime 0), Depart is the end tick.
+	Submit uint64
+	Depart uint64
+	// HostID is where the VM ran, -1 when rejected.
+	HostID int
+	// Rejected is set when no host could take the VM; Reason carries the
+	// policy's explanation.
+	Rejected bool
+	Reason   string
+	// Departed distinguishes a real departure from an end-of-replay
+	// snapshot of a still-running VM.
+	Departed bool
+	// Counters is the VM's aggregate PMC delta over its residency.
+	Counters pmc.Counters
+}
+
+// Result is a whole replay's outcome.
+type Result struct {
+	// Records parallels the sorted trace's events.
+	Records []Record
+	// Placed and Rejected count outcomes.
+	Placed   int
+	Rejected int
+	// EndTick is the fleet clock when the replay finished.
+	EndTick uint64
+	// CPUUtilization is the time-weighted mean booked share of vCPU slots
+	// over the whole replay, in [0, 1].
+	CPUUtilization float64
+}
+
+// RejectionRate returns rejected / submitted, in [0, 1].
+func (r Result) RejectionRate() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return float64(r.Rejected) / float64(len(r.Records))
+}
+
+// Fingerprint folds every record's counters and placement metadata into
+// one stable hash. Two replays of the same trace on identically
+// configured fleets — serial or parallel, today or in a year — must
+// produce the same fingerprint; the churn golden test pins one.
+func (r Result) Fingerprint() string {
+	h := pmc.FoldSeed
+	for _, rec := range r.Records {
+		h = rec.Counters.Fold(h)
+		h = pmc.FoldUint64(h, uint64(rec.HostID+2))
+		h = pmc.FoldUint64(h, rec.Submit)
+		h = pmc.FoldUint64(h, rec.Depart)
+		var flags uint64
+		if rec.Rejected {
+			flags |= 1
+		}
+		if rec.Departed {
+			flags |= 2
+		}
+		h = pmc.FoldUint64(h, flags)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// departure is a scheduled Fleet.Remove.
+type departure struct {
+	tick uint64
+	idx  int // record index; orders same-tick departures deterministically
+}
+
+// departureHeap is a min-heap on (tick, idx).
+type departureHeap []departure
+
+func (h departureHeap) Len() int { return len(h) }
+func (h departureHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].idx < h[j].idx
+}
+func (h departureHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)   { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// Replay feeds the trace through the fleet: at each event tick the fleet
+// is advanced to that tick, departures are processed first (freeing
+// booked CPU, memory and llc_cap, and evicting the departed VM's cache
+// footprint), then arrivals are placed in trace order. Rejections are
+// recorded, not fatal — a rejection is the placement policy speaking.
+//
+// The fleet should be freshly built; Replay assumes its clock starts at
+// the trace's epoch. Event order, same-tick ordering (departures before
+// arrivals, both by trace position) and the fleet's serial-equivalent
+// RunTicks make the whole replay deterministic for a given trace, seed
+// and fleet configuration.
+func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	sorted := tr.Sorted()
+	events := sorted.Events
+	res := Result{Records: make([]Record, len(events))}
+
+	active := make(map[string]int, len(events)) // live VM name -> record index
+	deps := &departureHeap{}
+	now := uint64(0)
+	var utilTicks float64 // integral of booked-CPU fraction over ticks
+
+	runTo := func(t uint64) {
+		if t <= now {
+			return
+		}
+		utilTicks += f.BookedCPUFraction() * float64(t-now)
+		// Advance in int-sized chunks so the uint64 tick delta cannot
+		// truncate on 32-bit platforms (Validate bounds t, not int).
+		for now < t {
+			step := t - now
+			if step > math.MaxInt32 {
+				step = math.MaxInt32
+			}
+			f.RunTicks(int(step))
+			now += step
+		}
+	}
+
+	i := 0
+	for i < len(events) || deps.Len() > 0 {
+		next := ^uint64(0)
+		if i < len(events) {
+			next = events[i].Submit
+		}
+		if deps.Len() > 0 && (*deps)[0].tick < next {
+			next = (*deps)[0].tick
+		}
+		runTo(next)
+
+		for deps.Len() > 0 && (*deps)[0].tick == now {
+			d := heap.Pop(deps).(departure)
+			rec := &res.Records[d.idx]
+			p, err := f.Remove(rec.Name)
+			if err != nil {
+				return res, fmt.Errorf("arrivals: departing %q at tick %d: %w", rec.Name, now, err)
+			}
+			rec.Counters = p.VM.Counters()
+			rec.Depart = now
+			rec.Departed = true
+			delete(active, rec.Name)
+		}
+
+		for i < len(events) && events[i].Submit == now {
+			ev := events[i]
+			rec := &res.Records[i]
+			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, Submit: now, HostID: -1}
+			if _, dup := active[rec.Name]; dup {
+				return res, fmt.Errorf("arrivals: event %d: VM name %q already active at tick %d", i, rec.Name, now)
+			}
+			p, err := f.Place(cluster.Request{
+				Spec:     vm.Spec{Name: rec.Name, App: ev.App, VCPUs: ev.VCPUs, LLCCap: ev.LLCCap},
+				MemoryMB: ev.MemoryMB,
+			})
+			if err != nil {
+				if !errors.Is(err, cluster.ErrUnplaceable) {
+					return res, err
+				}
+				rec.Rejected = true
+				rec.Reason = err.Error()
+				res.Rejected++
+				i++
+				continue
+			}
+			rec.HostID = p.HostID
+			active[rec.Name] = i
+			res.Placed++
+			if ev.Lifetime > 0 {
+				// Validate bounds Submit and Lifetime to MaxTick, so the
+				// departure tick cannot overflow.
+				heap.Push(deps, departure{tick: now + ev.Lifetime, idx: i})
+			}
+			i++
+		}
+	}
+
+	if opt.DrainTicks > 0 {
+		runTo(now + uint64(opt.DrainTicks))
+	}
+	// Snapshot VMs that never depart (Lifetime 0) as of the end tick, in
+	// record order for determinism.
+	for idx := range res.Records {
+		rec := &res.Records[idx]
+		if aidx, ok := active[rec.Name]; ok && aidx == idx {
+			if v, _ := f.FindVM(rec.Name); v != nil {
+				rec.Counters = v.Counters()
+			}
+			rec.Depart = now
+		}
+	}
+	res.EndTick = now
+	if now > 0 {
+		res.CPUUtilization = utilTicks / float64(now)
+	}
+	return res, nil
+}

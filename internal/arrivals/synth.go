@@ -1,0 +1,160 @@
+package arrivals
+
+import (
+	"math"
+
+	"kyoto/internal/xrand"
+)
+
+// Synthetic-churn defaults; see SynthConfig.
+const (
+	DefaultSynthVMs          = 16
+	DefaultSynthHorizon      = 120
+	DefaultSynthMeanLifetime = 45
+	DefaultSynthParetoAlpha  = 1.8
+	DefaultSynthMinLifetime  = 6
+	DefaultSynthLLCCap       = 250
+)
+
+// ClassShare weights one application class in the synthetic mix.
+type ClassShare struct {
+	// App is the workload profile name.
+	App string
+	// Weight is the class's relative arrival probability.
+	Weight float64
+}
+
+// DefaultMix is the synthetic-churn application mix: mostly quiet
+// tenants, a steady share of the paper's Figure-4 polluters (lbm, mcf,
+// blockie), roughly the quiet-to-aggressive ratio of a multi-tenant rack.
+func DefaultMix() []ClassShare {
+	return []ClassShare{
+		{App: "gcc", Weight: 3},
+		{App: "omnetpp", Weight: 2},
+		{App: "astar", Weight: 2},
+		{App: "bzip", Weight: 1},
+		{App: "lbm", Weight: 2},
+		{App: "mcf", Weight: 1},
+		{App: "blockie", Weight: 1},
+	}
+}
+
+// SynthConfig parameterizes the synthetic churn generator. The zero value
+// is usable: 16 VMs over a 120-tick horizon with 45-tick mean lifetimes,
+// the default mix and a full Figure-5 permit per VM.
+type SynthConfig struct {
+	// Seed drives all randomness (0 means 1). The same config and seed
+	// always synthesize the identical trace.
+	Seed uint64
+	// VMs is the number of arrivals to generate.
+	VMs int
+	// Horizon spreads the arrivals: the mean inter-arrival gap is
+	// Horizon/VMs ticks (Poisson-style exponential gaps).
+	Horizon uint64
+	// MeanLifetime is the mean VM lifetime in ticks. Lifetimes are
+	// Pareto-distributed (heavy-tailed: most VMs short-lived, a few
+	// long-runners), matching public-cloud churn studies.
+	MeanLifetime float64
+	// ParetoAlpha is the lifetime tail shape (> 1; smaller = heavier
+	// tail).
+	ParetoAlpha float64
+	// MinLifetime floors lifetimes, in ticks (two slices by default, so
+	// every VM exists across at least one Kyoto refill boundary).
+	MinLifetime uint64
+	// Mix is the weighted application-class mix (default DefaultMix).
+	Mix []ClassShare
+	// MemoryMB books each VM's memory (default cluster default, 64 MB).
+	MemoryMB int
+	// LLCCap books each VM's pollution permit (default 250, the paper's
+	// Figure-5 booking). Set negative to book none (permit-less VMs are
+	// rejected by Kyoto admission — useful to probe rejection behaviour).
+	LLCCap float64
+}
+
+// withDefaults fills zero-valued fields.
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.VMs <= 0 {
+		c.VMs = DefaultSynthVMs
+	}
+	if c.Horizon == 0 {
+		c.Horizon = DefaultSynthHorizon
+	}
+	if c.MeanLifetime <= 0 {
+		c.MeanLifetime = DefaultSynthMeanLifetime
+	}
+	if c.ParetoAlpha <= 1 {
+		c.ParetoAlpha = DefaultSynthParetoAlpha
+	}
+	if c.MinLifetime == 0 {
+		c.MinLifetime = DefaultSynthMinLifetime
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.LLCCap == 0 {
+		c.LLCCap = DefaultSynthLLCCap
+	} else if c.LLCCap < 0 {
+		c.LLCCap = 0
+	}
+	return c
+}
+
+// Synthesize generates a seeded churn trace: exponential inter-arrival
+// gaps with mean Horizon/VMs, Pareto lifetimes mean-matched to
+// MeanLifetime, and classes drawn from the weighted Mix. Identical
+// configs yield identical traces.
+func Synthesize(cfg SynthConfig) Trace {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(cfg.Seed)
+	arrivalRNG := rng.Split()
+	lifeRNG := rng.Split()
+	classRNG := rng.Split()
+
+	var totalWeight float64
+	for _, s := range cfg.Mix {
+		totalWeight += s.Weight
+	}
+	meanGap := float64(cfg.Horizon) / float64(cfg.VMs)
+	// Pareto scale so the mean is MeanLifetime: mean = xm*alpha/(alpha-1).
+	xm := cfg.MeanLifetime * (cfg.ParetoAlpha - 1) / cfg.ParetoAlpha
+
+	evs := make([]Event, 0, cfg.VMs)
+	at := 0.0
+	for i := 0; i < cfg.VMs; i++ {
+		at += expSample(arrivalRNG, meanGap)
+		life := xm * math.Pow(1-lifeRNG.Float64(), -1/cfg.ParetoAlpha)
+		lifetime := uint64(math.Round(life))
+		if lifetime < cfg.MinLifetime {
+			lifetime = cfg.MinLifetime
+		}
+		evs = append(evs, Event{
+			Submit:   uint64(math.Round(at)),
+			Lifetime: lifetime,
+			App:      pickClass(classRNG, cfg.Mix, totalWeight),
+			MemoryMB: cfg.MemoryMB,
+			LLCCap:   cfg.LLCCap,
+		})
+	}
+	return Trace{Events: evs}
+}
+
+// expSample draws an exponential variate with the given mean.
+func expSample(rng *xrand.Rand, mean float64) float64 {
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -mean * math.Log(1-rng.Float64())
+}
+
+// pickClass draws one class from the weighted mix.
+func pickClass(rng *xrand.Rand, mix []ClassShare, total float64) string {
+	x := rng.Float64() * total
+	for _, s := range mix {
+		x -= s.Weight
+		if x < 0 {
+			return s.App
+		}
+	}
+	return mix[len(mix)-1].App
+}

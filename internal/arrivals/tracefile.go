@@ -1,0 +1,150 @@
+package arrivals
+
+// Trace file I/O. Two on-disk shapes, both Azure/Borg-flavoured (one
+// record per VM: submit time, lifetime, size, class):
+//
+//	JSON  {"events": [{"submit": 0, "lifetime": 40, "name": "web0",
+//	                   "app": "gcc", "vcpus": 1, "memory_mb": 64,
+//	                   "llc_cap": 250}, ...]}
+//	CSV   submit,lifetime,name,app,vcpus,memory_mb,llc_cap
+//	      0,40,web0,gcc,1,64,250
+//
+// The format is documented field by field in this package's README.md; a
+// committed example lives in testdata/.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the canonical CSV column order.
+var csvHeader = []string{"submit", "lifetime", "name", "app", "vcpus", "memory_mb", "llc_cap"}
+
+// Load reads a trace from path, selecting the format by extension
+// (".json" or ".csv"), and validates it.
+func Load(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		return ParseJSON(f)
+	case ".csv":
+		return ParseCSV(f)
+	default:
+		return Trace{}, fmt.Errorf("arrivals: %s: unknown trace format %q (want .json or .csv)", path, ext)
+	}
+}
+
+// ParseJSON decodes and validates a JSON trace. Unknown fields are
+// rejected so schema typos fail loudly.
+func ParseJSON(r io.Reader) (Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("arrivals: parsing JSON trace: %w", err)
+	}
+	return t, t.Validate()
+}
+
+// ParseCSV decodes and validates a CSV trace. The header row is required
+// and must match the canonical column order; empty cells take the field's
+// default.
+func ParseCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return Trace{}, fmt.Errorf("arrivals: parsing CSV trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return Trace{}, fmt.Errorf("arrivals: CSV trace is empty (want header %s)", strings.Join(csvHeader, ","))
+	}
+	if got := strings.Join(rows[0], ","); got != strings.Join(csvHeader, ",") {
+		return Trace{}, fmt.Errorf("arrivals: CSV header %q, want %q", got, strings.Join(csvHeader, ","))
+	}
+	var t Trace
+	for n, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return Trace{}, fmt.Errorf("arrivals: CSV row %d has %d columns, want %d", n+2, len(row), len(csvHeader))
+		}
+		var e Event
+		var err error
+		if e.Submit, err = parseUint(row[0]); err == nil {
+			if e.Lifetime, err = parseUint(row[1]); err == nil {
+				e.Name, e.App = row[2], row[3]
+				if e.VCPUs, err = parseInt(row[4]); err == nil {
+					if e.MemoryMB, err = parseInt(row[5]); err == nil {
+						e.LLCCap, err = parseFloat(row[6])
+					}
+				}
+			}
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("arrivals: CSV row %d: %w", n+2, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, t.Validate()
+}
+
+// WriteJSON renders the trace as indented JSON (the -trace-out format).
+func (t Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteCSV renders the trace in the canonical CSV column order.
+func (t Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		row := []string{
+			strconv.FormatUint(e.Submit, 10),
+			strconv.FormatUint(e.Lifetime, 10),
+			e.Name,
+			e.App,
+			strconv.Itoa(e.VCPUs),
+			strconv.Itoa(e.MemoryMB),
+			strconv.FormatFloat(e.LLCCap, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func parseInt(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func parseFloat(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

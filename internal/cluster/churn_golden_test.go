@@ -1,0 +1,90 @@
+package cluster_test
+
+// Churn golden determinism guard, alongside the fixed-population fleet
+// golden: a seeded synthetic arrivals trace replayed through a Kyoto
+// fleet must produce the committed fingerprint — run twice, serial and
+// parallel. This pins the whole lifecycle path (Place, Remove, cache
+// eviction on departure, monotonic ID assignment) bit for bit; it lives
+// in an external test package because arrivals imports cluster.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cluster"
+)
+
+var updateChurnGolden = flag.Bool("update-churn", false, "rewrite testdata/golden_churn.json with the observed fingerprint")
+
+// churnTrace is the pinned scenario: a dozen VMs with heavy-tailed
+// lifetimes churning over a 3-host Kyoto fleet — small enough to stay
+// fast under -race, busy enough that placements, departures and permit
+// pressure all occur.
+func churnTrace() arrivals.Trace {
+	return arrivals.Synthesize(arrivals.SynthConfig{
+		Seed:         7,
+		VMs:          12,
+		Horizon:      45,
+		MeanLifetime: 14,
+	})
+}
+
+func churnFingerprint(t *testing.T, workers int) string {
+	t.Helper()
+	f, err := cluster.New(cluster.Config{
+		Hosts:    3,
+		Template: cluster.HostTemplate{Seed: 42, EnableKyoto: true},
+		Placer:   cluster.Admission{},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arrivals.Replay(f, churnTrace(), arrivals.Options{DrainTicks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Fingerprint()
+}
+
+func TestGoldenChurnSerialParallel(t *testing.T) {
+	got := churnFingerprint(t, 1)
+	if again := churnFingerprint(t, 1); again != got {
+		t.Fatalf("serial churn replay not reproducible: %s vs %s", again, got)
+	}
+	if par := churnFingerprint(t, 0); par != got {
+		t.Fatalf("parallel churn fingerprint %s != serial %s", par, got)
+	}
+
+	path := filepath.Join("testdata", "golden_churn.json")
+	if *updateChurnGolden {
+		data, err := json.MarshalIndent(map[string]string{"kyoto-churn-3h12vm": got}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update-churn to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want["kyoto-churn-3h12vm"] {
+		t.Fatalf("churn fingerprint %s, want %s — the lifecycle path is no longer bit-identical to the committed baseline",
+			got, want["kyoto-churn-3h12vm"])
+	}
+}

@@ -95,8 +95,10 @@ type Host struct {
 // enforcement, else nil.
 func (h *Host) Kyoto() *core.Kyoto { return h.kyoto }
 
-// Placements returns the VMs placed on this host, in placement order.
-func (h *Host) Placements() []Placement { return h.vms }
+// Placements returns the VMs currently placed on this host, in placement
+// order (departed VMs are pruned by Fleet.Remove). The slice is a copy:
+// it stays valid however the fleet churns afterwards.
+func (h *Host) Placements() []Placement { return append([]Placement(nil), h.vms...) }
 
 // FreeCPUs returns the unbooked vCPU slots.
 func (h *Host) FreeCPUs() int { return h.CapacityCPUs - h.BookedCPUs }
@@ -147,12 +149,30 @@ type Placement struct {
 	Request Request
 }
 
+// HostOverride customizes one host of an otherwise uniform fleet, making
+// heterogeneous fleets expressible: a few Table-1-class hosts next to
+// machines with a larger LLC, more memory, or a bigger permit budget.
+// Zero-valued fields keep the template's value; scheduler, Kyoto
+// enforcement and the seed always come from the template so the fleet
+// stays one coherent experiment.
+type HostOverride struct {
+	// Machine replaces the template machine when set (Sockets > 0).
+	Machine machine.Config
+	// MemoryMB replaces the host memory capacity when non-zero.
+	MemoryMB int
+	// LLCBudget replaces the pollution-permit budget when non-zero.
+	LLCBudget float64
+}
+
 // Config assembles a Fleet.
 type Config struct {
 	// Hosts is the fleet size (at least 1).
 	Hosts int
 	// Template describes every host.
 	Template HostTemplate
+	// Overrides customizes individual hosts by ID; hosts without an entry
+	// are stamped from Template unchanged.
+	Overrides map[int]HostOverride
 	// Placer decides which host gets each VM (default FirstFit).
 	Placer Placer
 	// Workers caps RunTicks concurrency (default GOMAXPROCS).
@@ -176,9 +196,29 @@ func New(cfg Config) (*Fleet, error) {
 	if placer == nil {
 		placer = FirstFit{}
 	}
+	for id, o := range cfg.Overrides {
+		if id < 0 || id >= cfg.Hosts {
+			return nil, fmt.Errorf("cluster: override for host %d, but fleet has hosts 0..%d", id, cfg.Hosts-1)
+		}
+		if o.MemoryMB < 0 || o.LLCBudget < 0 {
+			return nil, fmt.Errorf("cluster: override for host %d: negative capacity (%d MB, %v permit)", id, o.MemoryMB, o.LLCBudget)
+		}
+	}
 	f := &Fleet{placer: placer, workers: cfg.Workers}
 	for i := 0; i < cfg.Hosts; i++ {
-		h, err := newHost(i, cfg.Template)
+		t := cfg.Template
+		if o, ok := cfg.Overrides[i]; ok {
+			if o.Machine.Sockets > 0 {
+				t.Machine = o.Machine
+			}
+			if o.MemoryMB != 0 {
+				t.MemoryMB = o.MemoryMB
+			}
+			if o.LLCBudget != 0 {
+				t.LLCBudget = o.LLCBudget
+			}
+		}
+		h, err := newHost(i, t)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: host %d: %w", i, err)
 		}
@@ -258,8 +298,10 @@ func (f *Fleet) Size() int { return len(f.hosts) }
 // Placer returns the fleet's placement policy.
 func (f *Fleet) Placer() Placer { return f.placer }
 
-// Placements returns every successful placement, in request order.
-func (f *Fleet) Placements() []Placement { return f.placements }
+// Placements returns the live placements in request order; VMs torn down
+// by Remove no longer appear. The slice is a copy: it stays valid
+// however the fleet churns afterwards.
+func (f *Fleet) Placements() []Placement { return append([]Placement(nil), f.placements...) }
 
 // Place asks the policy for a host, books the request's resources and
 // instantiates the VM there. The error is ErrUnplaceable (wrapped with
@@ -284,6 +326,52 @@ func (f *Fleet) Place(req Request) (Placement, error) {
 	h.vms = append(h.vms, p)
 	f.placements = append(f.placements, p)
 	return p, nil
+}
+
+// Remove tears the named VM down wherever it landed: the VM leaves its
+// host's World (scheduler runqueues, cache footprint — see
+// hv.World.RemoveVM) and its booked vCPUs, memory and llc_cap permit are
+// freed for future placements. Removing a VM the fleet does not hold
+// returns an error and leaves every booking untouched. The removed
+// Placement is returned so callers can read the departed VM's lifetime
+// counters.
+func (f *Fleet) Remove(name string) (Placement, error) {
+	for _, h := range f.hosts {
+		for i, p := range h.vms {
+			if p.VM.Name != name {
+				continue
+			}
+			if err := h.World.RemoveVM(name); err != nil {
+				return Placement{}, fmt.Errorf("cluster: host %d: %w", h.ID, err)
+			}
+			h.BookedCPUs -= p.Request.CPUs()
+			h.BookedMemMB -= p.Request.MemMB()
+			h.BookedLLC -= p.Request.LLCCap
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			for j, fp := range f.placements {
+				if fp.VM == p.VM {
+					f.placements = append(f.placements[:j], f.placements[j+1:]...)
+					break
+				}
+			}
+			return p, nil
+		}
+	}
+	return Placement{}, fmt.Errorf("cluster: remove %q: no such VM in the fleet", name)
+}
+
+// BookedCPUFraction returns the fleet-wide booked share of vCPU slots in
+// [0, 1] — the utilization the trace-replay reports sample between events.
+func (f *Fleet) BookedCPUFraction() float64 {
+	var booked, capacity int
+	for _, h := range f.hosts {
+		booked += h.BookedCPUs
+		capacity += h.CapacityCPUs
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(booked) / float64(capacity)
 }
 
 // PlaceAll places every request in order, returning all placements or the
@@ -339,6 +427,18 @@ func (f *Fleet) RunTicksSerial(n int) {
 	for _, h := range f.hosts {
 		h.World.RunTicks(n)
 	}
+}
+
+// FindVM returns the live VM with the given name and its host's ID, or
+// (nil, -1). Hosts are scanned in ID order, so duplicated names resolve
+// to the lowest host.
+func (f *Fleet) FindVM(name string) (*vm.VM, int) {
+	for _, h := range f.hosts {
+		if v := h.World.FindVM(name); v != nil {
+			return v, h.ID
+		}
+	}
+	return nil, -1
 }
 
 // SnapshotVMs returns every host's per-VM aggregate counters, indexed by

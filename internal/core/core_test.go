@@ -239,3 +239,27 @@ func TestUnknownVMMeasurementIgnored(t *testing.T) {
 		t.Fatal("unrelated measurement affected registered VM")
 	}
 }
+
+// TestUnregisterIsIdempotent locks the Remover contract: a double (or
+// never-registered) Unregister must not collapse a live VM's ledger.
+func TestUnregisterIsIdempotent(t *testing.T) {
+	k := New(sched.NewCredit(2))
+	domain := &vm.VM{ID: 1, Name: "m", LLCCap: 250, Weight: 256}
+	v0 := &vm.VCPU{VM: domain, ID: 1}
+	v1 := &vm.VCPU{VM: domain, ID: 2}
+	domain.VCPUs = []*vm.VCPU{v0, v1}
+	k.Register(v0)
+	k.Register(v1)
+	k.Unregister(v0)
+	k.Unregister(v0) // double removal: must be a no-op
+	if got := len(k.VMs()); got != 1 {
+		t.Fatalf("ledger collapsed by double Unregister: %d VMs", got)
+	}
+	if k.QuotaBalance(domain) == 0 {
+		t.Fatal("live VM lost its quota ledger")
+	}
+	k.Unregister(v1) // last real vCPU: now the ledger closes
+	if got := len(k.VMs()); got != 0 {
+		t.Fatalf("ledger not closed after last vCPU left: %d VMs", got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"kyoto/internal/machine"
@@ -61,6 +62,8 @@ type Kyoto struct {
 	base       sched.Scheduler
 	ledgers    map[*vm.VM]*ledger
 	vmsInOrder []*vm.VM
+	registered map[*vm.VCPU]bool
+	vcpuCount  map[*vm.VM]int
 	pending    []Measurement
 	bankSlices float64
 	overhead   uint64
@@ -77,12 +80,15 @@ type ledger struct {
 }
 
 var _ sched.Scheduler = (*Kyoto)(nil)
+var _ sched.Remover = (*Kyoto)(nil)
 
 // New wraps base with Kyoto pollution enforcement.
 func New(base sched.Scheduler, opts ...Option) *Kyoto {
 	k := &Kyoto{
 		base:       base,
 		ledgers:    make(map[*vm.VM]*ledger),
+		registered: make(map[*vm.VCPU]bool),
+		vcpuCount:  make(map[*vm.VM]int),
 		bankSlices: 1,
 		overhead:   DefaultOverheadCycles,
 	}
@@ -108,7 +114,45 @@ func (k *Kyoto) Register(v *vm.VCPU) {
 		k.ledgers[v.VM] = &ledger{balance: k.sliceQuota(v.VM)}
 		k.vmsInOrder = append(k.vmsInOrder, v.VM)
 	}
+	if !k.registered[v] {
+		k.registered[v] = true
+		k.vcpuCount[v.VM]++
+	}
 	k.base.Register(v)
+}
+
+// Unregister implements sched.Remover: the departing VM's pollution
+// ledger is closed when its last vCPU leaves, so long-running churn
+// scenarios do not accumulate dead accounts. The base scheduler must
+// itself implement sched.Remover (all built-in policies do); wrapping a
+// base that cannot remove vCPUs is a static misconfiguration, and
+// silently skipping the base removal would leave departed vCPUs
+// schedulable — so it panics, like Pisces.Register on an unpinned vCPU.
+func (k *Kyoto) Unregister(v *vm.VCPU) {
+	r, ok := k.base.(sched.Remover)
+	if !ok {
+		panic(fmt.Sprintf("core: base scheduler %s does not implement sched.Remover; cannot remove vCPUs through the Kyoto decorator", k.base.Name()))
+	}
+	r.Unregister(v)
+	// Never-registered (or already-unregistered) vCPUs are a no-op, per
+	// the Remover contract — a stray double-removal must not collapse a
+	// live sibling's ledger.
+	if !k.registered[v] {
+		return
+	}
+	delete(k.registered, v)
+	k.vcpuCount[v.VM]--
+	if k.vcpuCount[v.VM] > 0 {
+		return
+	}
+	delete(k.vcpuCount, v.VM)
+	delete(k.ledgers, v.VM)
+	for i, domain := range k.vmsInOrder {
+		if domain == v.VM {
+			k.vmsInOrder = append(k.vmsInOrder[:i], k.vmsInOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // PickNext implements sched.Scheduler by delegation; pollution blocking is

@@ -1,0 +1,204 @@
+package experiments
+
+// Trace sweep: the cluster-scoped experiment the lifecycle layer unlocks.
+// One arrival/departure trace is replayed through each of the three
+// placement policies on identically seeded fleets, and per-policy
+// rejection rate, utilization and the fleet-wide distribution of
+// normalized performance (per-VM lifetime IPC over its solo IPC) are
+// reported — the paper's contrast, under churn: contention-blind
+// first-fit and contention-aware spread run unprotected, while the Kyoto
+// placer books llc_cap permits at admission and enforces them on-host.
+
+import (
+	"fmt"
+	"sort"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cluster"
+	"kyoto/internal/stats"
+)
+
+// TraceSweepConfig parameterizes a sweep.
+type TraceSweepConfig struct {
+	// Hosts is the fleet size each policy gets (default 4).
+	Hosts int
+	// Seed seeds every fleet and the solo baselines (default 1).
+	Seed uint64
+	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
+	Workers int
+	// DrainTicks extends the replay past the last event so VMs that
+	// never depart accumulate a window (default DefaultMeasureTicks).
+	DrainTicks int
+	// Overrides optionally makes the fleets heterogeneous; the same
+	// overrides apply under every policy.
+	Overrides map[int]cluster.HostOverride
+}
+
+// TraceSweepRow is one policy's outcome over the trace.
+type TraceSweepRow struct {
+	// Placer is the policy name; Enforced reports whether per-host Kyoto
+	// permit enforcement was active (the kyoto placer's contract).
+	Placer   string
+	Enforced bool
+	// Submitted/Placed/Rejected count VMs; RejectionRate is
+	// Rejected/Submitted.
+	Submitted     int
+	Placed        int
+	Rejected      int
+	RejectionRate float64
+	// CPUUtilization is the time-weighted mean booked vCPU share.
+	CPUUtilization float64
+	// P50, P95, P99 are tail-oriented percentiles of per-VM normalized
+	// performance (lifetime IPC over the app's solo IPC, 1.0 = as if
+	// alone): PXX is the normalized performance that XX% of placed VMs
+	// meet or exceed, so P99 is the floor the slowest 1% boundary
+	// provides — where churn-driven unpredictability lives.
+	P50 float64
+	P95 float64
+	P99 float64
+	// Replay is the full per-VM outcome for deeper analysis.
+	Replay arrivals.Result
+}
+
+// TraceSweepResult is the whole sweep.
+type TraceSweepResult struct {
+	Hosts int
+	Rows  []TraceSweepRow
+}
+
+// tracePlacers are the swept policies: the two unprotected families the
+// paper contrasts, then Kyoto admission with on-host enforcement.
+var tracePlacers = []struct {
+	placer   cluster.Placer
+	enforced bool
+}{
+	{cluster.FirstFit{}, false},
+	{cluster.Spread{}, false},
+	{cluster.Admission{}, true},
+}
+
+// TraceSweep replays the trace through all three placement policies and
+// reports per-policy rejection, utilization and normalized-performance
+// percentiles. Fleets are seeded identically, so rows differ only by
+// policy; the whole sweep is deterministic for a given trace and config.
+func TraceSweep(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DrainTicks == 0 {
+		cfg.DrainTicks = DefaultMeasureTicks
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	solo, err := soloBaselines(tr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TraceSweepResult{Hosts: cfg.Hosts}
+	rows := make([]TraceSweepRow, len(tracePlacers))
+	err = ForEach(len(tracePlacers), cfg.Workers, func(i int) error {
+		arm := tracePlacers[i]
+		f, err := cluster.New(cluster.Config{
+			Hosts:     cfg.Hosts,
+			Template:  cluster.HostTemplate{Seed: cfg.Seed, EnableKyoto: arm.enforced},
+			Overrides: cfg.Overrides,
+			Placer:    arm.placer,
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		replay, err := arrivals.Replay(f, tr, arrivals.Options{DrainTicks: cfg.DrainTicks})
+		if err != nil {
+			return fmt.Errorf("placer %s: %w", arm.placer.Name(), err)
+		}
+		row := TraceSweepRow{
+			Placer:         arm.placer.Name(),
+			Enforced:       arm.enforced,
+			Submitted:      len(replay.Records),
+			Placed:         replay.Placed,
+			Rejected:       replay.Rejected,
+			RejectionRate:  replay.RejectionRate(),
+			CPUUtilization: replay.CPUUtilization,
+			Replay:         replay,
+		}
+		var norm []float64
+		for _, rec := range replay.Records {
+			base := solo[rec.App]
+			if rec.Rejected || base == 0 || rec.Counters.UnhaltedCycles == 0 {
+				continue
+			}
+			norm = append(norm, rec.Counters.IPC()/base)
+		}
+		if len(norm) > 0 {
+			// PXX = the perf floor XX% of VMs meet, i.e. the (100-XX)th
+			// percentile of the higher-is-better distribution. Errors are
+			// impossible here (non-empty sample, valid p).
+			row.P50, _ = stats.Percentile(norm, 50)
+			row.P95, _ = stats.Percentile(norm, 5)
+			row.P99, _ = stats.Percentile(norm, 1)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// soloBaselines runs each distinct app class of the trace alone on a
+// template host, returning its solo IPC — the denominator of normalized
+// performance. Baselines fan out across cores.
+func soloBaselines(tr arrivals.Trace, seed uint64) (map[string]float64, error) {
+	apps := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, e := range tr.Events {
+		if !seen[e.App] {
+			seen[e.App] = true
+			apps = append(apps, e.App)
+		}
+	}
+	sort.Strings(apps)
+	ipcs := make([]float64, len(apps))
+	err := ForEach(len(apps), 0, func(i int) error {
+		r, err := Run(soloScenario(apps[i], seed))
+		if err != nil {
+			return fmt.Errorf("solo baseline %s: %w", apps[i], err)
+		}
+		ipcs[i] = r.IPC("solo")
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	solo := make(map[string]float64, len(apps))
+	for i, app := range apps {
+		solo[app] = ipcs[i]
+	}
+	return solo, nil
+}
+
+// Table renders the sweep as the rejection-rate / p99 comparison the
+// kyotosim -trace CLI prints.
+func (r TraceSweepResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Trace sweep: 3 placers, %d hosts", r.Hosts),
+		Note: "normalized perf = per-VM lifetime IPC / solo IPC (1.0 = as if alone); pXX = floor XX% of VMs meet; " +
+			"first-fit and spread run unprotected, kyoto books and enforces llc_cap permits",
+		Columns: []string{"placer", "enforced", "placed", "rejected", "rej rate", "cpu util", "p50 norm", "p95 norm", "p99 norm"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Placer, row.Enforced, row.Placed, row.Rejected,
+			fmt.Sprintf("%.1f%%", 100*row.RejectionRate),
+			fmt.Sprintf("%.1f%%", 100*row.CPUUtilization),
+			row.P50, row.P95, row.P99)
+	}
+	return t
+}

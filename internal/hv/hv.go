@@ -101,6 +101,13 @@ type World struct {
 	scratch []uint64   // per-core consumed cycles, reused across ticks
 	caps    []uint64   // per-core budget caps, reused across ticks
 
+	// vmSeq and vcpuSeq are monotonic ID counters. IDs are never reused
+	// after RemoveVM: the vCPU ID doubles as the cache attribution owner
+	// tag and the VM ID seeds workloads and address spaces, so recycling
+	// either would alias a live VM with a departed one.
+	vmSeq   int
+	vcpuSeq int
+
 	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
 	IdleCycles []uint64
 }
@@ -196,7 +203,7 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 		weight = vm.DefaultWeight
 	}
 	domain := &vm.VM{
-		ID:         len(w.vms) + 1,
+		ID:         w.vmSeq + 1,
 		Name:       spec.Name,
 		App:        profile.Name,
 		Weight:     weight,
@@ -208,6 +215,9 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 	if seed == 0 {
 		seed = w.cfg.Seed ^ uint64(domain.ID)*0x9e3779b97f4a7c15
 	}
+	// Build every vCPU before mutating any world or scheduler state, so a
+	// failed spec (bad pin, unknown profile phase) leaves the world exactly
+	// as it was — cluster placement relies on AddVM being atomic.
 	for i := 0; i < nv; i++ {
 		gen, err := workload.New(profile, seed+uint64(i))
 		if err != nil {
@@ -222,7 +232,7 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 		}
 		v := &vm.VCPU{
 			VM:       domain,
-			ID:       len(w.vcpus) + 1,
+			ID:       w.vcpuSeq + 1 + i,
 			Index:    i,
 			Gen:      gen,
 			Pin:      pin,
@@ -234,12 +244,84 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 			AddrBase: uint64(domain.ID) << 36,
 			Counters: &v.Counters,
 		}
-		w.vcpus = append(w.vcpus, v)
 		domain.VCPUs = append(domain.VCPUs, v)
+	}
+	w.vmSeq++
+	w.vcpuSeq += nv
+	for _, v := range domain.VCPUs {
+		w.vcpus = append(w.vcpus, v)
 		w.sch.Register(v)
 	}
 	w.vms = append(w.vms, domain)
 	return domain, nil
+}
+
+// VMRemovalHook is optionally implemented by tick hooks that keep per-VM
+// or per-vCPU state (monitors, recorders); RemoveVM notifies them so
+// long-running churn scenarios do not leak state for departed VMs.
+type VMRemovalHook interface {
+	OnRemoveVM(domain *vm.VM)
+}
+
+// RemoveVM tears the named VM down: its vCPUs leave the scheduler
+// runqueues, any core currently assigned one idles, every cache line the
+// VM still holds is invalidated (FlushOwner — departures free their LLC
+// footprint to the survivors), and hooks implementing VMRemovalHook are
+// notified. The scheduler must implement sched.Remover (all built-in
+// policies do). The VM's counters remain readable by the caller, who
+// typically snapshots them before removal for lifetime statistics.
+func (w *World) RemoveVM(name string) error {
+	domain := w.FindVM(name)
+	if domain == nil {
+		return fmt.Errorf("hv: remove %q: no such VM", name)
+	}
+	remover, ok := w.sch.(sched.Remover)
+	if !ok {
+		return fmt.Errorf("hv: remove %q: scheduler %s does not support removal", name, w.sch.Name())
+	}
+	// A decorator (core.Kyoto) implements Remover by delegating to its
+	// base; check the wrapped policy too, so an unremovable base surfaces
+	// here as a clean error instead of a panic mid-removal.
+	if d, ok := w.sch.(interface{ Base() sched.Scheduler }); ok {
+		if _, ok := d.Base().(sched.Remover); !ok {
+			return fmt.Errorf("hv: remove %q: base scheduler %s does not support removal", name, d.Base().Name())
+		}
+	}
+	for _, v := range domain.VCPUs {
+		remover.Unregister(v)
+		for coreID, cur := range w.current {
+			if cur == v {
+				w.current[coreID] = nil
+			}
+		}
+		// Evict the vCPU's lines everywhere it may have run: every
+		// private level and every socket's LLC. Cold path, O(lines).
+		for _, core := range w.m.Cores() {
+			core.Path.L1D.FlushOwner(v.Owner())
+			core.Path.L2.FlushOwner(v.Owner())
+		}
+		for _, sock := range w.m.Sockets() {
+			sock.LLC.FlushOwner(v.Owner())
+		}
+		for i, wv := range w.vcpus {
+			if wv == v {
+				w.vcpus = append(w.vcpus[:i], w.vcpus[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, m := range w.vms {
+		if m == domain {
+			w.vms = append(w.vms[:i], w.vms[i+1:]...)
+			break
+		}
+	}
+	for _, h := range w.hooks {
+		if rh, ok := h.(VMRemovalHook); ok {
+			rh.OnRemoveVM(domain)
+		}
+	}
+	return nil
 }
 
 // MustAddVM is AddVM but panics on error, for statically valid scenarios.

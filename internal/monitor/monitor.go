@@ -49,6 +49,7 @@ type Oracle struct {
 }
 
 var _ hv.TickHook = (*Oracle)(nil)
+var _ hv.VMRemovalHook = (*Oracle)(nil)
 
 // NewOracle returns an oracle monitor feeding f (which may be nil) using
 // the given indicator.
@@ -88,4 +89,14 @@ func (o *Oracle) OnTick(w *hv.World) {
 	if o.feeder != nil {
 		o.feeder.Feed(ms)
 	}
+}
+
+// OnRemoveVM implements hv.VMRemovalHook: drop the departed VM's samplers
+// and last observations so churn scenarios do not leak monitor state.
+func (o *Oracle) OnRemoveVM(domain *vm.VM) {
+	for _, v := range domain.VCPUs {
+		delete(o.samplers, v)
+	}
+	delete(o.LastRate, domain)
+	delete(o.LastDelta, domain)
 }

@@ -40,6 +40,7 @@ type ShadowSim struct {
 }
 
 var _ hv.TickHook = (*ShadowSim)(nil)
+var _ hv.VMRemovalHook = (*ShadowSim)(nil)
 
 // NewShadowSim returns a shadow-simulator monitor feeding f (may be nil).
 // mcfg describes the hardware the replayer models (normally the same
@@ -119,4 +120,17 @@ func (s *ShadowSim) OnTick(w *hv.World) {
 	if s.feeder != nil {
 		s.feeder.Feed(ms)
 	}
+}
+
+// OnRemoveVM implements hv.VMRemovalHook: release the departed VM's trace
+// rings, replayers, samplers and running totals.
+func (s *ShadowSim) OnRemoveVM(domain *vm.VM) {
+	for _, v := range domain.VCPUs {
+		delete(s.rings, v)
+		delete(s.replayers, v)
+		delete(s.samplers, v)
+	}
+	delete(s.missTotal, domain)
+	delete(s.cycleTotal, domain)
+	delete(s.LastRate, domain)
 }

@@ -99,9 +99,17 @@ func (c Counters) Fold(h uint64) uint64 {
 		c.RemoteAccesses,
 		c.Accesses,
 	} {
-		for i := 0; i < 64; i += 8 {
-			h = (h ^ (f >> i & 0xff)) * foldPrime
-		}
+		h = FoldUint64(h, f)
+	}
+	return h
+}
+
+// FoldUint64 mixes one extra 64-bit value into a Fold chain. Fingerprints
+// that cover more than raw counters (placement metadata in fleet churn
+// goldens) use it to keep the whole fingerprint in one hash family.
+func FoldUint64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (v >> i & 0xff)) * foldPrime
 	}
 	return h
 }

@@ -16,6 +16,7 @@ type CFS struct {
 }
 
 var _ Scheduler = (*CFS)(nil)
+var _ Remover = (*CFS)(nil)
 
 // NewCFS returns a CFS-style scheduler.
 func NewCFS() *CFS {
@@ -33,6 +34,12 @@ func (c *CFS) Register(v *vm.VCPU) {
 	}
 	v.VRuntime = c.minVRuntime()
 	c.vcpus = append(c.vcpus, v)
+}
+
+// Unregister implements Remover.
+func (c *CFS) Unregister(v *vm.VCPU) {
+	c.vcpus = removeVCPU(c.vcpus, v)
+	c.assign.forget(v)
 }
 
 // minVRuntime returns the smallest vruntime among registered vCPUs.
@@ -89,6 +96,7 @@ type Pisces struct {
 }
 
 var _ Scheduler = (*Pisces)(nil)
+var _ Remover = (*Pisces)(nil)
 
 // NewPisces returns a Pisces-style scheduler.
 func NewPisces() *Pisces {
@@ -109,6 +117,14 @@ func (p *Pisces) Register(v *vm.VCPU) {
 		panic("sched: pisces core already owned by another enclave")
 	}
 	p.byCore[v.Pin] = v
+}
+
+// Unregister implements Remover: the enclave releases its core, which a
+// later Register may claim again.
+func (p *Pisces) Unregister(v *vm.VCPU) {
+	if p.byCore[v.Pin] == v {
+		delete(p.byCore, v.Pin)
+	}
 }
 
 // PickNext implements Scheduler: the owning enclave always runs, unless

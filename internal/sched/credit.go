@@ -24,6 +24,7 @@ type Credit struct {
 }
 
 var _ Scheduler = (*Credit)(nil)
+var _ Remover = (*Credit)(nil)
 
 // NewCredit returns a credit scheduler for a machine with cores pCPUs.
 func NewCredit(cores int) *Credit {
@@ -58,6 +59,24 @@ func (c *Credit) Register(v *vm.VCPU) {
 	c.vms = append(c.vms, nil)
 	copy(c.vms[i+1:], c.vms[i:])
 	c.vms[i] = v.VM
+}
+
+// Unregister implements Remover: drop the vCPU from the runqueue, and the
+// VM from the refill list once its last vCPU is gone.
+func (c *Credit) Unregister(v *vm.VCPU) {
+	c.vcpus = removeVCPU(c.vcpus, v)
+	c.assign.forget(v)
+	for _, other := range c.vcpus {
+		if other.VM == v.VM {
+			return
+		}
+	}
+	for i, m := range c.vms {
+		if m == v.VM {
+			c.vms = append(c.vms[:i], c.vms[i+1:]...)
+			return
+		}
+	}
 }
 
 // PickNext implements Scheduler. Priority order: UNDER before OVER (work

@@ -38,6 +38,15 @@ type Scheduler interface {
 	EndTick(now uint64)
 }
 
+// Remover is implemented by schedulers that support removing a vCPU from
+// their runqueues — the scheduler half of VM departure in fleet churn
+// scenarios (internal/hv.World.RemoveVM requires it). All built-in
+// policies implement Remover; Unregister of a vCPU that was never
+// registered is a no-op.
+type Remover interface {
+	Unregister(v *vm.VCPU)
+}
+
 // BudgetLimiter is optionally implemented by schedulers that bound how
 // many wall cycles a vCPU may consume within one tick (sub-tick cap
 // enforcement). The testbed stops the vCPU once the budget is spent and
@@ -67,4 +76,21 @@ func (a *assignTracker) taken(v *vm.VCPU, now uint64) bool {
 // take marks v assigned at tick now.
 func (a *assignTracker) take(v *vm.VCPU, now uint64) {
 	a.tick[v] = now + 1
+}
+
+// forget drops v's assignment record (vCPU removal).
+func (a *assignTracker) forget(v *vm.VCPU) {
+	delete(a.tick, v)
+}
+
+// removeVCPU deletes v from vcpus preserving order, returning the shrunk
+// slice. Shared by the policies' Unregister implementations; removal is a
+// cold-path operation, so the O(n) copy is fine.
+func removeVCPU(vcpus []*vm.VCPU, v *vm.VCPU) []*vm.VCPU {
+	for i, cand := range vcpus {
+		if cand == v {
+			return append(vcpus[:i], vcpus[i+1:]...)
+		}
+	}
+	return vcpus
 }

@@ -69,6 +69,30 @@ func Max(xs []float64) (float64, error) {
 	return m, nil
 }
 
+// Percentile returns the p-th percentile of xs (p in [0, 100]) using
+// linear interpolation between closest ranks — the estimator behind the
+// fleet-wide p50/p95/p99 normalized-performance reports. xs is not
+// modified. An empty sample set returns ErrEmpty.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if !(p >= 0 && p <= 100) { // inverted so NaN is rejected too
+		return 0, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
 // DegradationPercent returns the slowdown of observed relative to baseline,
 // in percent: 100 * (baseline - observed) / baseline for "higher is better"
 // metrics such as IPC. A negative result means observed beat the baseline.

@@ -196,3 +196,37 @@ func TestPearsonR(t *testing.T) {
 		t.Fatal("length mismatch must error")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("empty sample must error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("out-of-range p must error")
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Fatal("Percentile must not reorder its input")
+	}
+	one, _ := Percentile([]float64{7}, 99)
+	if one != 7 {
+		t.Fatalf("single sample p99 = %v", one)
+	}
+}
+
+func TestPercentileRejectsNaN(t *testing.T) {
+	if _, err := Percentile([]float64{1, 2}, math.NaN()); err == nil {
+		t.Fatal("NaN percentile must error, not panic")
+	}
+}

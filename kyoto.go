@@ -209,6 +209,11 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 // AddVM instantiates a VM from spec.
 func (w *World) AddVM(spec VMSpec) (*VM, error) { return w.inner.AddVM(spec) }
 
+// RemoveVM tears the named VM down: its vCPUs leave the scheduler, its
+// cache lines are evicted, and its Kyoto ledger (if any) is closed. The
+// VM's counters stay readable for lifetime statistics.
+func (w *World) RemoveVM(name string) error { return w.inner.RemoveVM(name) }
+
 // RunTicks advances the host n scheduler ticks (10 ms of model time each).
 func (w *World) RunTicks(n int) { w.inner.RunTicks(n) }
 

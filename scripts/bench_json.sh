@@ -8,6 +8,16 @@
 #   BENCHTIME=10x ./scripts/bench_json.sh   # CI smoke: fast, noisy, still alloc-exact
 #   OUT=/tmp/b.json ./scripts/bench_json.sh
 #
+# Environment variables (all optional; this is the whole interface, so
+# the script is callable from CI without arguments):
+#   OUT        output path for the JSON report (default: BENCH_kyoto.json
+#              in the repo root). CI writes BENCH_ci.json and diffs the
+#              allocs_per_op fields against zero.
+#   BENCHTIME  passed to `go test -benchtime`. Durations ("1s") give
+#              stable ns/op; iteration counts ("100x", "10x") are the CI
+#              smoke mode — fast and noisy, but allocs/op stays exact,
+#              which is what the CI gate checks.
+#
 # The "baseline_pr2" block records the pre-refactor numbers measured on the
 # dev container (Xeon @ 2.70GHz) immediately before the PR-2 hot-path
 # rewrite; compare against "benchmarks" from the same machine class only.

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check_pkg_docs.sh — fail if any package in the module lacks a godoc
+# package comment, so `go doc <pkg>` output stays usable everywhere.
+#
+# A package passes when at least one of its non-test .go files carries a
+# "// Package <name> ..." comment (or "// Command ..." for main
+# packages, the godoc convention for binaries). Runs from any directory;
+# no arguments, no environment variables. CI runs it in the docs job;
+# run it locally before adding a package.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while read -r dir pkg; do
+	want="Package $pkg"
+	if [ "$pkg" = "main" ]; then
+		want="Command "
+	fi
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		if grep -q "^// $want" "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "missing package comment: $dir (package $pkg)" >&2
+		fail=1
+	fi
+done < <(go list -f '{{.Dir}} {{.Name}}' ./...)
+
+if [ "$fail" -ne 0 ]; then
+	echo "add a '// Package <name> ...' (or '// Command ...') comment; see any internal/* package for the house style" >&2
+	exit 1
+fi
+echo "package comments: all packages documented"
