@@ -1,9 +1,11 @@
 package kyoto
 
 // The fleet lifecycle facade: replayable arrival/departure traces,
-// synthetic churn, and the sweep that contrasts the three placement
-// policies over one trace. See internal/arrivals for the engine and its
-// README for the on-disk trace format.
+// synthetic churn, the pending queue for rejected arrivals, live
+// migration (rebalancers), and the sweeps that contrast placement and
+// rebalancing policies over one trace. See internal/arrivals for the
+// engine and its README for the on-disk trace format and queue
+// semantics; internal/cluster/README.md documents the migration layer.
 
 import (
 	"kyoto/internal/arrivals"
@@ -39,7 +41,73 @@ type (
 	// TraceSweepResult compares the placers over one trace; its Table
 	// renders the rejection-rate / p99 report.
 	TraceSweepResult = experiments.TraceSweepResult
+	// Rebalancer plans live migrations from per-epoch pollution views;
+	// use NewReactiveRebalancer / NewTopologyRebalancer or implement your
+	// own against the cluster view types.
+	Rebalancer = cluster.Rebalancer
+	// RebalanceView is the fleet snapshot a Rebalancer plans from.
+	RebalanceView = cluster.RebalanceView
+	// VMLoad is one VM's pollution observation within a RebalanceView.
+	VMLoad = cluster.VMLoad
+	// Migration is one planned VM move.
+	Migration = cluster.Migration
+	// MigrationEvent is one applied live migration in a ReplayResult.
+	MigrationEvent = arrivals.MigrationEvent
+	// PendingPolicy selects what a replay does with arrivals no host can
+	// take (reject, queue FIFO, queue with deadline).
+	PendingPolicy = arrivals.PendingPolicy
+	// MigrationSweepConfig parameterizes a rebalancer x placer sweep.
+	MigrationSweepConfig = experiments.MigrationSweepConfig
+	// MigrationSweepResult compares the combinations over one trace; its
+	// Table renders the migration-vs-admission report.
+	MigrationSweepResult = experiments.MigrationSweepResult
 )
+
+// Pending-queue policies (see arrivals.PendingPolicy).
+const (
+	// PendingNone rejects unplaceable arrivals outright.
+	PendingNone = arrivals.PendingNone
+	// PendingFIFO queues them and retries in submit order as capacity
+	// frees.
+	PendingFIFO = arrivals.PendingFIFO
+	// PendingDeadline is PendingFIFO with a bounded wait: VMs queued
+	// longer than ReplayOptions.MaxWait are dropped.
+	PendingDeadline = arrivals.PendingDeadline
+)
+
+// NewReactiveRebalancer returns the hotspot-chasing rebalancer: each
+// epoch, the worst polluter (by Equation 1) of the most-polluted host is
+// live-migrated to the least-polluted host with capacity headroom, if it
+// exceeds threshold (0 selects the default, one Figure-5 permit).
+func NewReactiveRebalancer(threshold float64) Rebalancer {
+	return cluster.Reactive{Threshold: threshold}
+}
+
+// NewTopologyRebalancer returns the heterogeneity-aware rebalancer: like
+// NewReactiveRebalancer, but polluters are steered onto hosts with a
+// larger LLC (HostOverride machines) when one fits, where the same miss
+// stream pollutes a smaller cache fraction.
+func NewTopologyRebalancer(threshold float64) Rebalancer {
+	return cluster.TopologyAware{Threshold: threshold}
+}
+
+// RebalancerByName returns the built-in rebalancer with the given CLI
+// name ("reactive", "topo"); "none" and "" return nil (no rebalancing).
+func RebalancerByName(name string) (Rebalancer, error) {
+	return cluster.RebalancerByName(name)
+}
+
+// RebalancerNames lists the built-in rebalancer names.
+func RebalancerNames() []string { return cluster.RebalancerNames() }
+
+// PendingPolicyByName returns the pending-queue policy with the given CLI
+// name ("none", "fifo", "deadline").
+func PendingPolicyByName(name string) (PendingPolicy, error) {
+	return arrivals.PendingPolicyByName(name)
+}
+
+// PendingPolicyNames lists the pending-queue policy names.
+func PendingPolicyNames() []string { return arrivals.PendingPolicyNames() }
 
 // LoadTrace reads a JSON or CSV trace file (format by extension; see
 // internal/arrivals/README.md for the schema).
@@ -68,4 +136,14 @@ func ReplayTrace(cfg ClusterConfig, tr Trace, opts ReplayOptions) (ReplayResult,
 // paper's contrast under churn.
 func SweepTrace(tr Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
 	return experiments.TraceSweep(tr, cfg)
+}
+
+// SweepMigrations replays the trace through every requested rebalancer x
+// placer combination on identically seeded fleets — reactive operation
+// (live migration, pending queue) side by side with Kyoto's proactive
+// admission. The result's Table reports rejection rate, queue-wait
+// percentiles, migration counts and the p99 normalized-performance floor
+// per combination.
+func SweepMigrations(tr Trace, cfg MigrationSweepConfig) (*MigrationSweepResult, error) {
+	return experiments.MigrationSweep(tr, cfg)
 }

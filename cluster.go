@@ -195,6 +195,22 @@ func (c *Cluster) Remove(name string) (*VM, error) {
 	return p.VM, nil
 }
 
+// Migrate live-migrates the named VM to dstHost, carrying its lifetime
+// counters and punishments along. The migration pays the real costs: the
+// VM's cache footprint on the source is evicted, the destination starts
+// cold, and a positive downtime suspends the VM for that many ticks on
+// arrival (the stop-and-copy blackout). Booked vCPUs, memory and llc_cap
+// move with the VM; a destination without headroom (including permit
+// headroom on Kyoto-enforcing hosts) fails with ErrUnplaceable and
+// changes nothing. Migrating a VM to its current host is a free no-op.
+func (c *Cluster) Migrate(name string, dstHost int, downtime int) (ClusterPlacement, error) {
+	p, err := c.fleet.Migrate(name, dstHost, downtime)
+	if err != nil {
+		return ClusterPlacement{}, err
+	}
+	return ClusterPlacement{HostID: p.HostID, VM: p.VM}, nil
+}
+
 // RunTicks advances every host n scheduler ticks, fanning hosts out
 // across a bounded worker pool. Hosts are independent worlds, so the
 // result is bit-identical to running them one after another.

@@ -9,6 +9,8 @@
 //	kyotosim -scenario fleet.json -hosts 8 -placer kyoto
 //	kyotosim -trace trace.json -hosts 4
 //	kyotosim -churn 24 -hosts 4 -seed 7 [-trace-out churn.json]
+//	kyotosim -churn 24 -hosts 4 -migrate reactive -pending fifo
+//	kyotosim -trace trace.json -migrate topo -pending deadline -pending-deadline 40
 //
 // With -hosts N > 1 the scenario runs on a simulated fleet instead of a
 // single machine: every host is built from the scenario's machine /
@@ -26,6 +28,17 @@
 // normalized-performance comparison table. -churn N does the same for a
 // seeded synthetic trace of N VMs (Poisson-style arrivals, heavy-tailed
 // lifetimes); -trace-out writes the synthesized trace for later replay.
+//
+// Adding -migrate and/or -pending turns the replay into a migration
+// sweep: reactive operation (live migration by the named rebalancer, a
+// Borg-style pending queue for rejected arrivals) is compared against
+// plain no-migration replays, across all three placers on identically
+// seeded fleets. The table gains queue-wait percentiles and migration
+// counts; -big-llc makes the highest-ID host heterogeneous (a larger
+// LLC) so the topology-aware rebalancer has somewhere to steer
+// polluters — applied automatically (factor 2) whenever a topo arm is
+// swept, and never otherwise, so non-topo sweeps stay comparable to
+// plain -trace runs. See internal/cluster/README.md for the policies.
 //
 // Scenario schema (JSON):
 //
@@ -130,6 +143,13 @@ func run(args []string, out io.Writer) (err error) {
 		meanLife  = fs.Float64("churn-life", 0, "mean synthetic VM lifetime in ticks (default 45)")
 		traceOut  = fs.String("trace-out", "", "write the synthesized -churn trace to this JSON file")
 
+		migrate      = fs.String("migrate", "", "live-migration sweep: compare no-migration against this rebalancer (reactive, topo, or all for both) across all three placers")
+		pending      = fs.String("pending", "", "pending-queue policy for the migration sweep: none, fifo or deadline (default fifo once -migrate/-pending engage the sweep)")
+		migrateEvery = fs.Uint64("migrate-every", 0, "rebalance epoch in ticks (default 12)")
+		downtime     = fs.Int("migrate-downtime", 0, "per-migration blackout in ticks (default 0)")
+		maxWait      = fs.Uint64("pending-deadline", 0, "max queue wait in ticks under -pending deadline (default 60)")
+		bigLLC       = fs.Int("big-llc", -1, "LLC scale factor of the sweep's highest-ID host (power of two; 0 = homogeneous; default: 2 when a topo arm is swept, else 0 so non-topo sweeps stay comparable to plain -trace runs)")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -157,7 +177,8 @@ func run(args []string, out io.Writer) (err error) {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *tracePath == "" && *churn == 0 {
-		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out"} {
+		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
+			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc"} {
 			if set[name] {
 				return fmt.Errorf("-%s only applies in -trace/-churn mode", name)
 			}
@@ -178,6 +199,17 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		if *tracePath != "" && (set["trace-out"] || set["churn-horizon"] || set["churn-life"]) {
 			return fmt.Errorf("-trace-out/-churn-horizon/-churn-life only apply with -churn")
+		}
+		migrateMode := set["migrate"] || set["pending"]
+		if set["big-llc"] && *bigLLC < 0 {
+			return fmt.Errorf("-big-llc must be >= 0, got %d", *bigLLC)
+		}
+		if !migrateMode {
+			for _, name := range []string{"migrate-every", "migrate-downtime", "pending-deadline", "big-llc"} {
+				if set[name] {
+					return fmt.Errorf("-%s only applies with -migrate/-pending", name)
+				}
+			}
 		}
 		var tr kyoto.Trace
 		if *tracePath != "" {
@@ -204,6 +236,10 @@ func run(args []string, out io.Writer) (err error) {
 				}
 				fmt.Fprintf(out, "wrote %s\n", *traceOut)
 			}
+		}
+		if migrateMode {
+			return executeMigrationSweep(tr, *hosts, *seed, *migrate, *pending,
+				*migrateEvery, *downtime, *maxWait, *bigLLC, out)
 		}
 		return executeTrace(tr, *hosts, *seed, out)
 	}
@@ -256,6 +292,68 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, out io.Writer) error {
 			if rec.Rejected {
 				fmt.Fprintf(out, "  t=%d %s (%s): %s\n", rec.Submit, rec.Name, rec.App, rec.Reason)
 			}
+		}
+	}
+	return nil
+}
+
+// executeMigrationSweep runs the rebalancer x placer grid over the trace
+// and prints the comparison table plus a per-combination migration digest.
+func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pending string,
+	every uint64, downtime int, maxWait uint64, bigLLC int, out io.Writer) error {
+	var rebalancers []string
+	switch migrate {
+	case "", "none":
+		rebalancers = []string{"none"}
+	case "all":
+		rebalancers = kyoto.RebalancerNames()
+	default:
+		if _, err := kyoto.RebalancerByName(migrate); err != nil {
+			return err
+		}
+		rebalancers = []string{"none", migrate}
+	}
+	if bigLLC < 0 {
+		// Auto default: the topology-aware arm needs a bigger-LLC host to
+		// steer polluters to; every other sweep stays homogeneous so its
+		// no-migration baseline rows stay comparable to plain -trace runs.
+		bigLLC = 0
+		for _, name := range rebalancers {
+			if name == "topo" {
+				bigLLC = 2
+			}
+		}
+	}
+	if pending == "" {
+		// The sweep exists to show the rejection-vs-wait trade-off, so the
+		// queue defaults on; pass -pending none for drop-on-reject.
+		pending = "fifo"
+	}
+	pp, err := kyoto.PendingPolicyByName(pending)
+	if err != nil {
+		return err
+	}
+	res, err := kyoto.SweepMigrations(tr, kyoto.MigrationSweepConfig{
+		Hosts:          hosts,
+		Seed:           seed,
+		Rebalancers:    rebalancers,
+		RebalanceEvery: every,
+		Downtime:       downtime,
+		Pending:        pp,
+		MaxWait:        maxWait,
+		BigLLCFactor:   bigLLC,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Table().String())
+	for _, row := range res.Rows {
+		if len(row.Replay.Migrations) == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%s/%s migrations:\n", row.Placer, row.Rebalancer)
+		for _, m := range row.Replay.Migrations {
+			fmt.Fprintf(out, "  t=%d %s: host%d -> host%d (%s)\n", m.Tick, m.Name, m.SrcHost, m.DstHost, m.Reason)
 		}
 	}
 	return nil

@@ -253,3 +253,82 @@ func TestScenarioModeRejectsTraceFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestMigrateModeComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace on six fleets")
+	}
+	var out strings.Builder
+	if err := run([]string{"-churn", "10", "-hosts", "3", "-migrate", "reactive"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Migration sweep", "pending=fifo", "first-fit", "spread", "kyoto",
+		"migrate", "reactive", "rej rate", "wait p50", "wait p95", "wait p99",
+		"migs", "p99 norm",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("migration report missing %q:\n%s", want, s)
+		}
+	}
+	// {none, reactive} x {3 placers} = 6 data rows.
+	if rows := strings.Count(s, "first-fit ") + strings.Count(s, "spread ") + strings.Count(s, "kyoto "); rows < 6 {
+		t.Fatalf("expected 6 sweep rows, table:\n%s", s)
+	}
+	// The same invocation reproduces the identical report (determinism
+	// through the parallel sweep runner).
+	var again strings.Builder
+	if err := run([]string{"-churn", "10", "-hosts", "3", "-migrate", "reactive"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Fatalf("migration sweep not reproducible:\n%s\nvs\n%s", out.String(), again.String())
+	}
+}
+
+func TestMigrateModePendingOnlyAndTopo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays synthetic traces on several fleets")
+	}
+	// -pending alone engages the sweep with the no-migration arm only.
+	var out strings.Builder
+	if err := run([]string{"-churn", "8", "-hosts", "2", "-pending", "deadline", "-pending-deadline", "15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pending=deadline") || strings.Contains(out.String(), "reactive") {
+		t.Fatalf("pending-only sweep wrong:\n%s", out.String())
+	}
+	// -migrate topo includes the topology arm.
+	var topo strings.Builder
+	if err := run([]string{"-churn", "8", "-hosts", "2", "-migrate", "topo"}, &topo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(topo.String(), "topo") {
+		t.Fatalf("topo sweep missing its arm:\n%s", topo.String())
+	}
+}
+
+func TestMigrateModeFlagValidation(t *testing.T) {
+	if err := run([]string{"-churn", "5", "-migrate", "bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("bogus -migrate value must fail")
+	}
+	if err := run([]string{"-churn", "5", "-pending", "bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("bogus -pending value must fail")
+	}
+	if err := run([]string{"-churn", "5", "-migrate", "reactive", "-big-llc", "3"}, &strings.Builder{}); err == nil {
+		t.Fatal("non-power-of-two -big-llc must fail")
+	}
+	if err := run([]string{"-churn", "5", "-migrate-every", "6"}, &strings.Builder{}); err == nil {
+		t.Fatal("-migrate-every without -migrate/-pending must fail")
+	}
+	if err := run([]string{"-churn", "5", "-big-llc", "4"}, &strings.Builder{}); err == nil {
+		t.Fatal("-big-llc without -migrate/-pending must fail")
+	}
+	if err := run([]string{"-scenario", "s.json", "-migrate", "reactive"}, &strings.Builder{}); err == nil {
+		t.Fatal("-migrate outside -trace/-churn mode must fail")
+	}
+	if err := run([]string{"-scenario", "s.json", "-pending", "fifo"}, &strings.Builder{}); err == nil {
+		t.Fatal("-pending outside -trace/-churn mode must fail")
+	}
+}

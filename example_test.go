@@ -1,0 +1,140 @@
+package kyoto_test
+
+// Runnable godoc examples for the fleet-lifecycle API: these are executed
+// by `go test` (and the CI docs job runs `go test -run Example ./...`),
+// so the documented snippets cannot rot. Each example is deterministic —
+// fixed seeds, fixed traces — which is what lets the Output blocks be
+// exact.
+
+import (
+	"fmt"
+
+	"kyoto"
+)
+
+// lifecycleTrace is a tiny arrival/departure trace shared by the
+// examples: three permit-booking VMs and one permit-less VM that only
+// Kyoto admission rejects.
+func lifecycleTrace() kyoto.Trace {
+	return kyoto.Trace{Events: []kyoto.TraceEvent{
+		{Submit: 0, Lifetime: 30, Name: "web", App: "gcc", LLCCap: 250},
+		{Submit: 0, Lifetime: 30, Name: "batch", App: "lbm", LLCCap: 250},
+		{Submit: 5, Lifetime: 10, Name: "noperm", App: "bzip"},
+		{Submit: 10, Lifetime: 20, Name: "spike", App: "mcf", LLCCap: 250},
+	}}
+}
+
+// ExampleReplayTrace replays a small trace on a 2-host Kyoto-admission
+// fleet: arrivals are placed, departures free their bookings and cache
+// footprint, and the permit-less VM is rejected at admission.
+func ExampleReplayTrace() {
+	res, err := kyoto.ReplayTrace(kyoto.ClusterConfig{
+		Hosts:  2,
+		World:  kyoto.WorldConfig{Seed: 1, EnableKyoto: true},
+		Placer: kyoto.PlacerKyoto,
+	}, lifecycleTrace(), kyoto.ReplayOptions{DrainTicks: 6})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("placed %d of %d, rejected %d\n", res.Placed, len(res.Records), res.Rejected)
+	for _, rec := range res.Records {
+		if rec.Rejected {
+			fmt.Printf("%s: no llc_cap permit booked\n", rec.Name)
+		}
+	}
+	// Output:
+	// placed 3 of 4, rejected 1
+	// noperm: no llc_cap permit booked
+}
+
+// ExampleSweepTrace contrasts the three placement policies over one
+// trace on identically seeded fleets — the paper's argument under churn:
+// the capacity-only policies place everything (and let pollution land
+// where it may), Kyoto admission rejects the VM that books no permit.
+func ExampleSweepTrace() {
+	res, err := kyoto.SweepTrace(lifecycleTrace(), kyoto.TraceSweepConfig{
+		Hosts: 2, Seed: 1, DrainTicks: 6,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s: placed %d, rejected %d\n", row.Placer, row.Placed, row.Rejected)
+	}
+	// Output:
+	// first-fit: placed 4, rejected 0
+	// spread: placed 4, rejected 0
+	// kyoto: placed 3, rejected 1
+}
+
+// ExampleCluster_Migrate live-migrates a noisy VM to another host: its
+// lifetime counters move with it, its cache footprint does not (the
+// migration's cost), and a 2-tick blackout models the stop-and-copy
+// window.
+func ExampleCluster_Migrate() {
+	c, err := kyoto.NewCluster(kyoto.ClusterConfig{
+		Hosts: 2,
+		World: kyoto.WorldConfig{Seed: 1},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, err := c.Place(kyoto.ClusterVMSpec{
+		VMSpec: kyoto.VMSpec{Name: "noisy", App: "lbm", LLCCap: 250},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c.RunTicks(12)
+	before := p.VM.Counters().Instructions
+
+	moved, err := c.Migrate("noisy", 1, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, host := c.FindVM("noisy")
+	fmt.Printf("noisy: host %d -> host %d\n", p.HostID, host)
+	fmt.Printf("lifetime counters preserved: %v\n", moved.VM.Counters().Instructions >= before)
+	// Output:
+	// noisy: host 0 -> host 1
+	// lifetime counters preserved: true
+}
+
+// ExampleNewReactiveRebalancer replays a trace with the full reactive
+// stack: rejected arrivals wait in a FIFO pending queue, and every 9
+// ticks the reactive rebalancer may live-migrate the worst polluter of
+// the hottest host to the coolest host with headroom.
+func ExampleNewReactiveRebalancer() {
+	res, err := kyoto.ReplayTrace(kyoto.ClusterConfig{
+		Hosts: 2,
+		World: kyoto.WorldConfig{Seed: 1},
+	}, lifecycleTrace(), kyoto.ReplayOptions{
+		DrainTicks:        6,
+		Pending:           kyoto.PendingFIFO,
+		Rebalancer:        kyoto.NewReactiveRebalancer(0),
+		RebalanceEvery:    9,
+		MigrationDowntime: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("placed %d, migrations %d\n", res.Placed, len(res.Migrations))
+	for _, m := range res.Migrations {
+		fmt.Printf("t=%d %s: host%d -> host%d\n", m.Tick, m.Name, m.SrcHost, m.DstHost)
+	}
+	// The polluter ping-pongs: wherever it lands becomes the hottest
+	// host by the next epoch — reactive migration chasing the hotspot it
+	// itself creates, which is exactly the instability the paper's
+	// admission-time permits avoid.
+	// Output:
+	// placed 4, migrations 3
+	// t=9 batch: host0 -> host1
+	// t=18 batch: host1 -> host0
+	// t=27 batch: host0 -> host1
+}

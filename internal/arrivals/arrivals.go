@@ -17,6 +17,10 @@
 //   - a replay engine (Replay) that feeds the events through
 //     cluster.Fleet.Place and Fleet.Remove in deterministic order and
 //     reports per-VM lifetime counters, rejections and fleet utilization.
+//     Options extend the replay with a Borg-style pending queue for
+//     rejected arrivals (pending.go: FIFO retry, deadline drops,
+//     wait-time accounting) and epoch-driven live migration through
+//     cluster.Fleet.Migrate (reactive or topology-aware rebalancers).
 //
 // Determinism: replay interleaves fleet ticks and placement decisions on
 // the calling goroutine, and Fleet.RunTicks is bit-identical serial or

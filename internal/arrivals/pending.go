@@ -1,0 +1,64 @@
+// The Borg-style pending queue: what real cluster managers do with
+// requests that cannot be placed right now. Instead of dropping a rejected
+// arrival, Replay can park it and retry whenever capacity frees up — a
+// departure, or a live migration that redistributes load — trading
+// rejection rate against wait time. The queue policies here decide the
+// retry order and when waiting stops being worth it.
+
+package arrivals
+
+import "fmt"
+
+// PendingPolicy selects what Replay does with arrivals no host can take.
+type PendingPolicy int
+
+// Pending-queue policies.
+const (
+	// PendingNone rejects unplaceable arrivals outright — the pre-queue
+	// behaviour, and the baseline the queue is measured against.
+	PendingNone PendingPolicy = iota
+	// PendingFIFO parks unplaceable arrivals in submit order and retries
+	// the whole queue (in order, skipping entries that still do not fit)
+	// whenever a departure or migration frees capacity. VMs still queued
+	// when the replay runs out of events are rejected.
+	PendingFIFO
+	// PendingDeadline is PendingFIFO plus a patience bound: a VM that has
+	// waited MaxWait ticks is dropped (rejected) instead of waiting
+	// forever — the SLA-bounded variant.
+	PendingDeadline
+)
+
+// String returns the policy's CLI name.
+func (p PendingPolicy) String() string {
+	switch p {
+	case PendingNone:
+		return "none"
+	case PendingFIFO:
+		return "fifo"
+	case PendingDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("PendingPolicy(%d)", int(p))
+	}
+}
+
+// DefaultMaxWait is the deadline policy's patience bound in ticks when
+// Options.MaxWait is zero: two Figure-5 measurement windows.
+const DefaultMaxWait = 60
+
+// PendingPolicyByName returns the policy with the given CLI name.
+func PendingPolicyByName(name string) (PendingPolicy, error) {
+	switch name {
+	case "", "none":
+		return PendingNone, nil
+	case "fifo":
+		return PendingFIFO, nil
+	case "deadline":
+		return PendingDeadline, nil
+	default:
+		return 0, fmt.Errorf("arrivals: unknown pending policy %q (want none, fifo or deadline)", name)
+	}
+}
+
+// PendingPolicyNames lists the pending-queue policy names for CLI help.
+func PendingPolicyNames() []string { return []string{"none", "fifo", "deadline"} }

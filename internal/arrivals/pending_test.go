@@ -1,0 +1,221 @@
+package arrivals
+
+import (
+	"strings"
+	"testing"
+
+	"kyoto/internal/cluster"
+)
+
+// oneHostFleet builds a single Table-1 host (4 vCPU slots) behind
+// first-fit, the simplest fleet that can saturate.
+func oneHostFleet(t *testing.T) *cluster.Fleet {
+	t.Helper()
+	f, err := cluster.New(cluster.Config{Hosts: 1, Template: cluster.HostTemplate{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// saturatingTrace fills the host at tick 0 with four 10-tick VMs and
+// submits two more (e at tick 2, f at tick 3) that must wait for the
+// departures at tick 10.
+func saturatingTrace() Trace {
+	return Trace{Events: []Event{
+		{Submit: 0, Lifetime: 10, Name: "a", App: "gcc", LLCCap: 100},
+		{Submit: 0, Lifetime: 10, Name: "b", App: "gcc", LLCCap: 100},
+		{Submit: 0, Lifetime: 10, Name: "c", App: "gcc", LLCCap: 100},
+		{Submit: 0, Lifetime: 10, Name: "d", App: "gcc", LLCCap: 100},
+		{Submit: 2, Lifetime: 8, Name: "e", App: "gcc", LLCCap: 100},
+		{Submit: 3, Lifetime: 8, Name: "f", App: "gcc", LLCCap: 100},
+	}}
+}
+
+func recordByName(t *testing.T, res Result, name string) Record {
+	t.Helper()
+	for _, rec := range res.Records {
+		if rec.Name == name {
+			return rec
+		}
+	}
+	t.Fatalf("no record for %q", name)
+	return Record{}
+}
+
+func TestPendingNoneRejectsOutright(t *testing.T) {
+	res, err := Replay(oneHostFleet(t), saturatingTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 4 || res.Rejected != 2 {
+		t.Fatalf("placed %d rejected %d, want 4/2", res.Placed, res.Rejected)
+	}
+	if res.PendingUsed {
+		t.Fatal("PendingUsed must be false without a queue")
+	}
+	e := recordByName(t, res, "e")
+	if !e.Rejected || e.Queued || e.WaitTicks != 0 {
+		t.Fatalf("e without queue: %+v", e)
+	}
+}
+
+func TestPendingFIFOPlacesAfterDepartures(t *testing.T) {
+	res, err := Replay(oneHostFleet(t), saturatingTrace(), Options{Pending: PendingFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 6 || res.Rejected != 0 {
+		t.Fatalf("placed %d rejected %d, want 6/0", res.Placed, res.Rejected)
+	}
+	if !res.PendingUsed {
+		t.Fatal("PendingUsed must be set")
+	}
+	e, f := recordByName(t, res, "e"), recordByName(t, res, "f")
+	if !e.Queued || e.PlacedTick != 10 || e.WaitTicks != 8 {
+		t.Fatalf("e: %+v, want queued, placed at 10 after waiting 8", e)
+	}
+	if !f.Queued || f.PlacedTick != 10 || f.WaitTicks != 7 {
+		t.Fatalf("f: %+v, want queued, placed at 10 after waiting 7", f)
+	}
+	// Lifetimes count from placement, so the stragglers depart at 18.
+	if e.Depart != 18 || !e.Departed {
+		t.Fatalf("e departs at %d (departed %v), want 18", e.Depart, e.Departed)
+	}
+	waits := res.PlacedWaits()
+	if len(waits) != 6 {
+		t.Fatalf("PlacedWaits has %d entries, want 6", len(waits))
+	}
+	var queuedWaits int
+	for _, w := range waits {
+		if w > 0 {
+			queuedWaits++
+		}
+	}
+	if queuedWaits != 2 {
+		t.Fatalf("%d non-zero waits, want 2", queuedWaits)
+	}
+}
+
+func TestPendingDeadlineDropsImpatientVMs(t *testing.T) {
+	res, err := Replay(oneHostFleet(t), saturatingTrace(), Options{Pending: PendingDeadline, MaxWait: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 4 || res.Rejected != 2 {
+		t.Fatalf("placed %d rejected %d, want 4/2", res.Placed, res.Rejected)
+	}
+	e, f := recordByName(t, res, "e"), recordByName(t, res, "f")
+	if !e.Rejected || !e.Queued || e.WaitTicks != 5 || e.PlacedTick != 7 {
+		t.Fatalf("e: %+v, want dropped at tick 7 after waiting 5", e)
+	}
+	if !strings.Contains(e.Reason, "deadline") {
+		t.Fatalf("e reason %q", e.Reason)
+	}
+	if !f.Rejected || f.WaitTicks != 5 || f.PlacedTick != 8 {
+		t.Fatalf("f: %+v, want dropped at tick 8", f)
+	}
+}
+
+func TestPendingDeadlinePlacesWhenDepartureBeatsDeadline(t *testing.T) {
+	res, err := Replay(oneHostFleet(t), saturatingTrace(), Options{Pending: PendingDeadline, MaxWait: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 6 || res.Rejected != 0 {
+		t.Fatalf("placed %d rejected %d, want 6/0 with a generous deadline", res.Placed, res.Rejected)
+	}
+}
+
+func TestPendingFIFODrainsUnplaceableTail(t *testing.T) {
+	// Nothing ever departs (Lifetime 0), so the queued VM can never fit.
+	tr := Trace{Events: []Event{
+		{Submit: 0, Name: "a", App: "gcc", LLCCap: 100},
+		{Submit: 0, Name: "b", App: "gcc", LLCCap: 100},
+		{Submit: 0, Name: "c", App: "gcc", LLCCap: 100},
+		{Submit: 0, Name: "d", App: "gcc", LLCCap: 100},
+		{Submit: 4, Name: "late", App: "gcc", LLCCap: 100},
+	}}
+	res, err := Replay(oneHostFleet(t), tr, Options{Pending: PendingFIFO, DrainTicks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 4 || res.Rejected != 1 {
+		t.Fatalf("placed %d rejected %d, want 4/1", res.Placed, res.Rejected)
+	}
+	late := recordByName(t, res, "late")
+	if !late.Rejected || !late.Queued || !strings.Contains(late.Reason, "no capacity ever freed") {
+		t.Fatalf("late: %+v", late)
+	}
+}
+
+func TestPendingQueueRefusesDuplicateQueuedName(t *testing.T) {
+	tr := saturatingTrace()
+	tr.Events = append(tr.Events, Event{Submit: 4, Lifetime: 5, Name: "e", App: "gcc", LLCCap: 100})
+	_, err := Replay(oneHostFleet(t), tr, Options{Pending: PendingFIFO})
+	if err == nil || !strings.Contains(err.Error(), "already pending") {
+		t.Fatalf("duplicate queued name: %v", err)
+	}
+}
+
+// TestPendingFingerprintsAreStable pins the subsystem-conditional folding:
+// the same replay must fingerprint identically run to run, and a replay
+// without the queue must fingerprint differently from one with it only
+// through actual outcome differences — not through the extra fields.
+func TestPendingFingerprintDeterminism(t *testing.T) {
+	run := func(pending PendingPolicy) string {
+		t.Helper()
+		res, err := Replay(oneHostFleet(t), saturatingTrace(), Options{Pending: pending})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fingerprint()
+	}
+	if a, b := run(PendingFIFO), run(PendingFIFO); a != b {
+		t.Fatalf("FIFO replay not reproducible: %s vs %s", a, b)
+	}
+	if a, b := run(PendingNone), run(PendingFIFO); a == b {
+		t.Fatal("queueing changed outcomes but not the fingerprint")
+	}
+}
+
+// TestMigrationReplayDeterminism exercises the full option set — pending
+// queue plus reactive rebalancing with downtime — serial and parallel,
+// which is the determinism contract the churn-migration golden pins (and
+// what -race runs chase data races through).
+func TestMigrationReplayDeterminism(t *testing.T) {
+	tr := Synthesize(SynthConfig{Seed: 9, VMs: 10, Horizon: 40, MeanLifetime: 12})
+	run := func(workers int) string {
+		t.Helper()
+		f, err := cluster.New(cluster.Config{
+			Hosts:    3,
+			Template: cluster.HostTemplate{Seed: 21, EnableKyoto: true},
+			Placer:   cluster.Admission{},
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(f, tr, Options{
+			DrainTicks:        6,
+			Pending:           PendingFIFO,
+			Rebalancer:        cluster.Reactive{},
+			RebalanceEvery:    9,
+			MigrationDowntime: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.RebalanceUsed {
+			t.Fatal("RebalanceUsed must be set")
+		}
+		return res.Fingerprint()
+	}
+	serial := run(1)
+	if again := run(1); again != serial {
+		t.Fatalf("serial migration replay not reproducible: %s vs %s", again, serial)
+	}
+	if par := run(0); par != serial {
+		t.Fatalf("parallel migration fingerprint %s != serial %s", par, serial)
+	}
+}

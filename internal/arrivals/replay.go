@@ -11,12 +11,39 @@ import (
 	"kyoto/internal/vm"
 )
 
+// DefaultRebalanceEvery is the rebalance epoch length in ticks when
+// Options enables a Rebalancer without choosing one: four scheduler
+// slices, long enough for the epoch's Equation-1 rates to mean something.
+const DefaultRebalanceEvery = 12
+
 // Options tunes a replay.
 type Options struct {
 	// DrainTicks runs the fleet this many extra ticks after the last
 	// event before final counters are read, letting VMs that never depart
 	// accumulate a measurable window (default 0).
 	DrainTicks int
+
+	// Pending selects what happens to arrivals no host can take: reject
+	// outright (PendingNone, the default), or park them in a Borg-style
+	// pending queue and retry as capacity frees (PendingFIFO,
+	// PendingDeadline). See the PendingPolicy docs for retry ordering.
+	Pending PendingPolicy
+	// MaxWait bounds a queued VM's wait under PendingDeadline, in ticks
+	// (default DefaultMaxWait). Ignored by the other policies.
+	MaxWait uint64
+
+	// Rebalancer enables live migration: every RebalanceEvery ticks a
+	// fleet monitor snapshots per-VM pollution (Equation 1 over the
+	// epoch) and the policy's plan is applied through Fleet.Migrate.
+	// nil (the default) never migrates.
+	Rebalancer cluster.Rebalancer
+	// RebalanceEvery is the epoch length in ticks (default
+	// DefaultRebalanceEvery).
+	RebalanceEvery uint64
+	// MigrationDowntime suspends each migrated VM for this many ticks on
+	// its destination — the stop-and-copy blackout (default 0: the only
+	// migration cost is the lost cache footprint).
+	MigrationDowntime int
 }
 
 // Record is one event's outcome: where the VM landed (or why it was
@@ -31,17 +58,44 @@ type Record struct {
 	// running when the replay ends (Lifetime 0), Depart is the end tick.
 	Submit uint64
 	Depart uint64
-	// HostID is where the VM ran, -1 when rejected.
+	// PlacedTick is when the VM actually started: Submit unless it waited
+	// in the pending queue. For rejected VMs it is the tick the rejection
+	// became final (a deadline drop or the end of the replay).
+	PlacedTick uint64
+	// WaitTicks is PlacedTick - Submit: the time spent queued (0 when
+	// placed immediately; for dropped VMs, the time waited before giving
+	// up).
+	WaitTicks uint64
+	// Queued reports whether the VM ever sat in the pending queue.
+	Queued bool
+	// HostID is where the VM ran (its final host if it was migrated), -1
+	// when rejected.
 	HostID int
-	// Rejected is set when no host could take the VM; Reason carries the
-	// policy's explanation.
+	// Migrations counts how many times the VM was live-migrated.
+	Migrations int
+	// Rejected is set when the VM never ran; Reason carries the placement
+	// policy's last explanation (or the queue's drop reason).
 	Rejected bool
 	Reason   string
 	// Departed distinguishes a real departure from an end-of-replay
 	// snapshot of a still-running VM.
 	Departed bool
-	// Counters is the VM's aggregate PMC delta over its residency.
+	// Counters is the VM's aggregate PMC delta over its residency,
+	// accumulated across every host it ran on.
 	Counters pmc.Counters
+}
+
+// MigrationEvent is one applied live migration.
+type MigrationEvent struct {
+	// Tick is when the migration happened.
+	Tick uint64
+	// Index and Name identify the migrated VM's record.
+	Index int
+	Name  string
+	// SrcHost and DstHost are the endpoints.
+	SrcHost, DstHost int
+	// Reason echoes the rebalancer's explanation.
+	Reason string
 }
 
 // Result is a whole replay's outcome.
@@ -51,11 +105,19 @@ type Result struct {
 	// Placed and Rejected count outcomes.
 	Placed   int
 	Rejected int
+	// Migrations lists every applied live migration in order.
+	Migrations []MigrationEvent
 	// EndTick is the fleet clock when the replay finished.
 	EndTick uint64
 	// CPUUtilization is the time-weighted mean booked share of vCPU slots
 	// over the whole replay, in [0, 1].
 	CPUUtilization float64
+	// PendingUsed and RebalanceUsed record which optional subsystems the
+	// replay ran with; Fingerprint folds a subsystem's outcomes only when
+	// it was active, so fingerprints of scenarios that predate a
+	// subsystem are stable across its introduction.
+	PendingUsed   bool
+	RebalanceUsed bool
 }
 
 // RejectionRate returns rejected / submitted, in [0, 1].
@@ -66,10 +128,27 @@ func (r Result) RejectionRate() float64 {
 	return float64(r.Rejected) / float64(len(r.Records))
 }
 
+// PlacedWaits returns the queue wait in ticks of every placed VM (zero
+// for VMs placed on arrival) — the wait-time distribution the pending
+// queue trades against rejection rate. Dropped VMs are not included; they
+// are counted by RejectionRate instead.
+func (r Result) PlacedWaits() []float64 {
+	waits := make([]float64, 0, r.Placed)
+	for _, rec := range r.Records {
+		if !rec.Rejected {
+			waits = append(waits, float64(rec.WaitTicks))
+		}
+	}
+	return waits
+}
+
 // Fingerprint folds every record's counters and placement metadata into
 // one stable hash. Two replays of the same trace on identically
 // configured fleets — serial or parallel, today or in a year — must
-// produce the same fingerprint; the churn golden test pins one.
+// produce the same fingerprint; the churn goldens pin several. Outcomes
+// of the optional subsystems (pending-queue placement ticks, applied
+// migrations) are folded only when the subsystem was active, so a
+// fingerprint minted before a subsystem existed still matches.
 func (r Result) Fingerprint() string {
 	h := pmc.FoldSeed
 	for _, rec := range r.Records {
@@ -85,6 +164,18 @@ func (r Result) Fingerprint() string {
 			flags |= 2
 		}
 		h = pmc.FoldUint64(h, flags)
+		if r.PendingUsed {
+			h = pmc.FoldUint64(h, rec.PlacedTick)
+		}
+	}
+	if r.RebalanceUsed {
+		h = pmc.FoldUint64(h, uint64(len(r.Migrations)))
+		for _, m := range r.Migrations {
+			h = pmc.FoldUint64(h, m.Tick)
+			h = pmc.FoldUint64(h, uint64(m.Index))
+			h = pmc.FoldUint64(h, uint64(m.SrcHost+2))
+			h = pmc.FoldUint64(h, uint64(m.DstHost+2))
+		}
 	}
 	return fmt.Sprintf("%016x", h)
 }
@@ -115,26 +206,51 @@ func (h *departureHeap) Pop() any {
 	return d
 }
 
+// noTick marks "no next event" in the tick minimum computations.
+const noTick = ^uint64(0)
+
 // Replay feeds the trace through the fleet: at each event tick the fleet
 // is advanced to that tick, departures are processed first (freeing
 // booked CPU, memory and llc_cap, and evicting the departed VM's cache
-// footprint), then arrivals are placed in trace order. Rejections are
-// recorded, not fatal — a rejection is the placement policy speaking.
+// footprint), then — when the options enable them — the rebalance epoch
+// runs, the pending queue retries, deadline drops fire, and finally
+// arrivals are placed in trace order. Rejections are recorded, not fatal
+// — a rejection is the placement policy speaking.
 //
 // The fleet should be freshly built; Replay assumes its clock starts at
-// the trace's epoch. Event order, same-tick ordering (departures before
-// arrivals, both by trace position) and the fleet's serial-equivalent
-// RunTicks make the whole replay deterministic for a given trace, seed
-// and fleet configuration.
+// the trace's epoch. Event order, the fixed same-tick ordering above, and
+// the fleet's serial-equivalent RunTicks make the whole replay
+// deterministic for a given trace, seed, fleet configuration and option
+// set.
 func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, err
 	}
 	sorted := tr.Sorted()
 	events := sorted.Events
-	res := Result{Records: make([]Record, len(events))}
+	res := Result{
+		Records:       make([]Record, len(events)),
+		PendingUsed:   opt.Pending != PendingNone,
+		RebalanceUsed: opt.Rebalancer != nil,
+	}
+	maxWait := opt.MaxWait
+	if maxWait == 0 {
+		maxWait = DefaultMaxWait
+	}
+	every := opt.RebalanceEvery
+	if every == 0 {
+		every = DefaultRebalanceEvery
+	}
+	var mon *cluster.FleetMonitor
+	nextRebalance := noTick
+	if opt.Rebalancer != nil {
+		mon = cluster.NewFleetMonitor()
+		nextRebalance = every
+	}
 
 	active := make(map[string]int, len(events)) // live VM name -> record index
+	waiting := make(map[string]bool)            // names parked in the pending queue
+	var pend []int                              // queued record indices, submit order
 	deps := &departureHeap{}
 	now := uint64(0)
 	var utilTicks float64 // integral of booked-CPU fraction over ticks
@@ -156,17 +272,127 @@ func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
 		}
 	}
 
+	// tryPlace attempts to place the event's VM now. It returns false on a
+	// policy rejection (recording the reason) and propagates real errors.
+	tryPlace := func(idx int) (bool, error) {
+		ev := events[idx]
+		rec := &res.Records[idx]
+		p, err := f.Place(cluster.Request{
+			Spec:     vm.Spec{Name: rec.Name, App: ev.App, VCPUs: ev.VCPUs, LLCCap: ev.LLCCap},
+			MemoryMB: ev.MemoryMB,
+		})
+		if err != nil {
+			if !errors.Is(err, cluster.ErrUnplaceable) {
+				return false, err
+			}
+			rec.Reason = err.Error()
+			return false, nil
+		}
+		rec.HostID = p.HostID
+		rec.PlacedTick = now
+		rec.WaitTicks = now - rec.Submit
+		rec.Reason = ""
+		active[rec.Name] = idx
+		res.Placed++
+		if ev.Lifetime > 0 {
+			// Validate bounds Submit and Lifetime to MaxTick, so the
+			// departure tick cannot overflow.
+			heap.Push(deps, departure{tick: now + ev.Lifetime, idx: idx})
+		}
+		return true, nil
+	}
+
+	// retryPending re-attempts the queue in submit order, skipping VMs
+	// that still do not fit (a scan, not head-of-line blocking: Borg's
+	// scheduler also keeps trying the rest of the queue).
+	retryPending := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		kept := pend[:0]
+		for _, idx := range pend {
+			ok, err := tryPlace(idx)
+			if err != nil {
+				return err
+			}
+			if ok {
+				delete(waiting, res.Records[idx].Name)
+			} else {
+				kept = append(kept, idx)
+			}
+		}
+		pend = kept
+		return nil
+	}
+
+	// reject finalizes a queued VM as rejected with the given reason.
+	reject := func(idx int, reason string) {
+		rec := &res.Records[idx]
+		rec.Rejected = true
+		rec.Reason = reason
+		rec.PlacedTick = now
+		rec.WaitTicks = now - rec.Submit
+		res.Rejected++
+		delete(waiting, rec.Name)
+	}
+
+	// rebalance runs one epoch: observe, plan, migrate.
+	rebalance := func() (bool, error) {
+		view := mon.Observe(f)
+		plan := opt.Rebalancer.Plan(f.Hosts(), view)
+		for _, m := range plan {
+			// The Rebalancer contract is to plan only feasible moves of
+			// VMs this replay placed; surface violations loudly. The
+			// active check matters when the caller handed Replay a
+			// pre-populated fleet: migrating a pre-existing VM would
+			// otherwise corrupt an unrelated record.
+			idx, ok := active[m.VMName]
+			if !ok {
+				return false, fmt.Errorf("arrivals: rebalance at tick %d: plan moves %q, which this replay did not place", now, m.VMName)
+			}
+			if _, err := f.Migrate(m.VMName, m.DstHost, opt.MigrationDowntime); err != nil {
+				return false, fmt.Errorf("arrivals: rebalance at tick %d: %w", now, err)
+			}
+			res.Records[idx].HostID = m.DstHost
+			res.Records[idx].Migrations++
+			res.Migrations = append(res.Migrations, MigrationEvent{
+				Tick: now, Index: idx, Name: m.VMName,
+				SrcHost: m.SrcHost, DstHost: m.DstHost, Reason: m.Reason,
+			})
+		}
+		return len(plan) > 0, nil
+	}
+
 	i := 0
-	for i < len(events) || deps.Len() > 0 {
-		next := ^uint64(0)
+	for {
+		workRemains := i < len(events) || deps.Len() > 0
+		// Once only queued VMs remain, nothing frees capacity on its own:
+		// under PendingDeadline their deadlines still fire (and rebalance
+		// epochs may still make room before then); under PendingFIFO the
+		// queue can never drain, so stop and reject the leftovers.
+		if !workRemains && (opt.Pending != PendingDeadline || len(pend) == 0) {
+			break
+		}
+		next := noTick
 		if i < len(events) {
 			next = events[i].Submit
 		}
 		if deps.Len() > 0 && (*deps)[0].tick < next {
 			next = (*deps)[0].tick
 		}
+		if nextRebalance < next {
+			next = nextRebalance
+		}
+		if opt.Pending == PendingDeadline && len(pend) > 0 {
+			// The queue is in submit order, so the head's deadline is the
+			// earliest.
+			if dl := res.Records[pend[0]].Submit + maxWait; dl < next {
+				next = dl
+			}
+		}
 		runTo(next)
 
+		freed := false
 		for deps.Len() > 0 && (*deps)[0].tick == now {
 			d := heap.Pop(deps).(departure)
 			rec := &res.Records[d.idx]
@@ -178,40 +404,71 @@ func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
 			rec.Depart = now
 			rec.Departed = true
 			delete(active, rec.Name)
+			freed = true
+		}
+
+		if now == nextRebalance {
+			migrated, err := rebalance()
+			if err != nil {
+				return res, err
+			}
+			freed = freed || migrated
+			nextRebalance += every
+		}
+
+		if freed {
+			if err := retryPending(); err != nil {
+				return res, err
+			}
+		}
+
+		if opt.Pending == PendingDeadline {
+			kept := pend[:0]
+			for _, idx := range pend {
+				if now-res.Records[idx].Submit >= maxWait {
+					reject(idx, fmt.Sprintf("pending deadline: waited %d ticks (max %d)", now-res.Records[idx].Submit, maxWait))
+				} else {
+					kept = append(kept, idx)
+				}
+			}
+			pend = kept
 		}
 
 		for i < len(events) && events[i].Submit == now {
 			ev := events[i]
 			rec := &res.Records[i]
-			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, Submit: now, HostID: -1}
+			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, Submit: now, PlacedTick: now, HostID: -1}
 			if _, dup := active[rec.Name]; dup {
 				return res, fmt.Errorf("arrivals: event %d: VM name %q already active at tick %d", i, rec.Name, now)
 			}
-			p, err := f.Place(cluster.Request{
-				Spec:     vm.Spec{Name: rec.Name, App: ev.App, VCPUs: ev.VCPUs, LLCCap: ev.LLCCap},
-				MemoryMB: ev.MemoryMB,
-			})
-			if err != nil {
-				if !errors.Is(err, cluster.ErrUnplaceable) {
-					return res, err
-				}
-				rec.Rejected = true
-				rec.Reason = err.Error()
-				res.Rejected++
-				i++
-				continue
+			if waiting[rec.Name] {
+				return res, fmt.Errorf("arrivals: event %d: VM name %q already pending at tick %d", i, rec.Name, now)
 			}
-			rec.HostID = p.HostID
-			active[rec.Name] = i
-			res.Placed++
-			if ev.Lifetime > 0 {
-				// Validate bounds Submit and Lifetime to MaxTick, so the
-				// departure tick cannot overflow.
-				heap.Push(deps, departure{tick: now + ev.Lifetime, idx: i})
+			ok, err := tryPlace(i)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				if opt.Pending == PendingNone {
+					rec.Rejected = true
+					res.Rejected++
+				} else {
+					rec.Queued = true
+					waiting[rec.Name] = true
+					pend = append(pend, i)
+				}
 			}
 			i++
 		}
 	}
+
+	// VMs still queued when the events ran out can never be placed (under
+	// PendingDeadline the loop above already drained the queue through
+	// its deadlines).
+	for _, idx := range pend {
+		reject(idx, "pending at end of trace: no capacity ever freed")
+	}
+	pend = nil
 
 	if opt.DrainTicks > 0 {
 		runTo(now + uint64(opt.DrainTicks))

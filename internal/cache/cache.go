@@ -620,6 +620,28 @@ func (c *Cache) FlushOwner(owner Owner) {
 	}
 }
 
+// ReleaseOwner invalidates every line belonging to owner (FlushOwner) and
+// zeroes the owner's statistics row and partition entry, so the tag can be
+// recycled for a future vCPU without inheriting the departed one's history.
+// Aggregate Totals are cumulative across the cache's whole life and are
+// deliberately not rewound, so fleet-level pollution accounting survives
+// churn; after a release, summing Stats over live owners no longer
+// reproduces Totals.
+func (c *Cache) ReleaseOwner(owner Owner) {
+	c.FlushOwner(owner)
+	if int(owner) < len(c.stats) {
+		c.stats[owner] = OwnerStats{}
+	}
+	delete(c.partition, owner)
+}
+
+// OwnersTracked returns the capacity of the dense per-owner statistics
+// slices — how many distinct owner tags this cache has sized itself for.
+// With tag recycling (hv.World.RemoveVM releases tags for reuse) this stays
+// bounded by the peak concurrent vCPU population, not by total arrivals;
+// the churn regression tests assert exactly that.
+func (c *Cache) OwnersTracked() int { return len(c.stats) }
+
 // wayMaskAll returns a bitmask with the low n bits set.
 func wayMaskAll(n int) uint64 {
 	if n >= 64 {

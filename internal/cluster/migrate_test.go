@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kyoto/internal/vm"
+)
+
+// migrateFleet builds a 3-host Kyoto fleet with one VM placed on host 0.
+func migrateFleet(t *testing.T) (*Fleet, Placement) {
+	t.Helper()
+	f, err := New(Config{
+		Hosts:    3,
+		Template: HostTemplate{Seed: 11, EnableKyoto: true},
+		Placer:   FirstFit{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Place(Request{Spec: vm.Spec{Name: "mover", App: "lbm", LLCCap: 250}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HostID != 0 {
+		t.Fatalf("first-fit put the VM on host %d, want 0", p.HostID)
+	}
+	return f, p
+}
+
+func TestMigrateMovesVMAndBookings(t *testing.T) {
+	f, p := migrateFleet(t)
+	f.RunTicks(12)
+	before := p.VM.Counters()
+	if before.Instructions == 0 {
+		t.Fatal("VM ran 12 ticks but retired nothing")
+	}
+
+	moved, err := f.Migrate("mover", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.HostID != 2 {
+		t.Fatalf("moved to host %d, want 2", moved.HostID)
+	}
+	if v, host := f.FindVM("mover"); v == nil || host != 2 {
+		t.Fatalf("FindVM after migrate: host %d", host)
+	}
+	src, dst := f.Host(0), f.Host(2)
+	if src.BookedCPUs != 0 || src.BookedMemMB != 0 || src.BookedLLC != 0 {
+		t.Fatalf("source still books %d cpu / %d MB / %v llc", src.BookedCPUs, src.BookedMemMB, src.BookedLLC)
+	}
+	if dst.BookedCPUs != 1 || dst.BookedMemMB != DefaultVMMemoryMB || dst.BookedLLC != 250 {
+		t.Fatalf("destination books %d cpu / %d MB / %v llc", dst.BookedCPUs, dst.BookedMemMB, dst.BookedLLC)
+	}
+
+	// Lifetime counters survive the move: the carried history is folded
+	// into the re-instantiated domain, and keeps growing on the new host.
+	after := moved.VM.Counters()
+	if after.Instructions < before.Instructions {
+		t.Fatalf("lifetime counters went backwards: %d -> %d", before.Instructions, after.Instructions)
+	}
+	dst.World.RunTicks(12)
+	if grown := moved.VM.Counters(); grown.Instructions <= after.Instructions {
+		t.Fatal("migrated VM makes no progress on its destination")
+	}
+
+	// The fleet-wide placement list tracks the move without reordering.
+	ps := f.Placements()
+	if len(ps) != 1 || ps[0].HostID != 2 || ps[0].VM != moved.VM {
+		t.Fatalf("placements after migrate: %+v", ps)
+	}
+}
+
+func TestMigrateUnknownVMFails(t *testing.T) {
+	f, _ := migrateFleet(t)
+	if _, err := f.Migrate("ghost", 1, 0); err == nil || !strings.Contains(err.Error(), "no such VM") {
+		t.Fatalf("unknown VM: %v", err)
+	}
+	if _, err := f.Migrate("mover", 9, 0); err == nil || !strings.Contains(err.Error(), "no such host") {
+		t.Fatalf("bad host: %v", err)
+	}
+	if _, err := f.Migrate("mover", -1, 0); err == nil {
+		t.Fatal("negative host must fail")
+	}
+}
+
+func TestMigrateToSameHostIsNoOp(t *testing.T) {
+	f, p := migrateFleet(t)
+	f.RunTicks(6)
+	occBefore := f.Host(0).World.Machine().Sockets()[0].LLC.Occupancy(p.VM.VCPUs[0].Owner())
+	moved, err := f.Migrate("mover", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.VM != p.VM || moved.HostID != 0 {
+		t.Fatalf("no-op migrate changed the placement: %+v", moved)
+	}
+	if p.VM.Down {
+		t.Fatal("no-op migrate must not suspend the VM")
+	}
+	occAfter := f.Host(0).World.Machine().Sockets()[0].LLC.Occupancy(p.VM.VCPUs[0].Owner())
+	if occAfter != occBefore {
+		t.Fatalf("no-op migrate flushed the cache footprint: %d -> %d lines", occBefore, occAfter)
+	}
+}
+
+func TestMigrateDestinationFullFails(t *testing.T) {
+	f, _ := migrateFleet(t)
+	// First-fit fills host 0's remaining three slots, then host 1's four.
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		if _, err := f.Place(Request{Spec: vm.Spec{Name: name, App: "gcc", LLCCap: 100}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Host(1).FreeCPUs(); got != 0 {
+		t.Fatalf("host 1 has %d free vCPUs, expected 0", got)
+	}
+	_, err := f.Migrate("mover", 1, 0)
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("full destination must wrap ErrUnplaceable, got %v", err)
+	}
+	// Nothing moved, nothing leaked.
+	if _, host := f.FindVM("mover"); host != 0 {
+		t.Fatalf("failed migrate moved the VM to host %d", host)
+	}
+	if f.Host(1).BookedCPUs != 4 {
+		t.Fatalf("failed migrate disturbed destination bookings: %d", f.Host(1).BookedCPUs)
+	}
+}
+
+func TestMigratePermitPressureFailsOnKyotoHost(t *testing.T) {
+	f, _ := migrateFleet(t)
+	// Fill host 0's remaining slots so the hog lands on host 1, where it
+	// books most of the 4 x 250 permit budget.
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := f.Place(Request{Spec: vm.Spec{Name: name, App: "gcc", LLCCap: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hog, err := f.Place(Request{Spec: vm.Spec{Name: "hog", App: "gcc", LLCCap: 900}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hog.HostID != 1 {
+		t.Fatalf("hog landed on host %d, want 1", hog.HostID)
+	}
+	if _, err := f.Migrate("mover", 1, 0); !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("permit-exhausted Kyoto destination must reject, got %v", err)
+	}
+
+	// A non-enforcing fleet ignores permit headroom on migration, as its
+	// placers do at admission.
+	nf, err := New(Config{Hosts: 2, Template: HostTemplate{Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mover", "a", "b", "c"} {
+		if _, err := nf.Place(Request{Spec: vm.Spec{Name: name, App: "gcc", LLCCap: 250}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hog2, err := nf.Place(Request{Spec: vm.Spec{Name: "hog", App: "gcc", LLCCap: 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hog2.HostID != 1 {
+		t.Fatalf("hog landed on host %d, want 1", hog2.HostID)
+	}
+	if _, err := nf.Migrate("mover", 1, 0); err != nil {
+		t.Fatalf("unenforced fleet must allow permit-oversubscribed migration: %v", err)
+	}
+}
+
+func TestMigrateDowntimeSuspendsVM(t *testing.T) {
+	f, _ := migrateFleet(t)
+	f.RunTicks(6)
+	moved, err := f.Migrate("mover", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved.VM.Down {
+		t.Fatal("downtime must leave the VM suspended")
+	}
+	base := moved.VM.Counters()
+	f.Host(1).World.RunTicks(4)
+	if got := moved.VM.Counters(); got.Instructions != base.Instructions {
+		t.Fatalf("suspended VM retired %d instructions during its blackout", got.Instructions-base.Instructions)
+	}
+	f.Host(1).World.RunTicks(6)
+	if moved.VM.Down {
+		t.Fatal("VM still down after the blackout elapsed")
+	}
+	if got := moved.VM.Counters(); got.Instructions <= base.Instructions {
+		t.Fatal("VM made no progress after waking")
+	}
+}
+
+func TestMigrateFlushesSourceFootprint(t *testing.T) {
+	f, p := migrateFleet(t)
+	f.RunTicks(9)
+	llc := f.Host(0).World.Machine().Sockets()[0].LLC
+	owner := p.VM.VCPUs[0].Owner()
+	if llc.Occupancy(owner) == 0 {
+		t.Fatal("lbm built no LLC footprint in 9 ticks")
+	}
+	if _, err := f.Migrate("mover", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := llc.Occupancy(owner); got != 0 {
+		t.Fatalf("source LLC still holds %d lines of the migrated VM", got)
+	}
+}

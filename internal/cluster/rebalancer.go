@@ -1,0 +1,276 @@
+// Rebalancing policies: the reactive face of the placement debate. The
+// paper's Kyoto argument is proactive — book llc_cap at admission and any
+// placement is safe — while real IaaS operators also react, watching the
+// fleet and live-migrating noisy VMs after the fact. A Rebalancer is that
+// reaction, planned from the same Equation-1 pollution indicator the
+// on-host Kyoto monitor enforces with; the MigrationSweep experiment puts
+// the two side by side on one trace.
+
+package cluster
+
+import (
+	"fmt"
+
+	"kyoto/internal/core"
+	"kyoto/internal/pmc"
+)
+
+// DefaultRebalanceThreshold is the Equation-1 pollution rate above which
+// the built-in rebalancers consider a VM a polluter worth migrating: one
+// full Figure-5 permit (llc_cap 250). Below it, migration costs more than
+// the contention it relieves.
+const DefaultRebalanceThreshold = 250
+
+// VMLoad is one VM's pollution observation over the last rebalance epoch.
+type VMLoad struct {
+	// Name and App identify the VM.
+	Name string
+	App  string
+	// HostID is where the VM currently runs.
+	HostID int
+	// Rate is the VM's Equation-1 pollution (LLC misses per busy
+	// millisecond) over the epoch window.
+	Rate float64
+	// Request echoes the VM's booking, for feasibility checks.
+	Request Request
+}
+
+// RebalanceView is the fleet snapshot a Rebalancer plans from: per-VM
+// pollution rates over the last epoch in deterministic order (host ID,
+// then placement order), plus the per-host sums.
+type RebalanceView struct {
+	// VMs lists every placed VM's epoch observation.
+	VMs []VMLoad
+	// HostRates sums Rate per host, indexed by host ID.
+	HostRates []float64
+}
+
+// FleetMonitor derives RebalanceViews from a fleet: it snapshots every
+// VM's lifetime counters at each Observe call and reports the Equation-1
+// pollution rate over the delta — the fleet-level analogue of the on-host
+// monitors in internal/monitor, and deliberately independent of whether
+// per-host Kyoto enforcement is active, so unprotected first-fit fleets
+// can be rebalanced from the same signal. Counters survive migration
+// (vm.VM.Carried), so a VM moved mid-epoch still reports one continuous
+// rate.
+type FleetMonitor struct {
+	prev map[string]pmc.Counters
+}
+
+// NewFleetMonitor returns a monitor whose first Observe covers each VM's
+// whole residency so far.
+func NewFleetMonitor() *FleetMonitor {
+	return &FleetMonitor{prev: make(map[string]pmc.Counters)}
+}
+
+// Observe builds the epoch view and advances the per-VM snapshots.
+// Departed VMs are forgotten, so long churn runs do not leak state.
+func (m *FleetMonitor) Observe(f *Fleet) RebalanceView {
+	view := RebalanceView{HostRates: make([]float64, len(f.hosts))}
+	live := make(map[string]bool, len(f.placements))
+	for _, h := range f.hosts {
+		for _, p := range h.vms {
+			cur := p.VM.Counters()
+			rate := core.Equation1Value(cur.Delta(m.prev[p.VM.Name]))
+			m.prev[p.VM.Name] = cur
+			live[p.VM.Name] = true
+			view.VMs = append(view.VMs, VMLoad{
+				Name: p.VM.Name, App: p.VM.App, HostID: h.ID,
+				Rate: rate, Request: p.Request,
+			})
+			view.HostRates[h.ID] += rate
+		}
+	}
+	for name := range m.prev {
+		if !live[name] {
+			delete(m.prev, name)
+		}
+	}
+	return view
+}
+
+// Rebalancer plans live migrations from an epoch's fleet view.
+// Implementations must be deterministic (ties break toward the lowest
+// host ID / earliest placement) and must not mutate the hosts; the replay
+// engine applies the plan through Fleet.Migrate.
+type Rebalancer interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Plan returns the migrations to perform this epoch, in order.
+	Plan(hosts []*Host, view RebalanceView) []Migration
+}
+
+// Migration is one planned move.
+type Migration struct {
+	// VMName is the VM to move.
+	VMName string
+	// SrcHost and DstHost are the endpoints.
+	SrcHost, DstHost int
+	// Reason explains the decision for reports.
+	Reason string
+}
+
+// Reactive is the classic hotspot-chasing rebalancer an IaaS operator
+// runs without Kyoto: find the host with the highest summed pollution,
+// and if its worst polluter exceeds the threshold, evict that VM to the
+// least-polluted host with capacity headroom. It reacts to contention
+// after tenants have already suffered it — the contrast the paper's
+// admission-time permits are measured against.
+type Reactive struct {
+	// Threshold is the per-VM Equation-1 rate below which no migration is
+	// worth its cost (default DefaultRebalanceThreshold).
+	Threshold float64
+}
+
+// Name implements Rebalancer.
+func (Reactive) Name() string { return "reactive" }
+
+// Plan implements Rebalancer: at most one migration per epoch, worst
+// polluter of the hottest host to the coolest feasible host.
+func (r Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
+	worst := worstPolluter(view, threshold(r.Threshold))
+	if worst == nil {
+		return nil
+	}
+	dst := -1
+	for _, h := range hosts {
+		if h.ID == worst.HostID || !canHost(h, worst.Request) {
+			continue
+		}
+		if dst == -1 || view.HostRates[h.ID] < view.HostRates[dst] {
+			dst = h.ID
+		}
+	}
+	// Only move toward strictly cooler hosts: migrating between equally
+	// hot hosts would ping-pong the polluter without relieving anything.
+	if dst == -1 || view.HostRates[dst] >= view.HostRates[worst.HostID] {
+		return nil
+	}
+	return []Migration{{
+		VMName: worst.Name, SrcHost: worst.HostID, DstHost: dst,
+		Reason: fmt.Sprintf("eq1 %.0f on hottest host %d, coolest fit %d", worst.Rate, worst.HostID, dst),
+	}}
+}
+
+// TopologyAware is the heterogeneity-exploiting rebalancer: the same
+// hotspot detection as Reactive, but polluters are steered onto hosts
+// with a larger LLC (HostOverride machines) where the same miss stream
+// pollutes a smaller fraction of the cache — the placement the
+// capacity-only placers cannot express because they reason about vCPUs
+// and memory alone. Falls back to Reactive's coolest-host choice when no
+// bigger-LLC host fits.
+type TopologyAware struct {
+	// Threshold is the per-VM Equation-1 rate below which no migration is
+	// worth its cost (default DefaultRebalanceThreshold).
+	Threshold float64
+}
+
+// Name implements Rebalancer.
+func (TopologyAware) Name() string { return "topo" }
+
+// Plan implements Rebalancer.
+func (t TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
+	worst := worstPolluter(view, threshold(t.Threshold))
+	if worst == nil {
+		return nil
+	}
+	srcLLC := hostLLCBytes(hosts[worst.HostID])
+	bigger, cooler := -1, -1
+	for _, h := range hosts {
+		if h.ID == worst.HostID || !canHost(h, worst.Request) {
+			continue
+		}
+		if hostLLCBytes(h) > srcLLC {
+			if bigger == -1 || view.HostRates[h.ID] < view.HostRates[bigger] {
+				bigger = h.ID
+			}
+		}
+		if cooler == -1 || view.HostRates[h.ID] < view.HostRates[cooler] {
+			cooler = h.ID
+		}
+	}
+	if bigger != -1 {
+		return []Migration{{
+			VMName: worst.Name, SrcHost: worst.HostID, DstHost: bigger,
+			Reason: fmt.Sprintf("eq1 %.0f, bigger-LLC host %d (%d KB > %d KB)",
+				worst.Rate, bigger, hostLLCBytes(hosts[bigger])/1024, srcLLC/1024),
+		}}
+	}
+	if cooler == -1 || view.HostRates[cooler] >= view.HostRates[worst.HostID] {
+		return nil
+	}
+	return []Migration{{
+		VMName: worst.Name, SrcHost: worst.HostID, DstHost: cooler,
+		Reason: fmt.Sprintf("eq1 %.0f, no bigger LLC, coolest fit %d", worst.Rate, cooler),
+	}}
+}
+
+// threshold resolves the zero value to the default.
+func threshold(t float64) float64 {
+	if t == 0 {
+		return DefaultRebalanceThreshold
+	}
+	return t
+}
+
+// worstPolluter returns the highest-rate VM on the hottest host when it
+// exceeds thr, else nil. Ties break toward the lowest host ID and the
+// earliest placement, keeping plans deterministic.
+func worstPolluter(view RebalanceView, thr float64) *VMLoad {
+	src, srcRate := -1, 0.0
+	for id, rate := range view.HostRates {
+		if rate > srcRate {
+			src, srcRate = id, rate
+		}
+	}
+	if src == -1 {
+		return nil
+	}
+	var worst *VMLoad
+	for i := range view.VMs {
+		v := &view.VMs[i]
+		if v.HostID != src {
+			continue
+		}
+		if worst == nil || v.Rate > worst.Rate {
+			worst = v
+		}
+	}
+	if worst == nil || worst.Rate < thr {
+		return nil
+	}
+	return worst
+}
+
+// canHost reports whether h can take the migrated request: vCPU and
+// memory headroom always, permit headroom when the host enforces Kyoto.
+func canHost(h *Host, req Request) bool {
+	if !h.Fits(req) {
+		return false
+	}
+	return h.kyoto == nil || req.LLCCap <= h.FreeLLC()
+}
+
+// hostLLCBytes returns the host's total last-level cache capacity.
+func hostLLCBytes(h *Host) int {
+	cfg := h.World.Machine().Config()
+	return cfg.LLC.SizeBytes * cfg.Sockets
+}
+
+// RebalancerByName returns the built-in rebalancing policy with the given
+// CLI name; "none" or the empty string return nil (no rebalancing).
+func RebalancerByName(name string) (Rebalancer, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "reactive":
+		return Reactive{}, nil
+	case "topo", "topology":
+		return TopologyAware{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown rebalancer %q (want none, reactive or topo)", name)
+	}
+}
+
+// RebalancerNames lists the built-in rebalancer names for CLI help.
+func RebalancerNames() []string { return []string{"none", "reactive", "topo"} }

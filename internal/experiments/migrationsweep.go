@@ -1,0 +1,251 @@
+package experiments
+
+// Migration sweep: reactive operation vs proactive admission. The trace
+// sweep asked which *placement* policy tames churn-driven
+// unpredictability; this sweep adds the other axis real operators use —
+// live migration after the fact, and a Borg-style pending queue instead
+// of outright rejection. Every {rebalancer} x {placer} combination
+// replays the same trace on identically seeded fleets, so the table
+// reads as one controlled experiment: does migrating noisy VMs
+// (reactively, or topology-aware onto big-LLC hosts) buy back the tail
+// that Kyoto's llc_cap permits protect by construction, and what does
+// each approach cost in rejections, queue wait and migrations?
+
+import (
+	"fmt"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cluster"
+	"kyoto/internal/machine"
+	"kyoto/internal/stats"
+)
+
+// MigrationSweepConfig parameterizes a migration sweep.
+type MigrationSweepConfig struct {
+	// Hosts is the fleet size each combination gets (default 4).
+	Hosts int
+	// Seed seeds every fleet and the solo baselines (default 1).
+	Seed uint64
+	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
+	Workers int
+	// DrainTicks extends the replay past the last event (default
+	// DefaultMeasureTicks).
+	DrainTicks int
+	// Overrides optionally makes the fleets heterogeneous; the same
+	// overrides apply under every combination.
+	Overrides map[int]cluster.HostOverride
+	// BigLLCFactor, when non-zero (a power of two), gives the highest-ID
+	// host an LLC and permit budget scaled by this factor — the
+	// heterogeneous fleet the topology-aware rebalancer steers polluters
+	// to. An explicit Overrides entry for that host wins.
+	BigLLCFactor int
+	// Rebalancers names the rebalancing arms to sweep (default all of
+	// cluster.RebalancerNames: none, reactive, topo).
+	Rebalancers []string
+	// RebalanceEvery is the rebalance epoch in ticks (default
+	// arrivals.DefaultRebalanceEvery).
+	RebalanceEvery uint64
+	// Downtime is the per-migration blackout in ticks (default 0).
+	Downtime int
+	// Pending is the queue policy applied to rejected arrivals in every
+	// arm (default PendingNone: reject outright).
+	Pending arrivals.PendingPolicy
+	// MaxWait bounds queue waits under PendingDeadline (default
+	// arrivals.DefaultMaxWait).
+	MaxWait uint64
+}
+
+// MigrationSweepRow is one {rebalancer, placer} combination's outcome.
+type MigrationSweepRow struct {
+	// Placer and Rebalancer name the combination; Enforced reports
+	// whether per-host Kyoto permit enforcement was active (the kyoto
+	// placer's contract).
+	Placer     string
+	Rebalancer string
+	Enforced   bool
+	// Submitted/Placed/Rejected count VMs; RejectionRate is
+	// Rejected/Submitted.
+	Submitted     int
+	Placed        int
+	Rejected      int
+	RejectionRate float64
+	// CPUUtilization is the time-weighted mean booked vCPU share.
+	CPUUtilization float64
+	// WaitP50/P95/P99 are percentiles of the placed VMs' pending-queue
+	// wait in ticks (all zero when the queue is disabled or never used).
+	WaitP50, WaitP95, WaitP99 float64
+	// MigrationCount is the number of live migrations applied.
+	MigrationCount int
+	// P50 and P99 are tail-oriented normalized-performance floors, as in
+	// TraceSweepRow: PXX is the per-VM lifetime IPC over solo IPC that
+	// XX% of placed VMs meet or exceed.
+	P50, P99 float64
+	// Replay is the full per-VM outcome for deeper analysis.
+	Replay arrivals.Result
+}
+
+// MigrationSweepResult is the whole sweep.
+type MigrationSweepResult struct {
+	Hosts   int
+	Pending arrivals.PendingPolicy
+	Rows    []MigrationSweepRow
+}
+
+// MigrationSweep replays the trace through every requested rebalancer x
+// placer combination on identically seeded fleets. Rows are ordered
+// rebalancer-major in the order requested, placers within in
+// first-fit/spread/kyoto order. The whole sweep is deterministic for a
+// given trace and config.
+func MigrationSweep(tr arrivals.Trace, cfg MigrationSweepConfig) (*MigrationSweepResult, error) {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DrainTicks == 0 {
+		cfg.DrainTicks = DefaultMeasureTicks
+	}
+	if len(cfg.Rebalancers) == 0 {
+		cfg.Rebalancers = cluster.RebalancerNames()
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	rebalancers := make([]cluster.Rebalancer, len(cfg.Rebalancers))
+	for i, name := range cfg.Rebalancers {
+		rb, err := cluster.RebalancerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rebalancers[i] = rb
+	}
+	overrides, err := bigLLCOverrides(cfg)
+	if err != nil {
+		return nil, err
+	}
+	solo, err := soloBaselines(tr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type combo struct {
+		rbName string
+		rb     cluster.Rebalancer
+		placer cluster.Placer
+		enf    bool
+	}
+	var combos []combo
+	for i, rb := range rebalancers {
+		for _, arm := range tracePlacers {
+			combos = append(combos, combo{cfg.Rebalancers[i], rb, arm.placer, arm.enforced})
+		}
+	}
+
+	rows := make([]MigrationSweepRow, len(combos))
+	err = ForEach(len(combos), cfg.Workers, func(i int) error {
+		c := combos[i]
+		f, err := cluster.New(cluster.Config{
+			Hosts:     cfg.Hosts,
+			Template:  cluster.HostTemplate{Seed: cfg.Seed, EnableKyoto: c.enf},
+			Overrides: overrides,
+			Placer:    c.placer,
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		replay, err := arrivals.Replay(f, tr, arrivals.Options{
+			DrainTicks:        cfg.DrainTicks,
+			Pending:           cfg.Pending,
+			MaxWait:           cfg.MaxWait,
+			Rebalancer:        c.rb,
+			RebalanceEvery:    cfg.RebalanceEvery,
+			MigrationDowntime: cfg.Downtime,
+		})
+		if err != nil {
+			return fmt.Errorf("placer %s, rebalancer %s: %w", c.placer.Name(), c.rbName, err)
+		}
+		row := MigrationSweepRow{
+			Placer:         c.placer.Name(),
+			Rebalancer:     c.rbName,
+			Enforced:       c.enf,
+			Submitted:      len(replay.Records),
+			Placed:         replay.Placed,
+			Rejected:       replay.Rejected,
+			RejectionRate:  replay.RejectionRate(),
+			CPUUtilization: replay.CPUUtilization,
+			MigrationCount: len(replay.Migrations),
+			Replay:         replay,
+		}
+		if waits := replay.PlacedWaits(); len(waits) > 0 {
+			// Waits are lower-is-better, so pXX is the plain XXth
+			// percentile: the wait the luckiest XX% stayed under.
+			row.WaitP50, _ = stats.Percentile(waits, 50)
+			row.WaitP95, _ = stats.Percentile(waits, 95)
+			row.WaitP99, _ = stats.Percentile(waits, 99)
+		}
+		var norm []float64
+		for _, rec := range replay.Records {
+			base := solo[rec.App]
+			if rec.Rejected || base == 0 || rec.Counters.UnhaltedCycles == 0 {
+				continue
+			}
+			norm = append(norm, rec.Counters.IPC()/base)
+		}
+		if len(norm) > 0 {
+			row.P50, _ = stats.Percentile(norm, 50)
+			row.P99, _ = stats.Percentile(norm, 1)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MigrationSweepResult{Hosts: cfg.Hosts, Pending: cfg.Pending, Rows: rows}, nil
+}
+
+// bigLLCOverrides merges cfg.Overrides with the BigLLCFactor host.
+func bigLLCOverrides(cfg MigrationSweepConfig) (map[int]cluster.HostOverride, error) {
+	if cfg.BigLLCFactor == 0 {
+		return cfg.Overrides, nil
+	}
+	if cfg.BigLLCFactor < 0 || cfg.BigLLCFactor&(cfg.BigLLCFactor-1) != 0 {
+		return nil, fmt.Errorf("experiments: BigLLCFactor %d is not a power of two (cache sets must stay a power of two)", cfg.BigLLCFactor)
+	}
+	overrides := make(map[int]cluster.HostOverride, len(cfg.Overrides)+1)
+	for id, o := range cfg.Overrides {
+		overrides[id] = o
+	}
+	big := cfg.Hosts - 1
+	if _, ok := overrides[big]; !ok {
+		m := machine.TableOne(cfg.Seed)
+		m.LLC.SizeBytes *= cfg.BigLLCFactor
+		cores := m.Sockets * m.CoresPerSocket
+		overrides[big] = cluster.HostOverride{
+			Machine:   m,
+			LLCBudget: float64(cores*cluster.DefaultLLCCapPerCore) * float64(cfg.BigLLCFactor),
+		}
+	}
+	return overrides, nil
+}
+
+// Table renders the sweep as the migration-vs-admission comparison the
+// kyotosim -migrate CLI prints.
+func (r MigrationSweepResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Migration sweep: %d hosts, pending=%s", r.Hosts, r.Pending),
+		Note: "normalized perf = per-VM lifetime IPC / solo IPC (1.0 = as if alone); p99 norm = floor 99% of VMs meet; " +
+			"wait pXX = pending-queue wait (ticks) XX% of placed VMs stayed under; " +
+			"first-fit and spread run unprotected, kyoto books and enforces llc_cap permits",
+		Columns: []string{"placer", "migrate", "placed", "rejected", "rej rate", "wait p50", "wait p95", "wait p99", "migs", "p99 norm"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Placer, row.Rebalancer, row.Placed, row.Rejected,
+			fmt.Sprintf("%.1f%%", 100*row.RejectionRate),
+			row.WaitP50, row.WaitP95, row.WaitP99,
+			row.MigrationCount, row.P99)
+	}
+	return t
+}

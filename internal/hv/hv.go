@@ -101,12 +101,29 @@ type World struct {
 	scratch []uint64   // per-core consumed cycles, reused across ticks
 	caps    []uint64   // per-core budget caps, reused across ticks
 
-	// vmSeq and vcpuSeq are monotonic ID counters. IDs are never reused
-	// after RemoveVM: the vCPU ID doubles as the cache attribution owner
-	// tag and the VM ID seeds workloads and address spaces, so recycling
-	// either would alias a live VM with a departed one.
-	vmSeq   int
-	vcpuSeq int
+	// vmSeq is a monotonic ID counter. VM IDs are never reused after
+	// RemoveVM: the VM ID seeds workloads and address spaces, so recycling
+	// one would alias a live VM's memory behaviour with a departed one's.
+	vmSeq int
+	// vcpuSeq is the high-water mark of vCPU IDs. Unlike VM IDs, vCPU IDs
+	// (the cache attribution owner tags) ARE recycled: RemoveVM releases
+	// each departed vCPU's tag — after evicting every line it owns and
+	// zeroing its per-cache stats row (cache.ReleaseOwner) — onto
+	// freeOwners, and AddVM reuses released tags before minting new ones.
+	// This keeps the dense per-owner stats slices in every cache bounded
+	// by the peak concurrent vCPU population instead of growing with
+	// total arrivals, which is what makes million-arrival churn runs
+	// possible (and keeps tags far from the uint16 Owner ceiling).
+	vcpuSeq    int
+	freeOwners []int // released vCPU IDs, reused LIFO
+	// vcpuTotal counts every vCPU ever created; it mints vm.VCPU.Seq, the
+	// never-recycled scheduler tie-break key.
+	vcpuTotal int
+
+	// wakes holds VMs suspended by SuspendVM (migration blackout) and the
+	// tick at which each resumes. Empty in steady state: the tick loop
+	// pays one length check when no migration is in flight.
+	wakes []wake
 
 	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
 	IdleCycles []uint64
@@ -215,6 +232,13 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 	if seed == 0 {
 		seed = w.cfg.Seed ^ uint64(domain.ID)*0x9e3779b97f4a7c15
 	}
+	// Plan the vCPU IDs without committing them: recycled owner tags first
+	// (LIFO off freeOwners), freshly minted ones past the high-water mark
+	// after. The free list is only shrunk once the whole VM builds.
+	recycled := nv
+	if recycled > len(w.freeOwners) {
+		recycled = len(w.freeOwners)
+	}
 	// Build every vCPU before mutating any world or scheduler state, so a
 	// failed spec (bad pin, unknown profile phase) leaves the world exactly
 	// as it was — cluster placement relies on AddVM being atomic.
@@ -230,9 +254,16 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 		if pin != vm.NoPin && (pin < 0 || pin >= w.m.NumCores()) {
 			return nil, fmt.Errorf("hv: VM %q vCPU %d pinned to invalid core %d", spec.Name, i, pin)
 		}
+		id := 0
+		if i < recycled {
+			id = w.freeOwners[len(w.freeOwners)-1-i]
+		} else {
+			id = w.vcpuSeq + 1 + (i - recycled)
+		}
 		v := &vm.VCPU{
 			VM:       domain,
-			ID:       w.vcpuSeq + 1 + i,
+			ID:       id,
+			Seq:      w.vcpuTotal + 1 + i,
 			Index:    i,
 			Gen:      gen,
 			Pin:      pin,
@@ -247,7 +278,9 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 		domain.VCPUs = append(domain.VCPUs, v)
 	}
 	w.vmSeq++
-	w.vcpuSeq += nv
+	w.freeOwners = w.freeOwners[:len(w.freeOwners)-recycled]
+	w.vcpuSeq += nv - recycled
+	w.vcpuTotal += nv
 	for _, v := range domain.VCPUs {
 		w.vcpus = append(w.vcpus, v)
 		w.sch.Register(v)
@@ -265,11 +298,13 @@ type VMRemovalHook interface {
 
 // RemoveVM tears the named VM down: its vCPUs leave the scheduler
 // runqueues, any core currently assigned one idles, every cache line the
-// VM still holds is invalidated (FlushOwner — departures free their LLC
-// footprint to the survivors), and hooks implementing VMRemovalHook are
-// notified. The scheduler must implement sched.Remover (all built-in
-// policies do). The VM's counters remain readable by the caller, who
-// typically snapshots them before removal for lifetime statistics.
+// VM still holds is invalidated and its owner tags are released for reuse
+// (cache.ReleaseOwner — departures free their LLC footprint to the
+// survivors and keep per-owner stats slices bounded under churn), and
+// hooks implementing VMRemovalHook are notified. The scheduler must
+// implement sched.Remover (all built-in policies do). The VM's counters
+// remain readable by the caller, who typically snapshots them before
+// removal for lifetime statistics.
 func (w *World) RemoveVM(name string) error {
 	domain := w.FindVM(name)
 	if domain == nil {
@@ -294,15 +329,20 @@ func (w *World) RemoveVM(name string) error {
 				w.current[coreID] = nil
 			}
 		}
-		// Evict the vCPU's lines everywhere it may have run: every
-		// private level and every socket's LLC. Cold path, O(lines).
+		// Release the vCPU's owner tag everywhere it may have run: every
+		// private level and every socket's LLC. ReleaseOwner both evicts
+		// the lines (departures free their footprint to the survivors) and
+		// zeroes the tag's stats rows, so the tag can be recycled for a
+		// future vCPU without inheriting this one's attribution history.
+		// Cold path, O(lines).
 		for _, core := range w.m.Cores() {
-			core.Path.L1D.FlushOwner(v.Owner())
-			core.Path.L2.FlushOwner(v.Owner())
+			core.Path.L1D.ReleaseOwner(v.Owner())
+			core.Path.L2.ReleaseOwner(v.Owner())
 		}
 		for _, sock := range w.m.Sockets() {
-			sock.LLC.FlushOwner(v.Owner())
+			sock.LLC.ReleaseOwner(v.Owner())
 		}
+		w.freeOwners = append(w.freeOwners, v.ID)
 		for i, wv := range w.vcpus {
 			if wv == v {
 				w.vcpus = append(w.vcpus[:i], w.vcpus[i+1:]...)
@@ -316,12 +356,63 @@ func (w *World) RemoveVM(name string) error {
 			break
 		}
 	}
+	// Drop any pending migration wake-up: the domain is gone.
+	for i := 0; i < len(w.wakes); {
+		if w.wakes[i].domain == domain {
+			w.wakes = append(w.wakes[:i], w.wakes[i+1:]...)
+			continue
+		}
+		i++
+	}
 	for _, h := range w.hooks {
 		if rh, ok := h.(VMRemovalHook); ok {
 			rh.OnRemoveVM(domain)
 		}
 	}
 	return nil
+}
+
+// wake schedules the end of one VM's migration blackout.
+type wake struct {
+	domain *vm.VM
+	at     uint64 // first tick at which the VM may run again
+}
+
+// SuspendVM takes the VM off-CPU for the next ticks ticks — the blackout
+// window of a live migration (the stop-and-copy phase the Figure 9
+// dedication study pays for real). While suspended, the VM's vCPUs are
+// unschedulable under every policy; the VM resumes automatically once the
+// window elapses. Suspending an already-suspended VM extends the blackout
+// to whichever deadline is later. ticks <= 0 is a no-op.
+func (w *World) SuspendVM(domain *vm.VM, ticks int) {
+	if domain == nil || ticks <= 0 {
+		return
+	}
+	at := w.now + uint64(ticks)
+	domain.Down = true
+	for i := range w.wakes {
+		if w.wakes[i].domain == domain {
+			if w.wakes[i].at < at {
+				w.wakes[i].at = at
+			}
+			return
+		}
+	}
+	w.wakes = append(w.wakes, wake{domain: domain, at: at})
+}
+
+// processWakes clears the Down flag of every VM whose blackout has
+// elapsed. Called from tick only while suspensions exist.
+func (w *World) processWakes() {
+	kept := w.wakes[:0]
+	for _, wk := range w.wakes {
+		if w.now >= wk.at {
+			wk.domain.Down = false
+		} else {
+			kept = append(kept, wk)
+		}
+	}
+	w.wakes = kept
 }
 
 // MustAddVM is AddVM but panics on error, for statically valid scenarios.
@@ -354,6 +445,9 @@ func (w *World) RunUntil(pred func(*World) bool, maxTicks int) int {
 
 // tick executes one scheduler tick.
 func (w *World) tick() {
+	if len(w.wakes) > 0 {
+		w.processWakes()
+	}
 	cores := w.m.Cores()
 	sliceBoundary := w.now%machine.TicksPerSlice == 0
 

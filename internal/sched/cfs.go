@@ -62,7 +62,7 @@ func (c *CFS) PickNext(core *machine.Core, now uint64) *vm.VCPU {
 			continue
 		}
 		if best == nil || v.VRuntime < best.VRuntime ||
-			(v.VRuntime == best.VRuntime && v.ID < best.ID) {
+			(v.VRuntime == best.VRuntime && v.Seq < best.Seq) {
 			best = v
 		}
 	}

@@ -88,7 +88,7 @@ func (c *Credit) PickNext(core *machine.Core, now uint64) *vm.VCPU {
 		if !v.Schedulable() || !v.AllowedOn(core.ID) || c.assign.taken(v, now) {
 			continue
 		}
-		k := pickKey{over: v.OverPriority, lastRun: v.LastRunTick, id: v.ID}
+		k := pickKey{over: v.OverPriority, lastRun: v.LastRunTick, id: v.Seq}
 		if best == nil || k.less(bestKey) {
 			best, bestKey = v, k
 		}
@@ -101,7 +101,8 @@ func (c *Credit) PickNext(core *machine.Core, now uint64) *vm.VCPU {
 }
 
 // pickKey orders candidate vCPUs: UNDER first, then least recently run,
-// then lowest id for determinism.
+// then lowest creation sequence number for determinism (never-recycled,
+// so churn cannot alias a new VM into a departed one’s round-robin slot).
 type pickKey struct {
 	over    bool
 	lastRun uint64

@@ -93,14 +93,25 @@ type VM struct {
 	// quota is negative; schedulers must not run its vCPUs ("priority
 	// OVER" in the paper's terms, §3.2).
 	PollutionBlocked bool
+	// Down is set while the VM is suspended for a live-migration blackout
+	// window (hv.World.SuspendVM); schedulers must not run its vCPUs.
+	Down bool
 	// Punishments counts the ticks the VM spent pollution-blocked
 	// (Fig 5 top-right).
 	Punishments uint64
+
+	// Carried holds the counters the VM accumulated on previous hosts
+	// before a live migration (cluster.Fleet.Migrate re-instantiates the
+	// domain on the destination with fresh per-vCPU counters, so monitors
+	// sampling vCPU deltas never see the history as a one-tick spike).
+	// Counters folds it in, keeping lifetime statistics migration-proof.
+	Carried pmc.Counters
 }
 
-// Counters aggregates the PMCs of all the VM's vCPUs.
+// Counters aggregates the PMCs of all the VM's vCPUs plus anything carried
+// over from hosts the VM lived on before being migrated.
 func (m *VM) Counters() pmc.Counters {
-	var agg pmc.Counters
+	agg := m.Carried
 	for _, v := range m.VCPUs {
 		agg.Add(v.Counters)
 	}
@@ -112,8 +123,16 @@ type VCPU struct {
 	// VM owns this vCPU.
 	VM *VM
 	// ID is the global vCPU id; it doubles as the cache attribution
-	// owner tag.
+	// owner tag. IDs are recycled after VM removal (hv releases the tag
+	// once every cache line is evicted and the stats rows are zeroed), so
+	// the dense per-owner cache slices stay bounded under churn. Nothing
+	// arithmetic may depend on it — use Seq for deterministic ordering.
 	ID int
+	// Seq is the vCPU's creation sequence number, monotonic and never
+	// reused. Schedulers tie-break on Seq, not ID: a recycled ID would
+	// otherwise let a new VM inherit a departed VM's round-robin slot and
+	// shift the schedule.
+	Seq int
 	// Index is the vCPU's index within its VM.
 	Index int
 	// Gen is the vCPU's instruction stream.
@@ -142,9 +161,10 @@ type VCPU struct {
 func (v *VCPU) Owner() cache.Owner { return cache.Owner(v.ID) }
 
 // Schedulable reports whether any scheduler may run this vCPU now: it is
-// neither pollution-blocked (Kyoto) nor cap-blocked (credit cap).
+// not pollution-blocked (Kyoto), not cap-blocked (credit cap), and not in
+// a migration blackout window.
 func (v *VCPU) Schedulable() bool {
-	return !v.VM.PollutionBlocked && !v.CapBlocked
+	return !v.VM.PollutionBlocked && !v.CapBlocked && !v.VM.Down
 }
 
 // AllowedOn reports whether the vCPU may run on the given core id.

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # check_pkg_docs.sh — fail if any package in the module lacks a godoc
-# package comment, so `go doc <pkg>` output stays usable everywhere.
+# package comment, or if an exported identifier of the public kyoto
+# package lacks a doc comment, so `go doc` output stays usable
+# everywhere.
 #
 # A package passes when at least one of its non-test .go files carries a
 # "// Package <name> ..." comment (or "// Command ..." for main
-# packages, the godoc convention for binaries). Runs from any directory;
-# no arguments, no environment variables. CI runs it in the docs job;
-# run it locally before adding a package.
+# packages, the godoc convention for binaries). The public-API pass
+# (scripts/exported_docs.go) additionally requires every exported type,
+# func, method, const and var of the root package to be documented —
+# internal packages are exempt, the supported surface is not. Runs from
+# any directory; no arguments, no environment variables. CI runs it in
+# the docs job; run it locally before adding a package or exporting an
+# identifier.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,3 +41,5 @@ if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
 echo "package comments: all packages documented"
+
+go run scripts/exported_docs.go

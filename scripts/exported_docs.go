@@ -1,0 +1,115 @@
+//go:build ignore
+
+// exported_docs.go — the docs gate for the public API surface: every
+// exported identifier in the root kyoto package (types, funcs, methods on
+// exported types, consts and vars) must carry a doc comment, so `go doc
+// kyoto.<Name>` never comes back empty. Grouped declarations may share
+// the group's comment, the usual godoc convention for const blocks.
+//
+// Run from the repository root (scripts/check_pkg_docs.sh does):
+//
+//	go run scripts/exported_docs.go
+//
+// Exits non-zero listing every undocumented identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pkg, ok := pkgs["kyoto"]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "exported_docs: no package kyoto in the current directory; run from the repo root")
+		os.Exit(1)
+	}
+
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, what, name))
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil {
+					recv := receiverName(d.Recv)
+					if recv == "" || !ast.IsExported(recv) {
+						continue
+					}
+					report(d.Pos(), "method", recv+"."+d.Name.Name)
+					continue
+				}
+				report(d.Pos(), "func", d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(n.Pos(), "const/var", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "exported identifiers without doc comments in the public kyoto package:")
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("exported docs: public kyoto API fully documented")
+}
+
+// receiverName returns the receiver's type name, unwrapping pointers and
+// generic instantiations; "" when it cannot be determined.
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
