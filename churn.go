@@ -78,17 +78,21 @@ const (
 // NewReactiveRebalancer returns the hotspot-chasing rebalancer: each
 // epoch, the worst polluter (by Equation 1) of the most-polluted host is
 // live-migrated to the least-polluted host with capacity headroom, if it
-// exceeds threshold (0 selects the default, one Figure-5 permit).
+// exceeds threshold (0 selects the default, one Figure-5 permit). A
+// per-VM migration cooldown (hysteresis) keeps the policy from bouncing
+// the same VM on consecutive epochs; the returned instance carries that
+// state, so use a fresh one per replay.
 func NewReactiveRebalancer(threshold float64) Rebalancer {
-	return cluster.Reactive{Threshold: threshold}
+	return &cluster.Reactive{Threshold: threshold}
 }
 
 // NewTopologyRebalancer returns the heterogeneity-aware rebalancer: like
-// NewReactiveRebalancer, but polluters are steered onto hosts with a
-// larger LLC (HostOverride machines) when one fits, where the same miss
-// stream pollutes a smaller cache fraction.
+// NewReactiveRebalancer (including the per-VM migration cooldown), but
+// polluters are steered onto hosts with a larger LLC (HostOverride
+// machines) when one fits, where the same miss stream pollutes a smaller
+// cache fraction.
 func NewTopologyRebalancer(threshold float64) Rebalancer {
-	return cluster.TopologyAware{Threshold: threshold}
+	return &cluster.TopologyAware{Threshold: threshold}
 }
 
 // RebalancerByName returns the built-in rebalancer with the given CLI

@@ -10,11 +10,26 @@
 // Each experiment prints an ASCII table whose rows correspond to the
 // paper's bars/series; EXPERIMENTS.md records the paper-vs-measured
 // comparison.
+//
+// The sweep-shaped experiments (fig4, fig4matrix, ablations — see
+// -list-shardable) can be fanned out across processes: -shard k/n runs
+// the k-th of n shards of one experiment's job plan and writes a JSON
+// shard envelope, and -merge folds the envelopes of all n shards back
+// into the experiment's tables, bit-identically to the unsharded run.
+// The merge invocation must repeat the shard runs' flags (-run, -seed):
+//
+//	kyotobench -run fig4 -shard 0/2 -shard-out fig4-0.json
+//	kyotobench -run fig4 -shard 1/2 -shard-out fig4-1.json
+//	kyotobench -run fig4 -merge 'fig4-*.json'
+//
+// scripts/sweep_shards.sh automates that fan-out over local processes;
+// the same envelopes move across machines with any file transport.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,6 +37,7 @@ import (
 
 	"kyoto/internal/experiments"
 	"kyoto/internal/profiling"
+	"kyoto/internal/sweep"
 )
 
 func main() {
@@ -145,24 +161,73 @@ func registry() map[string]experimentFunc {
 	}
 }
 
+// shardableSweep pairs a sweep with the renderer of its merged result.
+type shardableSweep struct {
+	s      sweep.Sweep
+	tables func() []experiments.Table
+}
+
+// shardableSweeps builds the sweep-shaped experiments by id — the ones
+// -shard/-merge can distribute. Each call returns fresh sweeps, so shard
+// and merge processes plan identical job lists from flags alone.
+func shardableSweeps(seed uint64) map[string]shardableSweep {
+	fig4 := experiments.NewFig4Sweeper(seed)
+	matrix := experiments.NewFig4MatrixSweeper(seed)
+	abl := experiments.NewAblationSweeper(seed)
+	return map[string]shardableSweep{
+		"fig4": {fig4, func() []experiments.Table {
+			return []experiments.Table{fig4.Result().Table()}
+		}},
+		"fig4matrix": {matrix, func() []experiments.Table {
+			return []experiments.Table{*matrix.Result()}
+		}},
+		"ablations": {abl, func() []experiments.Table {
+			return []experiments.Table{*abl.Result()}
+		}},
+	}
+}
+
+// shardableIDs lists the -shard/-merge capable experiment ids, sorted.
+func shardableIDs() []string {
+	ids := make([]string, 0, 4)
+	for id := range shardableSweeps(1) {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("kyotobench", flag.ContinueOnError)
 	var (
 		runList    = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
 		seed       = fs.Uint64("seed", 1, "simulation seed")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
-		workers    = fs.Int("workers", 0, "experiment-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+		workers    = fs.Int("workers", 0, "experiment-level parallelism (0 = GOMAXPROCS, 1 = serial); with -shard, caps job parallelism within the shard")
+		shardSpec  = fs.String("shard", "", "run one shard (k/n) of a single shardable experiment's job plan and write its envelope")
+		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
+		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the experiment's tables")
+		listShard  = fs.Bool("list-shardable", false, "list experiment ids that support -shard/-merge and exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listShard {
+		for _, id := range shardableIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
 	defer profiling.StopInto(stopProf, &err)
+	if *shardSpec != "" || *mergeGlobs != "" {
+		return runSharded(*runList, *seed, *workers, *shardSpec, *shardOut, *mergeGlobs, os.Stdout)
+	}
 	reg := registry()
 	ids := make([]string, 0, len(reg))
 	for id := range reg {
@@ -213,5 +278,50 @@ func run(args []string) (err error) {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, outcomes[i].elapsed.Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runSharded handles the -shard / -merge modes: exactly one shardable
+// experiment, either executing one shard of its job plan or folding the
+// shard envelopes into its tables.
+func runSharded(runList string, seed uint64, workers int, shardSpec, shardOut, mergeGlobs string, out io.Writer) error {
+	if shardSpec != "" && mergeGlobs != "" {
+		return fmt.Errorf("-shard and -merge are mutually exclusive (run shards first, merge after)")
+	}
+	ids := strings.Split(runList, ",")
+	if len(ids) != 1 || runList == "all" {
+		return fmt.Errorf("-shard/-merge need exactly one experiment in -run (shardable: %s)", strings.Join(shardableIDs(), ", "))
+	}
+	id := strings.TrimSpace(ids[0])
+	entry, ok := shardableSweeps(seed)[id]
+	if !ok {
+		return fmt.Errorf("experiment %q is not shardable (shardable: %s)", id, strings.Join(shardableIDs(), ", "))
+	}
+	if shardSpec != "" {
+		k, n, err := sweep.ParseShardSpec(shardSpec)
+		if err != nil {
+			return err
+		}
+		env, err := sweep.Engine{Workers: workers}.RunShard(entry.s, k, n)
+		if err != nil {
+			return err
+		}
+		return env.WriteFile(shardOut, out)
+	}
+	envs, err := sweep.ReadEnvelopes(strings.Split(mergeGlobs, ","))
+	if err != nil {
+		return err
+	}
+	if err := sweep.Merge(entry.s, envs); err != nil {
+		return err
+	}
+	for _, t := range entry.tables() {
+		fmt.Fprintln(out, t.String())
+	}
+	fp, err := sweep.MergedFingerprint(envs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "[%s merged from %d shard envelopes, fingerprint %s]\n\n", id, len(envs), fp)
 	return nil
 }

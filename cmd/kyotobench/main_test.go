@@ -1,7 +1,10 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -37,6 +40,63 @@ func TestQuickExperimentsExecute(t *testing.T) {
 	// experiments package's reproduction-lock tests.
 	if err := run([]string{"-run", "table1,table2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShardableIDsAreRegistryMembers(t *testing.T) {
+	reg := registry()
+	ids := shardableIDs()
+	if len(ids) < 3 {
+		t.Fatalf("shardable set shrank: %v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("shardable id %q missing from registry", id)
+		}
+	}
+	if err := run([]string{"-list-shardable"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"shard+merge":          {"-run", "ablations", "-shard", "0/2", "-merge", "x.json"},
+		"multiple experiments": {"-run", "fig4,ablations", "-shard", "0/2"},
+		"all experiments":      {"-run", "all", "-shard", "0/2"},
+		"unshardable":          {"-run", "table1", "-shard", "0/2"},
+		"bad spec":             {"-run", "ablations", "-shard", "2/2"},
+		"missing shards":       {"-run", "ablations", "-merge", "no-such-file-*.json"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("%s: must fail", name)
+		}
+	}
+}
+
+func TestShardMergeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the three ablation studies twice")
+	}
+	dir := t.TempDir()
+	for _, spec := range []string{"0/2", "1/2"} {
+		outPath := filepath.Join(dir, "shard-"+spec[:1]+".json")
+		if err := run([]string{"-run", "ablations", "-shard", spec, "-shard-out", outPath}); err != nil {
+			t.Fatal(err)
+		}
+		if fi, err := os.Stat(outPath); err != nil || fi.Size() == 0 {
+			t.Fatalf("shard %s wrote nothing: %v", spec, err)
+		}
+	}
+	if err := run([]string{"-run", "ablations", "-merge", filepath.Join(dir, "shard-*.json")}); err != nil {
+		t.Fatal(err)
+	}
+	// Merging under the wrong experiment id must be caught by the
+	// envelope's sweep name.
+	if err := run([]string{"-run", "fig4", "-merge", filepath.Join(dir, "shard-*.json")}); err == nil ||
+		!strings.Contains(err.Error(), "belongs to sweep") {
+		t.Fatalf("foreign envelopes merged silently: %v", err)
 	}
 }
 

@@ -40,6 +40,17 @@
 // swept, and never otherwise, so non-topo sweeps stay comparable to
 // plain -trace runs. See internal/cluster/README.md for the policies.
 //
+// Both sweep modes shard across processes: -shard k/n runs the k-th of n
+// shards of the sweep's job plan and writes a JSON envelope instead of
+// the table, and -merge folds all n envelopes back into the table,
+// bit-identically to the unsharded sweep. The merge invocation must
+// repeat the shard runs' flags (trace/churn, hosts, seed, migrate,
+// pending, ...):
+//
+//	kyotosim -churn 24 -hosts 4 -migrate all -shard 0/2 -shard-out s0.json
+//	kyotosim -churn 24 -hosts 4 -migrate all -shard 1/2 -shard-out s1.json
+//	kyotosim -churn 24 -hosts 4 -migrate all -merge 's*.json'
+//
 // Scenario schema (JSON):
 //
 //	{
@@ -144,11 +155,15 @@ func run(args []string, out io.Writer) (err error) {
 		traceOut  = fs.String("trace-out", "", "write the synthesized -churn trace to this JSON file")
 
 		migrate      = fs.String("migrate", "", "live-migration sweep: compare no-migration against this rebalancer (reactive, topo, or all for both) across all three placers")
-		pending      = fs.String("pending", "", "pending-queue policy for the migration sweep: none, fifo or deadline (default fifo once -migrate/-pending engage the sweep)")
+		pending      = fs.String("pending", "", "pending-queue policy for the migration sweep: none, fifo, deadline or sjf (default fifo once -migrate/-pending engage the sweep)")
 		migrateEvery = fs.Uint64("migrate-every", 0, "rebalance epoch in ticks (default 12)")
 		downtime     = fs.Int("migrate-downtime", 0, "per-migration blackout in ticks (default 0)")
 		maxWait      = fs.Uint64("pending-deadline", 0, "max queue wait in ticks under -pending deadline (default 60)")
 		bigLLC       = fs.Int("big-llc", -1, "LLC scale factor of the sweep's highest-ID host (power of two; 0 = homogeneous; default: 2 when a topo arm is swept, else 0 so non-topo sweeps stay comparable to plain -trace runs)")
+
+		shardSpec  = fs.String("shard", "", "run one shard (k/n) of the -trace/-churn sweep's job plan and write its envelope instead of the table")
+		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
+		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the sweep's table (repeat the shard runs' flags)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -178,7 +193,8 @@ func run(args []string, out io.Writer) (err error) {
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *tracePath == "" && *churn == 0 {
 		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
-			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc"} {
+			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc",
+			"shard", "shard-out", "merge"} {
 			if set[name] {
 				return fmt.Errorf("-%s only applies in -trace/-churn mode", name)
 			}
@@ -204,6 +220,18 @@ func run(args []string, out io.Writer) (err error) {
 		if set["big-llc"] && *bigLLC < 0 {
 			return fmt.Errorf("-big-llc must be >= 0, got %d", *bigLLC)
 		}
+		if *shardSpec != "" && *mergeGlobs != "" {
+			return fmt.Errorf("-shard and -merge are mutually exclusive (run shards first, merge after)")
+		}
+		if set["shard-out"] && *shardSpec == "" {
+			return fmt.Errorf("-shard-out only applies with -shard")
+		}
+		if (*shardSpec != "" || *mergeGlobs != "") && set["trace-out"] {
+			// N shard processes would race writing the same file, and the
+			// confirmation line would pollute a stdout envelope; write the
+			// trace once, separately.
+			return fmt.Errorf("-trace-out does not apply with -shard/-merge (synthesize the trace in its own run)")
+		}
 		if !migrateMode {
 			for _, name := range []string{"migrate-every", "migrate-downtime", "pending-deadline", "big-llc"} {
 				if set[name] {
@@ -211,17 +239,25 @@ func run(args []string, out io.Writer) (err error) {
 				}
 			}
 		}
+		// A shard run's stdout is just the envelope (or nothing, with
+		// -shard-out to a file): the informational preamble would pollute
+		// the merged stream sweep_shards.sh pipes around.
+		quiet := *shardSpec != ""
 		var tr kyoto.Trace
 		if *tracePath != "" {
 			tr, err = kyoto.LoadTrace(*tracePath)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "trace: %s (%d events)\n", *tracePath, len(tr.Events))
+			if !quiet {
+				fmt.Fprintf(out, "trace: %s (%d events)\n", *tracePath, len(tr.Events))
+			}
 		} else {
 			cfg := kyoto.ChurnConfig{Seed: *seed, VMs: *churn, Horizon: *horizon, MeanLifetime: *meanLife}
 			tr = kyoto.SynthesizeTrace(cfg)
-			fmt.Fprintf(out, "synthetic churn: %d VMs, seed %d\n", *churn, *seed)
+			if !quiet {
+				fmt.Fprintf(out, "synthetic churn: %d VMs, seed %d\n", *churn, *seed)
+			}
 			if *traceOut != "" {
 				f, err := os.Create(*traceOut)
 				if err != nil {
@@ -237,11 +273,12 @@ func run(args []string, out io.Writer) (err error) {
 				fmt.Fprintf(out, "wrote %s\n", *traceOut)
 			}
 		}
+		dispatch := sweepDispatch{shardSpec: *shardSpec, shardOut: *shardOut, mergeGlobs: *mergeGlobs}
 		if migrateMode {
 			return executeMigrationSweep(tr, *hosts, *seed, *migrate, *pending,
-				*migrateEvery, *downtime, *maxWait, *bigLLC, out)
+				*migrateEvery, *downtime, *maxWait, *bigLLC, dispatch, out)
 		}
-		return executeTrace(tr, *hosts, *seed, out)
+		return executeTrace(tr, *hosts, *seed, dispatch, out)
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -scenario (use -example for a template)")
@@ -275,13 +312,55 @@ func run(args []string, out io.Writer) (err error) {
 	return execute(sc, out)
 }
 
+// sweepDispatch carries the -shard/-merge flags into the sweep modes.
+type sweepDispatch struct {
+	shardSpec  string
+	shardOut   string
+	mergeGlobs string
+}
+
+// apply runs the sweep the way the flags ask: one shard written as an
+// envelope, a merge of existing envelopes, or the whole sweep in-process
+// (the default). It reports whether the caller should print the merged
+// result (false after a shard run, whose only output is the envelope).
+func (d sweepDispatch) apply(s kyoto.Sweep, out io.Writer) (bool, error) {
+	switch {
+	case d.shardSpec != "":
+		k, n, err := kyoto.ParseShardSpec(d.shardSpec)
+		if err != nil {
+			return false, err
+		}
+		env, err := kyoto.RunSweepShard(s, k, n, 0)
+		if err != nil {
+			return false, err
+		}
+		return false, env.WriteFile(d.shardOut, out)
+	case d.mergeGlobs != "":
+		envs, err := kyoto.ReadShardEnvelopes(strings.Split(d.mergeGlobs, ","))
+		if err != nil {
+			return false, err
+		}
+		return true, kyoto.MergeShards(s, envs)
+	default:
+		return true, kyoto.RunSweep(s, 0)
+	}
+}
+
 // executeTrace replays the trace through all three placement policies and
 // prints the comparison table plus a short per-policy rejection digest.
-func executeTrace(tr kyoto.Trace, hosts int, seed uint64, out io.Writer) error {
-	res, err := kyoto.SweepTrace(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed})
+func executeTrace(tr kyoto.Trace, hosts int, seed uint64, dispatch sweepDispatch, out io.Writer) error {
+	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed})
 	if err != nil {
 		return err
 	}
+	print, err := dispatch.apply(s, out)
+	if err != nil {
+		return err
+	}
+	if !print {
+		return nil
+	}
+	res := s.Result()
 	fmt.Fprintln(out, res.Table().String())
 	for _, row := range res.Rows {
 		if row.Rejected == 0 {
@@ -300,7 +379,7 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, out io.Writer) error {
 // executeMigrationSweep runs the rebalancer x placer grid over the trace
 // and prints the comparison table plus a per-combination migration digest.
 func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pending string,
-	every uint64, downtime int, maxWait uint64, bigLLC int, out io.Writer) error {
+	every uint64, downtime int, maxWait uint64, bigLLC int, dispatch sweepDispatch, out io.Writer) error {
 	var rebalancers []string
 	switch migrate {
 	case "", "none":
@@ -333,7 +412,7 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pend
 	if err != nil {
 		return err
 	}
-	res, err := kyoto.SweepMigrations(tr, kyoto.MigrationSweepConfig{
+	s, err := kyoto.NewMigrationSweeper(tr, kyoto.MigrationSweepConfig{
 		Hosts:          hosts,
 		Seed:           seed,
 		Rebalancers:    rebalancers,
@@ -346,6 +425,14 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pend
 	if err != nil {
 		return err
 	}
+	print, err := dispatch.apply(s, out)
+	if err != nil {
+		return err
+	}
+	if !print {
+		return nil
+	}
+	res := s.Result()
 	fmt.Fprintln(out, res.Table().String())
 	for _, row := range res.Rows {
 		if len(row.Replay.Migrations) == 0 {

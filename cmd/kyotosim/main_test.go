@@ -309,6 +309,65 @@ func TestMigrateModePendingOnlyAndTopo(t *testing.T) {
 	}
 }
 
+func TestShardModeFlagValidation(t *testing.T) {
+	if err := run([]string{"-scenario", "s.json", "-shard", "0/2"}, &strings.Builder{}); err == nil {
+		t.Fatal("-shard outside -trace/-churn mode must fail")
+	}
+	if err := run([]string{"-churn", "5", "-shard", "0/2", "-merge", "x.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("-shard with -merge must fail")
+	}
+	if err := run([]string{"-churn", "5", "-shard-out", "x.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("-shard-out without -shard must fail")
+	}
+	if err := run([]string{"-churn", "5", "-shard", "9"}, &strings.Builder{}); err == nil {
+		t.Fatal("malformed -shard spec must fail")
+	}
+	if err := run([]string{"-churn", "5", "-shard", "0/2", "-trace-out", "t.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("-trace-out with -shard must fail (shards would race on the file)")
+	}
+	if err := run([]string{"-churn", "5", "-merge", "no-such-*.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("-merge with no matching envelopes must fail")
+	}
+}
+
+func TestShardMergeReproducesSerialTraceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace on three fleets twice")
+	}
+	dir := t.TempDir()
+	churnArgs := []string{"-churn", "8", "-hosts", "2", "-seed", "11"}
+	for _, spec := range []string{"0/2", "1/2"} {
+		args := append(append([]string{}, churnArgs...),
+			"-shard", spec, "-shard-out", filepath.Join(dir, "shard-"+spec[:1]+".json"))
+		var envOut strings.Builder
+		if err := run(args, &envOut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var serial, merged strings.Builder
+	if err := run(churnArgs, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, churnArgs...), "-merge", filepath.Join(dir, "shard-*.json")), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != merged.String() {
+		t.Fatalf("merged output differs from serial:\n--- serial\n%s\n--- merged\n%s", serial.String(), merged.String())
+	}
+	if !strings.Contains(merged.String(), "Trace sweep") {
+		t.Fatalf("merged output is not the sweep table:\n%s", merged.String())
+	}
+	// Merging with mismatched flags (a different fleet size, which does
+	// not even change the job keys) must fail loudly via the envelope's
+	// configuration digest, not silently print a table for a fleet that
+	// never ran.
+	bad := []string{"-churn", "8", "-hosts", "3", "-seed", "11", "-merge", filepath.Join(dir, "shard-*.json")}
+	var sink strings.Builder
+	if err := run(bad, &sink); err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("mismatched merge flags accepted: %v", err)
+	}
+}
+
 func TestMigrateModeFlagValidation(t *testing.T) {
 	if err := run([]string{"-churn", "5", "-migrate", "bogus"}, &strings.Builder{}); err == nil {
 		t.Fatal("bogus -migrate value must fail")

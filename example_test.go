@@ -124,17 +124,58 @@ func ExampleNewReactiveRebalancer() {
 		fmt.Println(err)
 		return
 	}
+	// Wherever the polluter lands becomes the hottest host by the next
+	// epoch, so a memoryless policy would bounce it back and forth
+	// forever — reactive migration chasing the hotspot it itself
+	// creates. The built-in per-VM migration cooldown (hysteresis) stops
+	// that: after the t=9 move the polluter is ineligible while its
+	// cold-cache transient decays, so the replay sees one migration, not
+	// a ping-pong.
 	fmt.Printf("placed %d, migrations %d\n", res.Placed, len(res.Migrations))
 	for _, m := range res.Migrations {
 		fmt.Printf("t=%d %s: host%d -> host%d\n", m.Tick, m.Name, m.SrcHost, m.DstHost)
 	}
-	// The polluter ping-pongs: wherever it lands becomes the hottest
-	// host by the next epoch — reactive migration chasing the hotspot it
-	// itself creates, which is exactly the instability the paper's
-	// admission-time permits avoid.
+
 	// Output:
-	// placed 4, migrations 3
+	// placed 4, migrations 1
 	// t=9 batch: host0 -> host1
-	// t=18 batch: host1 -> host0
-	// t=27 batch: host0 -> host1
+}
+
+// ExampleMergeShards runs the three-placer trace sweep as two
+// independent shards — the way two processes or machines would, each
+// rebuilding the sweep from the same trace and config — and merges the
+// shard envelopes into the same result an unsharded run produces, bit
+// for bit.
+func ExampleMergeShards() {
+	build := func() *kyoto.TraceSweeper {
+		s, err := kyoto.NewTraceSweeper(lifecycleTrace(), kyoto.TraceSweepConfig{Hosts: 2, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	fmt.Printf("plan: %d jobs\n", len(kyoto.SweepJobs(build())))
+
+	var envs []kyoto.ShardEnvelope
+	for k := 0; k < 2; k++ {
+		env, err := kyoto.RunSweepShard(build(), k, 2, 0)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		envs = append(envs, env)
+	}
+	merged := build()
+	if err := kyoto.MergeShards(merged, envs); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, row := range merged.Result().Rows {
+		fmt.Printf("%s: placed %d, rejected %d\n", row.Placer, row.Placed, row.Rejected)
+	}
+	// Output:
+	// plan: 7 jobs
+	// first-fit: placed 4, rejected 0
+	// spread: placed 4, rejected 0
+	// kyoto: placed 3, rejected 1
 }

@@ -1,0 +1,184 @@
+package arrivals
+
+// Calibration of the synthetic generator against published public-cloud
+// trace statistics — primarily the Azure VM workload characterization of
+// Cortez et al., "Resource Central" (SOSP 2017), which the ROADMAP names
+// as the shape the churn generator should reproduce. Three robust
+// qualitative facts from that study (and the Borg/EC2 literature around
+// it) drive the knobs:
+//
+//   - Lifetimes are heavy-tailed: most VMs are short-lived (a large
+//     share shorter than the mean), while a small share of long-runners
+//     carries most of the VM-hours, so the lifetime coefficient of
+//     variation is well above 1 (an exponential fit would give CV = 1).
+//   - The size mix is dominated by small instances: the large majority
+//     of VMs book 1-2 cores, with a thin tail of bigger shapes.
+//   - Arrival streams are over-dispersed relative to Poisson:
+//     deployments submit groups of VMs at once, so counts per window
+//     have variance well above their mean (Poisson would have ratio 1).
+//
+// AzureCalibrated encodes those as a SynthConfig; TraceStats measures
+// any trace against the same three axes; the calibration test pins the
+// committed 256-VM example trace (testdata/azure_calibrated_256.json)
+// inside CalibrationTargets' windows.
+
+import "math"
+
+// CalibrationTargets bounds the three calibrated statistics. The windows
+// are deliberately wide — they assert the *shape* (heavy tail, small-VM
+// dominance, bursty arrivals), not fragile point estimates.
+type CalibrationTargets struct {
+	// MinLifetimeCV is the lower bound on the lifetime coefficient of
+	// variation (Poisson/exponential churn would sit at 1).
+	MinLifetimeCV float64
+	// MinShortLivedShare is the lower bound on the fraction of VMs whose
+	// lifetime is below the trace's mean lifetime — the "most VMs are
+	// short-lived" skew.
+	MinShortLivedShare float64
+	// MinSmallVMShare and MaxSmallVMShare bound the fraction of VMs
+	// booking 1-2 vCPUs.
+	MinSmallVMShare, MaxSmallVMShare float64
+	// MinArrivalDispersion is the lower bound on the index of dispersion
+	// of arrivals (variance/mean of counts per window; Poisson is 1).
+	MinArrivalDispersion float64
+}
+
+// DefaultCalibrationTargets returns the windows the committed calibrated
+// trace is pinned inside.
+func DefaultCalibrationTargets() CalibrationTargets {
+	return CalibrationTargets{
+		MinLifetimeCV:        1.3,
+		MinShortLivedShare:   0.60,
+		MinSmallVMShare:      0.75,
+		MaxSmallVMShare:      0.95,
+		MinArrivalDispersion: 1.3,
+	}
+}
+
+// AzureCalibrated returns a SynthConfig whose traces match the published
+// Azure shape: Pareto lifetimes with a heavy tail (alpha 1.4, so the
+// sample CV sits well above the exponential's 1), a small-instance-
+// dominated size mix (~85% of VMs at 1-2 vCPUs), and bursty arrivals
+// (mean burst 2.5 VMs, giving counts per window roughly twice Poisson
+// dispersion). The horizon scales with the VM count so fleet pressure is
+// independent of trace length.
+func AzureCalibrated(seed uint64, vms int) SynthConfig {
+	if vms <= 0 {
+		vms = DefaultSynthVMs
+	}
+	return SynthConfig{
+		Seed:         seed,
+		VMs:          vms,
+		Horizon:      uint64(vms) * 8,
+		MeanLifetime: 40,
+		ParetoAlpha:  1.4,
+		MinLifetime:  2,
+		BurstMean:    2.5,
+		SizeMix: []SizeShare{
+			{VCPUs: 1, MemoryMB: 64, Weight: 5},
+			{VCPUs: 2, MemoryMB: 128, Weight: 3.5},
+			{VCPUs: 4, MemoryMB: 256, Weight: 1.5},
+		},
+	}
+}
+
+// TraceStats are the measured calibration statistics of one trace.
+type TraceStats struct {
+	// Events counts the trace's records.
+	Events int
+	// LifetimeMean and LifetimeCV describe the lifetime distribution
+	// (never-departing lifetime-0 VMs are excluded).
+	LifetimeMean float64
+	LifetimeCV   float64
+	// ShortLivedShare is the fraction of VMs living shorter than
+	// LifetimeMean.
+	ShortLivedShare float64
+	// SmallVMShare is the fraction of VMs booking 1-2 vCPUs.
+	SmallVMShare float64
+	// ArrivalDispersion is the index of dispersion (variance/mean) of
+	// arrival counts per 10-tick window across the submit span.
+	ArrivalDispersion float64
+}
+
+// arrivalWindow is the bucketing TraceStats uses for the dispersion
+// index.
+const arrivalWindow = 10
+
+// MeasureTrace computes the calibration statistics of a trace.
+func MeasureTrace(tr Trace) TraceStats {
+	st := TraceStats{Events: len(tr.Events)}
+	if len(tr.Events) == 0 {
+		return st
+	}
+	var lives []float64
+	var maxSubmit uint64
+	small := 0
+	for _, e := range tr.Events {
+		if e.Lifetime > 0 {
+			lives = append(lives, float64(e.Lifetime))
+		}
+		if v := e.VCPUs; v == 0 || v <= 2 {
+			small++
+		}
+		if e.Submit > maxSubmit {
+			maxSubmit = e.Submit
+		}
+	}
+	st.SmallVMShare = float64(small) / float64(len(tr.Events))
+
+	if len(lives) > 0 {
+		var sum float64
+		for _, l := range lives {
+			sum += l
+		}
+		st.LifetimeMean = sum / float64(len(lives))
+		var sq float64
+		short := 0
+		for _, l := range lives {
+			d := l - st.LifetimeMean
+			sq += d * d
+			if l < st.LifetimeMean {
+				short++
+			}
+		}
+		if st.LifetimeMean > 0 {
+			st.LifetimeCV = math.Sqrt(sq/float64(len(lives))) / st.LifetimeMean
+		}
+		st.ShortLivedShare = float64(short) / float64(len(lives))
+	}
+
+	windows := int(maxSubmit/arrivalWindow) + 1
+	counts := make([]float64, windows)
+	for _, e := range tr.Events {
+		counts[int(e.Submit/arrivalWindow)]++
+	}
+	mean := float64(len(tr.Events)) / float64(windows)
+	var varSum float64
+	for _, c := range counts {
+		d := c - mean
+		varSum += d * d
+	}
+	if mean > 0 && windows > 1 {
+		st.ArrivalDispersion = (varSum / float64(windows)) / mean
+	}
+	return st
+}
+
+// Check reports whether the statistics sit inside the targets' windows;
+// the returned slice names each violated bound (empty = calibrated).
+func (st TraceStats) Check(t CalibrationTargets) []string {
+	var bad []string
+	if st.LifetimeCV < t.MinLifetimeCV {
+		bad = append(bad, "lifetime CV below target (tail too light)")
+	}
+	if st.ShortLivedShare < t.MinShortLivedShare {
+		bad = append(bad, "short-lived share below target (not skewed enough)")
+	}
+	if st.SmallVMShare < t.MinSmallVMShare || st.SmallVMShare > t.MaxSmallVMShare {
+		bad = append(bad, "small-VM share outside target window")
+	}
+	if st.ArrivalDispersion < t.MinArrivalDispersion {
+		bad = append(bad, "arrival dispersion below target (not bursty enough)")
+	}
+	return bad
+}

@@ -26,6 +26,14 @@ const (
 	// waited MaxWait ticks is dropped (rejected) instead of waiting
 	// forever — the SLA-bounded variant.
 	PendingDeadline
+	// PendingSJF retries the queue shortest-job-first by booked
+	// resources (vCPUs, then memory, then llc_cap; submit order breaks
+	// ties): when a departure frees a sliver of capacity, the smallest
+	// parked request gets it. The classic wait-time optimization — mean
+	// wait drops because small VMs stop queueing behind big ones — at
+	// the classic price: large requests can be starved while small ones
+	// keep jumping the line.
+	PendingSJF
 )
 
 // String returns the policy's CLI name.
@@ -37,6 +45,8 @@ func (p PendingPolicy) String() string {
 		return "fifo"
 	case PendingDeadline:
 		return "deadline"
+	case PendingSJF:
+		return "sjf"
 	default:
 		return fmt.Sprintf("PendingPolicy(%d)", int(p))
 	}
@@ -55,10 +65,12 @@ func PendingPolicyByName(name string) (PendingPolicy, error) {
 		return PendingFIFO, nil
 	case "deadline":
 		return PendingDeadline, nil
+	case "sjf":
+		return PendingSJF, nil
 	default:
-		return 0, fmt.Errorf("arrivals: unknown pending policy %q (want none, fifo or deadline)", name)
+		return 0, fmt.Errorf("arrivals: unknown pending policy %q (want none, fifo, deadline or sjf)", name)
 	}
 }
 
 // PendingPolicyNames lists the pending-queue policy names for CLI help.
-func PendingPolicyNames() []string { return []string{"none", "fifo", "deadline"} }
+func PendingPolicyNames() []string { return []string{"none", "fifo", "deadline", "sjf"} }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"kyoto/internal/cluster"
 	"kyoto/internal/pmc"
@@ -26,7 +27,8 @@ type Options struct {
 	// Pending selects what happens to arrivals no host can take: reject
 	// outright (PendingNone, the default), or park them in a Borg-style
 	// pending queue and retry as capacity frees (PendingFIFO,
-	// PendingDeadline). See the PendingPolicy docs for retry ordering.
+	// PendingDeadline, PendingSJF). See the PendingPolicy docs for retry
+	// ordering.
 	Pending PendingPolicy
 	// MaxWait bounds a queued VM's wait under PendingDeadline, in ticks
 	// (default DefaultMaxWait). Ignored by the other policies.
@@ -180,6 +182,14 @@ func (r Result) Fingerprint() string {
 	return fmt.Sprintf("%016x", h)
 }
 
+// booking normalizes an event's request through the cluster's own
+// zero-means-default accessors, so SJF compares what would actually be
+// booked at placement (one source of truth for the defaults).
+func booking(e Event) (cpus, memMB int) {
+	req := cluster.Request{Spec: vm.Spec{VCPUs: e.VCPUs}, MemoryMB: e.MemoryMB}
+	return req.CPUs(), req.MemMB()
+}
+
 // departure is a scheduled Fleet.Remove.
 type departure struct {
 	tick uint64
@@ -302,26 +312,81 @@ func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
 		return true, nil
 	}
 
-	// retryPending re-attempts the queue in submit order, skipping VMs
-	// that still do not fit (a scan, not head-of-line blocking: Borg's
-	// scheduler also keeps trying the rest of the queue).
+	// retryOrder returns the queued record indices in SJF retry order:
+	// smallest booked request first (vCPUs, then memory, then llc_cap;
+	// submit order breaks ties — record indices follow the sorted trace,
+	// so a lower index is an earlier submit). FIFO/deadline retries use
+	// pend directly.
+	retryOrder := func() []int {
+		if len(pend) < 2 {
+			return pend
+		}
+		order := append([]int(nil), pend...)
+		sort.SliceStable(order, func(a, b int) bool {
+			ea, eb := events[order[a]], events[order[b]]
+			ca, ma := booking(ea)
+			cb, mb := booking(eb)
+			if ca != cb {
+				return ca < cb
+			}
+			if ma != mb {
+				return ma < mb
+			}
+			if ea.LLCCap != eb.LLCCap {
+				return ea.LLCCap < eb.LLCCap
+			}
+			return order[a] < order[b]
+		})
+		return order
+	}
+
+	// retryPending re-attempts the queue in the policy's order, skipping
+	// VMs that still do not fit (a scan, not head-of-line blocking:
+	// Borg's scheduler also keeps trying the rest of the queue). The
+	// queue itself stays in submit order whatever the retry order, so
+	// deadline scans and end-of-trace rejections stay deterministic.
 	retryPending := func() error {
 		if len(pend) == 0 {
 			return nil
 		}
-		kept := pend[:0]
-		for _, idx := range pend {
+		if opt.Pending != PendingSJF {
+			// Retry order == queue order: compact in place, no allocation
+			// (this runs on every capacity-freeing tick).
+			kept := pend[:0]
+			for _, idx := range pend {
+				ok, err := tryPlace(idx)
+				if err != nil {
+					return err
+				}
+				if ok {
+					delete(waiting, res.Records[idx].Name)
+				} else {
+					kept = append(kept, idx)
+				}
+			}
+			pend = kept
+			return nil
+		}
+		placed := make(map[int]bool)
+		for _, idx := range retryOrder() {
 			ok, err := tryPlace(idx)
 			if err != nil {
 				return err
 			}
 			if ok {
+				placed[idx] = true
 				delete(waiting, res.Records[idx].Name)
-			} else {
-				kept = append(kept, idx)
 			}
 		}
-		pend = kept
+		if len(placed) > 0 {
+			kept := pend[:0]
+			for _, idx := range pend {
+				if !placed[idx] {
+					kept = append(kept, idx)
+				}
+			}
+			pend = kept
+		}
 		return nil
 	}
 

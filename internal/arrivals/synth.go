@@ -24,6 +24,18 @@ type ClassShare struct {
 	Weight float64
 }
 
+// SizeShare weights one VM size in the synthetic mix: how many vCPUs
+// and how much memory an arrival of this share books.
+type SizeShare struct {
+	// VCPUs booked and instantiated.
+	VCPUs int
+	// MemoryMB booked (0 falls back to SynthConfig.MemoryMB, and from
+	// there to the cluster default).
+	MemoryMB int
+	// Weight is the share's relative arrival probability.
+	Weight float64
+}
+
 // DefaultMix is the synthetic-churn application mix: mostly quiet
 // tenants, a steady share of the paper's Figure-4 polluters (lbm, mcf,
 // blockie), roughly the quiet-to-aggressive ratio of a multi-tenant rack.
@@ -63,6 +75,20 @@ type SynthConfig struct {
 	MinLifetime uint64
 	// Mix is the weighted application-class mix (default DefaultMix).
 	Mix []ClassShare
+	// SizeMix optionally draws each VM's size (vCPUs, memory) from a
+	// weighted mix, the way real traces mix instance types. Empty keeps
+	// every VM at 1 vCPU with the MemoryMB default — the pre-calibration
+	// behaviour, bit-identical to older traces.
+	SizeMix []SizeShare
+	// BurstMean, when > 1, clusters arrivals: VMs arrive in bursts of
+	// geometrically distributed size with this mean, sharing one submit
+	// tick, with exponential gaps between bursts stretched so the
+	// overall arrival rate still matches Horizon/VMs. Public-cloud
+	// arrival streams are over-dispersed relative to Poisson (deployments
+	// submit groups of VMs at once); this knob reproduces that
+	// burstiness. <= 1 keeps plain Poisson arrivals, bit-identical to
+	// older traces.
+	BurstMean float64
 	// MemoryMB books each VM's memory (default cluster default, 64 MB).
 	MemoryMB int
 	// LLCCap books each VM's pollution permit (default 250, the paper's
@@ -103,19 +129,29 @@ func (c SynthConfig) withDefaults() SynthConfig {
 }
 
 // Synthesize generates a seeded churn trace: exponential inter-arrival
-// gaps with mean Horizon/VMs, Pareto lifetimes mean-matched to
-// MeanLifetime, and classes drawn from the weighted Mix. Identical
-// configs yield identical traces.
+// gaps with mean Horizon/VMs (clustered into bursts when BurstMean > 1),
+// Pareto lifetimes mean-matched to MeanLifetime, classes drawn from the
+// weighted Mix and sizes from the weighted SizeMix. Identical configs
+// yield identical traces, and configs that leave the calibration knobs
+// (SizeMix, BurstMean) at their zero values reproduce pre-calibration
+// traces bit for bit — the burst and size RNG streams are split off
+// after the original three and never drawn from on the default path.
 func Synthesize(cfg SynthConfig) Trace {
 	cfg = cfg.withDefaults()
 	rng := xrand.New(cfg.Seed)
 	arrivalRNG := rng.Split()
 	lifeRNG := rng.Split()
 	classRNG := rng.Split()
+	burstRNG := rng.Split()
+	sizeRNG := rng.Split()
 
 	var totalWeight float64
 	for _, s := range cfg.Mix {
 		totalWeight += s.Weight
+	}
+	var totalSizeWeight float64
+	for _, s := range cfg.SizeMix {
+		totalSizeWeight += s.Weight
 	}
 	meanGap := float64(cfg.Horizon) / float64(cfg.VMs)
 	// Pareto scale so the mean is MeanLifetime: mean = xm*alpha/(alpha-1).
@@ -123,20 +159,39 @@ func Synthesize(cfg SynthConfig) Trace {
 
 	evs := make([]Event, 0, cfg.VMs)
 	at := 0.0
+	burstLeft := 0
 	for i := 0; i < cfg.VMs; i++ {
-		at += expSample(arrivalRNG, meanGap)
+		if cfg.BurstMean > 1 {
+			if burstLeft == 0 {
+				// Stretch the inter-burst gap by the mean burst size so
+				// the long-run arrival rate stays VMs/Horizon.
+				at += expSample(arrivalRNG, meanGap*cfg.BurstMean)
+				burstLeft = geometricSample(burstRNG, cfg.BurstMean)
+			}
+			burstLeft--
+		} else {
+			at += expSample(arrivalRNG, meanGap)
+		}
 		life := xm * math.Pow(1-lifeRNG.Float64(), -1/cfg.ParetoAlpha)
 		lifetime := uint64(math.Round(life))
 		if lifetime < cfg.MinLifetime {
 			lifetime = cfg.MinLifetime
 		}
-		evs = append(evs, Event{
+		ev := Event{
 			Submit:   uint64(math.Round(at)),
 			Lifetime: lifetime,
 			App:      pickClass(classRNG, cfg.Mix, totalWeight),
 			MemoryMB: cfg.MemoryMB,
 			LLCCap:   cfg.LLCCap,
-		})
+		}
+		if len(cfg.SizeMix) > 0 {
+			size := pickSize(sizeRNG, cfg.SizeMix, totalSizeWeight)
+			ev.VCPUs = size.VCPUs
+			if size.MemoryMB != 0 {
+				ev.MemoryMB = size.MemoryMB
+			}
+		}
+		evs = append(evs, ev)
 	}
 	return Trace{Events: evs}
 }
@@ -145,6 +200,18 @@ func Synthesize(cfg SynthConfig) Trace {
 func expSample(rng *xrand.Rand, mean float64) float64 {
 	// 1-Float64() is in (0, 1], so the log is finite.
 	return -mean * math.Log(1-rng.Float64())
+}
+
+// geometricSample draws a geometric variate on {1, 2, ...} with the
+// given mean (mean must be > 1).
+func geometricSample(rng *xrand.Rand, mean float64) int {
+	p := 1 / mean
+	// Inverse CDF: k = 1 + floor(ln(1-U) / ln(1-p)).
+	k := 1 + int(math.Floor(math.Log(1-rng.Float64())/math.Log(1-p)))
+	if k < 1 {
+		return 1
+	}
+	return k
 }
 
 // pickClass draws one class from the weighted mix.
@@ -157,4 +224,16 @@ func pickClass(rng *xrand.Rand, mix []ClassShare, total float64) string {
 		}
 	}
 	return mix[len(mix)-1].App
+}
+
+// pickSize draws one size from the weighted mix.
+func pickSize(rng *xrand.Rand, mix []SizeShare, total float64) SizeShare {
+	x := rng.Float64() * total
+	for _, s := range mix {
+		x -= s.Weight
+		if x < 0 {
+			return s
+		}
+	}
+	return mix[len(mix)-1]
 }

@@ -80,7 +80,7 @@ var churnScenarios = map[string]func(t *testing.T, workers int) string{
 		res, err := arrivals.Replay(f, churnTrace(), arrivals.Options{
 			DrainTicks:        6,
 			Pending:           arrivals.PendingFIFO,
-			Rebalancer:        cluster.Reactive{},
+			Rebalancer:        &cluster.Reactive{},
 			RebalanceEvery:    9,
 			MigrationDowntime: 2,
 		})
@@ -95,7 +95,7 @@ var churnScenarios = map[string]func(t *testing.T, workers int) string{
 			DrainTicks:        6,
 			Pending:           arrivals.PendingDeadline,
 			MaxWait:           20,
-			Rebalancer:        cluster.TopologyAware{},
+			Rebalancer:        &cluster.TopologyAware{},
 			RebalanceEvery:    9,
 			MigrationDowntime: 2,
 		})

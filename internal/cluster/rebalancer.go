@@ -21,6 +21,15 @@ import (
 // the contention it relieves.
 const DefaultRebalanceThreshold = 250
 
+// DefaultMigrationCooldown is the per-VM hysteresis of the built-in
+// rebalancers: after a VM is migrated, it is ineligible for this many
+// subsequent rebalance epochs. Without it the reactive policy ping-pongs:
+// moving the worst polluter makes its destination the next epoch's
+// hottest host, and the same VM bounces straight back. Two epochs lets
+// the migrated VM's cold-cache transient decay before its rate is judged
+// again.
+const DefaultMigrationCooldown = 2
+
 // VMLoad is one VM's pollution observation over the last rebalance epoch.
 type VMLoad struct {
 	// Name and App identify the VM.
@@ -92,7 +101,9 @@ func (m *FleetMonitor) Observe(f *Fleet) RebalanceView {
 // Rebalancer plans live migrations from an epoch's fleet view.
 // Implementations must be deterministic (ties break toward the lowest
 // host ID / earliest placement) and must not mutate the hosts; the replay
-// engine applies the plan through Fleet.Migrate.
+// engine applies the plan through Fleet.Migrate. Implementations may
+// carry per-replay state (the built-ins track per-VM migration
+// cooldowns), so one instance serves one replay.
 type Rebalancer interface {
 	// Name identifies the policy in reports and CLI flags.
 	Name() string
@@ -110,25 +121,89 @@ type Migration struct {
 	Reason string
 }
 
+// migrationCooldown is the per-VM hysteresis state the built-in
+// rebalancers share: which epoch each VM was last migrated in, plus the
+// epoch counter the Plan calls advance. A rebalancer instance therefore
+// belongs to one replay — build a fresh one per run (RebalancerByName
+// does), or plans would leak cooldowns across unrelated fleets.
+type migrationCooldown struct {
+	epoch     uint64
+	lastMoved map[string]uint64
+}
+
+// advance starts a new epoch and forgets departed VMs so long churn runs
+// do not leak state.
+func (c *migrationCooldown) advance(view RebalanceView) {
+	c.epoch++
+	if c.lastMoved == nil {
+		c.lastMoved = make(map[string]uint64)
+		return
+	}
+	live := make(map[string]bool, len(view.VMs))
+	for i := range view.VMs {
+		live[view.VMs[i].Name] = true
+	}
+	for name := range c.lastMoved {
+		if !live[name] {
+			delete(c.lastMoved, name)
+		}
+	}
+}
+
+// eligible reports whether the VM is off cooldown for the current epoch.
+func (c *migrationCooldown) eligible(name string, cooldownEpochs int) bool {
+	moved, ok := c.lastMoved[name]
+	return !ok || c.epoch-moved > uint64(cooldownEpochs)
+}
+
+// moved records the VM as migrated this epoch.
+func (c *migrationCooldown) moved(name string) { c.lastMoved[name] = c.epoch }
+
+// cooldownEpochs resolves the knob: 0 means the default, negative
+// disables the hysteresis entirely.
+func cooldownEpochs(n int) int {
+	if n == 0 {
+		return DefaultMigrationCooldown
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // Reactive is the classic hotspot-chasing rebalancer an IaaS operator
 // runs without Kyoto: find the host with the highest summed pollution,
 // and if its worst polluter exceeds the threshold, evict that VM to the
 // least-polluted host with capacity headroom. It reacts to contention
 // after tenants have already suffered it — the contrast the paper's
 // admission-time permits are measured against.
+//
+// Plans carry per-VM cooldown state, so a Reactive value is stateful:
+// use one instance per replay and do not share it across goroutines.
 type Reactive struct {
 	// Threshold is the per-VM Equation-1 rate below which no migration is
 	// worth its cost (default DefaultRebalanceThreshold).
 	Threshold float64
+	// CooldownEpochs is the per-VM hysteresis: a VM that was just
+	// migrated is ineligible for this many subsequent epochs, so the
+	// policy cannot bounce the same VM between hosts on consecutive
+	// plans. 0 selects DefaultMigrationCooldown; negative disables.
+	CooldownEpochs int
+
+	cd migrationCooldown
 }
 
 // Name implements Rebalancer.
-func (Reactive) Name() string { return "reactive" }
+func (*Reactive) Name() string { return "reactive" }
 
 // Plan implements Rebalancer: at most one migration per epoch, worst
-// polluter of the hottest host to the coolest feasible host.
-func (r Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
-	worst := worstPolluter(view, threshold(r.Threshold))
+// eligible polluter of the hottest host to the coolest feasible host.
+func (r *Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
+	r.cd.advance(view)
+	cool := cooldownEpochs(r.CooldownEpochs)
+	worst := worstPolluter(view, threshold(r.Threshold), func(name string) bool {
+		return r.cd.eligible(name, cool)
+	})
 	if worst == nil {
 		return nil
 	}
@@ -146,6 +221,7 @@ func (r Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
 	if dst == -1 || view.HostRates[dst] >= view.HostRates[worst.HostID] {
 		return nil
 	}
+	r.cd.moved(worst.Name)
 	return []Migration{{
 		VMName: worst.Name, SrcHost: worst.HostID, DstHost: dst,
 		Reason: fmt.Sprintf("eq1 %.0f on hottest host %d, coolest fit %d", worst.Rate, worst.HostID, dst),
@@ -159,18 +235,30 @@ func (r Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
 // capacity-only placers cannot express because they reason about vCPUs
 // and memory alone. Falls back to Reactive's coolest-host choice when no
 // bigger-LLC host fits.
+//
+// Like Reactive, plans carry per-VM cooldown state: one instance per
+// replay.
 type TopologyAware struct {
 	// Threshold is the per-VM Equation-1 rate below which no migration is
 	// worth its cost (default DefaultRebalanceThreshold).
 	Threshold float64
+	// CooldownEpochs is the per-VM hysteresis, as in Reactive
+	// (0 = DefaultMigrationCooldown, negative disables).
+	CooldownEpochs int
+
+	cd migrationCooldown
 }
 
 // Name implements Rebalancer.
-func (TopologyAware) Name() string { return "topo" }
+func (*TopologyAware) Name() string { return "topo" }
 
 // Plan implements Rebalancer.
-func (t TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
-	worst := worstPolluter(view, threshold(t.Threshold))
+func (t *TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
+	t.cd.advance(view)
+	cool := cooldownEpochs(t.CooldownEpochs)
+	worst := worstPolluter(view, threshold(t.Threshold), func(name string) bool {
+		return t.cd.eligible(name, cool)
+	})
 	if worst == nil {
 		return nil
 	}
@@ -190,6 +278,7 @@ func (t TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
 		}
 	}
 	if bigger != -1 {
+		t.cd.moved(worst.Name)
 		return []Migration{{
 			VMName: worst.Name, SrcHost: worst.HostID, DstHost: bigger,
 			Reason: fmt.Sprintf("eq1 %.0f, bigger-LLC host %d (%d KB > %d KB)",
@@ -199,6 +288,7 @@ func (t TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
 	if cooler == -1 || view.HostRates[cooler] >= view.HostRates[worst.HostID] {
 		return nil
 	}
+	t.cd.moved(worst.Name)
 	return []Migration{{
 		VMName: worst.Name, SrcHost: worst.HostID, DstHost: cooler,
 		Reason: fmt.Sprintf("eq1 %.0f, no bigger LLC, coolest fit %d", worst.Rate, cooler),
@@ -213,10 +303,13 @@ func threshold(t float64) float64 {
 	return t
 }
 
-// worstPolluter returns the highest-rate VM on the hottest host when it
-// exceeds thr, else nil. Ties break toward the lowest host ID and the
-// earliest placement, keeping plans deterministic.
-func worstPolluter(view RebalanceView, thr float64) *VMLoad {
+// worstPolluter returns the highest-rate eligible VM on the hottest host
+// when it exceeds thr, else nil. Ineligible VMs (on migration cooldown)
+// are invisible to the selection: if the hottest host's worst polluter is
+// cooling down, its next-worst eligible VM is considered instead. Ties
+// break toward the lowest host ID and the earliest placement, keeping
+// plans deterministic.
+func worstPolluter(view RebalanceView, thr float64, eligible func(name string) bool) *VMLoad {
 	src, srcRate := -1, 0.0
 	for id, rate := range view.HostRates {
 		if rate > srcRate {
@@ -229,7 +322,7 @@ func worstPolluter(view RebalanceView, thr float64) *VMLoad {
 	var worst *VMLoad
 	for i := range view.VMs {
 		v := &view.VMs[i]
-		if v.HostID != src {
+		if v.HostID != src || !eligible(v.Name) {
 			continue
 		}
 		if worst == nil || v.Rate > worst.Rate {
@@ -257,16 +350,18 @@ func hostLLCBytes(h *Host) int {
 	return cfg.LLC.SizeBytes * cfg.Sockets
 }
 
-// RebalancerByName returns the built-in rebalancing policy with the given
-// CLI name; "none" or the empty string return nil (no rebalancing).
+// RebalancerByName returns a fresh instance of the built-in rebalancing
+// policy with the given CLI name; "none" or the empty string return nil
+// (no rebalancing). Each call builds a new instance because the built-ins
+// carry per-replay cooldown state.
 func RebalancerByName(name string) (Rebalancer, error) {
 	switch name {
 	case "", "none":
 		return nil, nil
 	case "reactive":
-		return Reactive{}, nil
+		return &Reactive{}, nil
 	case "topo", "topology":
-		return TopologyAware{}, nil
+		return &TopologyAware{}, nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown rebalancer %q (want none, reactive or topo)", name)
 	}

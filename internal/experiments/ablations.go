@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"kyoto/internal/cache"
@@ -9,13 +10,16 @@ import (
 	"kyoto/internal/machine"
 	"kyoto/internal/monitor"
 	"kyoto/internal/sched"
+	"kyoto/internal/sweep"
 	"kyoto/internal/vm"
 	"kyoto/internal/workload"
 )
 
 // This file holds the design-choice ablations promised in DESIGN.md §6 —
 // extensions beyond the paper that quantify the alternatives its related
-// work section argues against.
+// work section argues against. The three studies are independent, so the
+// fan-out is expressed as a sweep.Sweep (AblationSweeper) and shards like
+// every other sweep.
 
 // AblationIndicator reruns the Fig 5 vsen1-vs-vdis1 scenario with quota
 // enforcement driven by each indicator, returning vsen1's normalized
@@ -141,39 +145,102 @@ func AblationBanking(seed uint64) (noBank, bank float64, err error) {
 	return noBank, bank, nil
 }
 
-// AblationTable renders all three ablations as one table (the
-// "ablations" kyotobench experiment).
-func AblationTable(seed uint64) (Table, error) {
+// ablationArms names the independent studies in plan order; each job
+// returns the pair of normalized performances its study contrasts.
+var ablationArms = []struct {
+	key  string
+	run  func(seed uint64) (a, b float64, err error)
+	rows [2][2]string // {ablation, arm} labels for the A and B values
+}{
+	{"indicator", AblationIndicator, [2][2]string{
+		{"quota indicator", "equation 1 (paper)"},
+		{"quota indicator", "raw LLCM"},
+	}},
+	{"partitioning", AblationPartitioning, [2][2]string{
+		{"vs hardware partitioning", "KS4Xen (software)"},
+		{"vs hardware partitioning", "UCP-style 10/10 ways"},
+	}},
+	{"banking", AblationBanking, [2][2]string{
+		{"quota banking (vs blockie)", "no banking (paper)"},
+		{"quota banking (vs blockie)", "bank 4 slices"},
+	}},
+}
+
+// ablationPayload is one study's pair of outcomes.
+type ablationPayload struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+}
+
+// AblationSweeper is the shardable form of AblationTable: one job per
+// design-choice study.
+type AblationSweeper struct {
+	seed uint64
+	res  *Table
+}
+
+// NewAblationSweeper returns the shardable ablation suite.
+func NewAblationSweeper(seed uint64) *AblationSweeper { return &AblationSweeper{seed: seed} }
+
+// Name implements sweep.Sweep.
+func (s *AblationSweeper) Name() string { return "ablations" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter.
+func (s *AblationSweeper) ConfigFingerprint() string {
+	return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d}`, s.seed)))
+}
+
+// Plan implements sweep.Sweep.
+func (s *AblationSweeper) Plan() []sweep.Job {
+	jobs := make([]sweep.Job, len(ablationArms))
+	for i, arm := range ablationArms {
+		jobs[i] = sweep.Job{Sweep: s.Name(), Key: "ablation/" + arm.key, Index: i, Seed: s.seed}
+	}
+	return jobs
+}
+
+// Run implements sweep.Sweep.
+func (s *AblationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	for _, arm := range ablationArms {
+		if job.Key == "ablation/"+arm.key {
+			a, b, err := arm.run(s.seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s ablation: %w", arm.key, err)
+			}
+			return json.Marshal(ablationPayload{A: a, B: b})
+		}
+	}
+	return nil, fmt.Errorf("unknown job key %q", job.Key)
+}
+
+// Merge implements sweep.Sweep: add the rows in presentation order.
+func (s *AblationSweeper) Merge(payloads []json.RawMessage) error {
 	t := Table{
 		Title:   "Ablations: design choices around the Kyoto mechanism",
 		Note:    "vsen1 normalized performance on the Figure 5 scenario unless stated",
 		Columns: []string{"ablation", "arm", "vsen1 norm perf"},
 	}
-	// The three ablations are independent studies: fan them out and add
-	// the rows in presentation order afterwards.
-	var eq1, llcm, kyotoPerf, part, noBank, bank float64
-	arms := []struct {
-		label string
-		run   func() error
-	}{
-		{"indicator ablation", func() (err error) { eq1, llcm, err = AblationIndicator(seed); return }},
-		{"partitioning ablation", func() (err error) { kyotoPerf, part, err = AblationPartitioning(seed); return }},
-		{"banking ablation", func() (err error) { noBank, bank, err = AblationBanking(seed); return }},
-	}
-	err := ForEach(len(arms), 0, func(i int) error {
-		if err := arms[i].run(); err != nil {
-			return fmt.Errorf("%s: %w", arms[i].label, err)
+	for i, arm := range ablationArms {
+		var p ablationPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("%s payload: %w", arm.key, err)
 		}
-		return nil
-	})
-	if err != nil {
-		return t, err
+		t.AddRow(arm.rows[0][0], arm.rows[0][1], p.A)
+		t.AddRow(arm.rows[1][0], arm.rows[1][1], p.B)
 	}
-	t.AddRow("quota indicator", "equation 1 (paper)", eq1)
-	t.AddRow("quota indicator", "raw LLCM", llcm)
-	t.AddRow("vs hardware partitioning", "KS4Xen (software)", kyotoPerf)
-	t.AddRow("vs hardware partitioning", "UCP-style 10/10 ways", part)
-	t.AddRow("quota banking (vs blockie)", "no banking (paper)", noBank)
-	t.AddRow("quota banking (vs blockie)", "bank 4 slices", bank)
-	return t, nil
+	s.res = &t
+	return nil
+}
+
+// Result returns the merged table; it is nil until Merge ran.
+func (s *AblationSweeper) Result() *Table { return s.res }
+
+// AblationTable renders all three ablations as one table (the
+// "ablations" kyotobench experiment), in-process through AblationSweeper.
+func AblationTable(seed uint64) (Table, error) {
+	s := NewAblationSweeper(seed)
+	if err := (sweep.Engine{}).Run(s); err != nil {
+		return Table{}, err
+	}
+	return *s.Result(), nil
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"kyoto/internal/core"
 	"kyoto/internal/stats"
+	"kyoto/internal/sweep"
 	"kyoto/internal/vm"
 	"kyoto/internal/workload"
 )
@@ -35,66 +38,153 @@ type Fig4Result struct {
 	PaperTauEq1  float64
 }
 
-// Fig4 runs the indicator study: 10 solo runs plus the full pairwise
-// parallel-execution matrix (90 runs).
-func Fig4(seed uint64) (Fig4Result, error) {
-	apps := workload.Figure4Apps()
+// fig4SoloPayload is one app's solo characterization: IPC plus both
+// pollution indicators.
+type fig4SoloPayload struct {
+	App  string  `json:"app"`
+	IPC  float64 `json:"ipc"`
+	LLCM float64 `json:"llcm"`
+	Eq1  float64 `json:"eq1"`
+}
 
-	// Solo characterization.
-	solos := make([]Scenario, len(apps))
-	for i, app := range apps {
-		solos[i] = soloScenario(app, seed)
-	}
-	soloRes, err := RunAll(solos)
-	if err != nil {
-		return Fig4Result{}, err
-	}
-	res := Fig4Result{
-		Aggressiveness: make(map[string]float64, len(apps)),
-		LLCM:           make(map[string]float64, len(apps)),
-		Equation1:      make(map[string]float64, len(apps)),
-	}
-	soloIPC := make(map[string]float64, len(apps))
-	for i, app := range apps {
-		d := soloRes[i].PerVM["solo"]
-		soloIPC[app] = d.IPC()
-		res.LLCM[app] = core.RawLLCMValue(d)
-		res.Equation1[app] = core.Equation1Value(d)
-	}
+// fig4PairPayload is one parallel-execution cell: the victim's IPC when
+// co-run with the attacker.
+type fig4PairPayload struct {
+	Attacker  string  `json:"attacker"`
+	Victim    string  `json:"victim"`
+	VictimIPC float64 `json:"victim_ipc"`
+}
 
-	// Pairwise aggressiveness: attacker on core 0, victim on core 1.
-	type pair struct{ attacker, victim string }
-	var pairs []pair
-	var scenarios []Scenario
+// fig4Pairs enumerates the pairwise matrix in canonical (attacker-major)
+// order.
+func fig4Pairs(apps []string) [][2]string {
+	pairs := make([][2]string, 0, len(apps)*(len(apps)-1))
 	for _, a := range apps {
 		for _, b := range apps {
-			if a == b {
-				continue
+			if a != b {
+				pairs = append(pairs, [2]string{a, b})
 			}
-			pairs = append(pairs, pair{a, b})
-			scenarios = append(scenarios, Scenario{
-				Seed: seed,
-				VMs: []vm.Spec{
-					pinned("attacker", a, 0),
-					pinned("victim", b, 1),
-				},
-			})
 		}
 	}
-	pairRes, err := RunAll(scenarios)
-	if err != nil {
-		return Fig4Result{}, err
+	return pairs
+}
+
+// fig4Plan builds the shared solo + pairwise job plan of the Figure 4
+// sweeps: one solo job per app, then one job per ordered pair.
+func fig4Plan(name string, apps []string, seed uint64) []sweep.Job {
+	pairs := fig4Pairs(apps)
+	jobs := make([]sweep.Job, 0, len(apps)+len(pairs))
+	for _, app := range apps {
+		jobs = append(jobs, sweep.Job{
+			Sweep: name, Key: "solo/" + app, Index: len(jobs), Seed: seed,
+			Params: map[string]string{"app": app},
+		})
 	}
-	inflicted := make(map[string][]float64, len(apps))
-	for i, p := range pairs {
-		vIPC := pairRes[i].IPC("victim")
-		deg := stats.DegradationPercent(soloIPC[p.victim], vIPC)
+	for _, p := range pairs {
+		jobs = append(jobs, sweep.Job{
+			Sweep: name, Key: "pair/" + p[0] + "/" + p[1], Index: len(jobs), Seed: seed,
+			Params: map[string]string{"attacker": p[0], "victim": p[1]},
+		})
+	}
+	return jobs
+}
+
+// fig4RunJob executes one job of a Figure 4 plan (shared by the study
+// and the diagnostic matrix).
+func fig4RunJob(job sweep.Job, seed uint64) (json.RawMessage, error) {
+	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
+		r, err := Run(soloScenario(app, seed))
+		if err != nil {
+			return nil, err
+		}
+		d := r.PerVM["solo"]
+		return json.Marshal(fig4SoloPayload{
+			App: app, IPC: d.IPC(), LLCM: core.RawLLCMValue(d), Eq1: core.Equation1Value(d),
+		})
+	}
+	rest, ok := strings.CutPrefix(job.Key, "pair/")
+	if !ok {
+		return nil, fmt.Errorf("unknown job key %q", job.Key)
+	}
+	attacker, victim, ok := strings.Cut(rest, "/")
+	if !ok {
+		return nil, fmt.Errorf("unknown job key %q", job.Key)
+	}
+	r, err := Run(Scenario{
+		Seed: seed,
+		VMs: []vm.Spec{
+			pinned("attacker", attacker, 0),
+			pinned("victim", victim, 1),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(fig4PairPayload{Attacker: attacker, Victim: victim, VictimIPC: r.IPC("victim")})
+}
+
+// Fig4Sweeper is the shardable form of Fig4: the 10 solo
+// characterizations plus the 90-world pairwise parallel-execution matrix
+// behind the aggressiveness averages — the largest single sweep in the
+// harness, and the reference workload for process-level sharding.
+type Fig4Sweeper struct {
+	seed uint64
+	apps []string
+	res  *Fig4Result
+}
+
+// NewFig4Sweeper returns the shardable Figure 4 indicator study.
+func NewFig4Sweeper(seed uint64) *Fig4Sweeper {
+	return &Fig4Sweeper{seed: seed, apps: workload.Figure4Apps()}
+}
+
+// Name implements sweep.Sweep.
+func (s *Fig4Sweeper) Name() string { return "fig4" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter.
+func (s *Fig4Sweeper) ConfigFingerprint() string {
+	return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d}`, s.seed)))
+}
+
+// Plan implements sweep.Sweep.
+func (s *Fig4Sweeper) Plan() []sweep.Job { return fig4Plan(s.Name(), s.apps, s.seed) }
+
+// Run implements sweep.Sweep.
+func (s *Fig4Sweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	return fig4RunJob(job, s.seed)
+}
+
+// Merge implements sweep.Sweep: fold the solo indicators and pairwise
+// degradations into the orderings and Kendall taus.
+func (s *Fig4Sweeper) Merge(payloads []json.RawMessage) error {
+	res := Fig4Result{
+		Aggressiveness: make(map[string]float64, len(s.apps)),
+		LLCM:           make(map[string]float64, len(s.apps)),
+		Equation1:      make(map[string]float64, len(s.apps)),
+	}
+	soloIPC := make(map[string]float64, len(s.apps))
+	for i, app := range s.apps {
+		var p fig4SoloPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("solo/%s payload: %w", app, err)
+		}
+		soloIPC[app] = p.IPC
+		res.LLCM[app] = p.LLCM
+		res.Equation1[app] = p.Eq1
+	}
+	inflicted := make(map[string][]float64, len(s.apps))
+	for i := range fig4Pairs(s.apps) {
+		var p fig4PairPayload
+		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
+			return fmt.Errorf("pair payload %d: %w", i, err)
+		}
+		deg := stats.DegradationPercent(soloIPC[p.Victim], p.VictimIPC)
 		if deg < 0 {
 			deg = 0
 		}
-		inflicted[p.attacker] = append(inflicted[p.attacker], deg)
+		inflicted[p.Attacker] = append(inflicted[p.Attacker], deg)
 	}
-	for _, app := range apps {
+	for _, app := range s.apps {
 		res.Aggressiveness[app] = stats.Mean(inflicted[app])
 	}
 
@@ -103,19 +193,34 @@ func Fig4(seed uint64) (Fig4Result, error) {
 	res.O3 = stats.RankByValue(res.Equation1)
 	res.Apps = res.O1
 
+	var err error
 	if res.TauLLCM, err = stats.KendallTau(res.O2, res.O1); err != nil {
-		return Fig4Result{}, err
+		return err
 	}
 	if res.TauEq1, err = stats.KendallTau(res.O3, res.O1); err != nil {
-		return Fig4Result{}, err
+		return err
 	}
 	if res.PaperTauLLCM, err = stats.KendallTau(workload.PaperOrderO2(), workload.PaperOrderO1()); err != nil {
-		return Fig4Result{}, err
+		return err
 	}
 	if res.PaperTauEq1, err = stats.KendallTau(workload.PaperOrderO3(), workload.PaperOrderO1()); err != nil {
+		return err
+	}
+	s.res = &res
+	return nil
+}
+
+// Result returns the merged study; it is nil until Merge ran.
+func (s *Fig4Sweeper) Result() *Fig4Result { return s.res }
+
+// Fig4 runs the indicator study: 10 solo runs plus the full pairwise
+// parallel-execution matrix (90 runs), in-process through Fig4Sweeper.
+func Fig4(seed uint64) (Fig4Result, error) {
+	s := NewFig4Sweeper(seed)
+	if err := (sweep.Engine{}).Run(s); err != nil {
 		return Fig4Result{}, err
 	}
-	return res, nil
+	return *s.Result(), nil
 }
 
 // Table renders the study as the paper's Figure 4 panels.

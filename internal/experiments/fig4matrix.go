@@ -1,66 +1,76 @@
 package experiments
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"kyoto/internal/stats"
-	"kyoto/internal/vm"
+	"kyoto/internal/sweep"
 	"kyoto/internal/workload"
 )
 
-// Fig4Matrix computes the full pairwise degradation matrix behind Figure
-// 4's aggressiveness averages: cell (attacker, victim) is the victim's IPC
-// degradation (percent) when co-run in parallel with the attacker. It is a
-// diagnostic companion to Fig4, exposed as the "fig4matrix" experiment.
-func Fig4Matrix(seed uint64) (Table, error) {
-	apps := workload.Figure4Apps()
+// Fig4MatrixSweeper computes the full pairwise degradation matrix behind
+// Figure 4's aggressiveness averages: cell (attacker, victim) is the
+// victim's IPC degradation (percent) when co-run in parallel with the
+// attacker. It is a diagnostic companion to Fig4, exposed as the
+// "fig4matrix" experiment, and shares Fig4's solo + pairwise job plan so
+// it shards the same way.
+type Fig4MatrixSweeper struct {
+	seed uint64
+	apps []string
+	res  *Table
+}
 
-	solos := make([]Scenario, len(apps))
-	for i, app := range apps {
-		solos[i] = soloScenario(app, seed)
-	}
-	soloRes, err := RunAll(solos)
-	if err != nil {
-		return Table{}, err
-	}
-	soloIPC := make(map[string]float64, len(apps))
-	for i, app := range apps {
-		soloIPC[app] = soloRes[i].PerVM["solo"].IPC()
-	}
+// NewFig4MatrixSweeper returns the shardable degradation-matrix
+// diagnostic.
+func NewFig4MatrixSweeper(seed uint64) *Fig4MatrixSweeper {
+	return &Fig4MatrixSweeper{seed: seed, apps: workload.Figure4Apps()}
+}
 
-	type pair struct{ attacker, victim string }
-	var pairs []pair
-	var scenarios []Scenario
-	for _, a := range apps {
-		for _, b := range apps {
-			if a == b {
-				continue
-			}
-			pairs = append(pairs, pair{a, b})
-			scenarios = append(scenarios, Scenario{
-				Seed: seed,
-				VMs: []vm.Spec{
-					pinned("attacker", a, 0),
-					pinned("victim", b, 1),
-				},
-			})
+// Name implements sweep.Sweep.
+func (s *Fig4MatrixSweeper) Name() string { return "fig4matrix" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter.
+func (s *Fig4MatrixSweeper) ConfigFingerprint() string {
+	return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d}`, s.seed)))
+}
+
+// Plan implements sweep.Sweep.
+func (s *Fig4MatrixSweeper) Plan() []sweep.Job { return fig4Plan(s.Name(), s.apps, s.seed) }
+
+// Run implements sweep.Sweep.
+func (s *Fig4MatrixSweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	return fig4RunJob(job, s.seed)
+}
+
+// Merge implements sweep.Sweep: fold the cells into the rendered matrix.
+func (s *Fig4MatrixSweeper) Merge(payloads []json.RawMessage) error {
+	soloIPC := make(map[string]float64, len(s.apps))
+	for i, app := range s.apps {
+		var p fig4SoloPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("solo/%s payload: %w", app, err)
 		}
+		soloIPC[app] = p.IPC
 	}
-	pairRes, err := RunAll(scenarios)
-	if err != nil {
-		return Table{}, err
-	}
-	deg := make(map[pair]float64, len(pairs))
-	for i, p := range pairs {
-		deg[p] = stats.DegradationPercent(soloIPC[p.victim], pairRes[i].IPC("victim"))
+	type pair struct{ attacker, victim string }
+	deg := make(map[pair]float64, len(payloads)-len(s.apps))
+	for i := range fig4Pairs(s.apps) {
+		var p fig4PairPayload
+		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
+			return fmt.Errorf("pair payload %d: %w", i, err)
+		}
+		deg[pair{p.Attacker, p.Victim}] = stats.DegradationPercent(soloIPC[p.Victim], p.VictimIPC)
 	}
 
 	t := Table{
 		Title:   "Figure 4 diagnostic: pairwise degradation matrix (attacker rows, victim columns, %)",
-		Columns: append([]string{"attacker\\victim"}, apps...),
+		Columns: append([]string{"attacker\\victim"}, s.apps...),
 	}
-	for _, a := range apps {
-		cells := make([]interface{}, 0, len(apps)+1)
+	for _, a := range s.apps {
+		cells := make([]interface{}, 0, len(s.apps)+1)
 		cells = append(cells, a)
-		for _, b := range apps {
+		for _, b := range s.apps {
 			if a == b {
 				cells = append(cells, "-")
 				continue
@@ -69,5 +79,19 @@ func Fig4Matrix(seed uint64) (Table, error) {
 		}
 		t.AddRow(cells...)
 	}
-	return t, nil
+	s.res = &t
+	return nil
+}
+
+// Result returns the merged matrix table; it is nil until Merge ran.
+func (s *Fig4MatrixSweeper) Result() *Table { return s.res }
+
+// Fig4Matrix computes the pairwise degradation matrix in-process through
+// Fig4MatrixSweeper.
+func Fig4Matrix(seed uint64) (Table, error) {
+	s := NewFig4MatrixSweeper(seed)
+	if err := (sweep.Engine{}).Run(s); err != nil {
+		return Table{}, err
+	}
+	return *s.Result(), nil
 }

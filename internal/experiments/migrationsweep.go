@@ -10,14 +10,21 @@ package experiments
 // (reactively, or topology-aware onto big-LLC hosts) buy back the tail
 // that Kyoto's llc_cap permits protect by construction, and what does
 // each approach cost in rejections, queue wait and migrations?
+//
+// Like the trace sweep, it is expressed as a sweep.Sweep
+// (MigrationSweeper): solo-baseline jobs plus one job per combination,
+// shardable across processes and merged bit-identically.
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"kyoto/internal/arrivals"
 	"kyoto/internal/cluster"
 	"kyoto/internal/machine"
 	"kyoto/internal/stats"
+	"kyoto/internal/sweep"
 )
 
 // MigrationSweepConfig parameterizes a migration sweep.
@@ -91,12 +98,36 @@ type MigrationSweepResult struct {
 	Rows    []MigrationSweepRow
 }
 
-// MigrationSweep replays the trace through every requested rebalancer x
-// placer combination on identically seeded fleets. Rows are ordered
-// rebalancer-major in the order requested, placers within in
-// first-fit/spread/kyoto order. The whole sweep is deterministic for a
-// given trace and config.
-func MigrationSweep(tr arrivals.Trace, cfg MigrationSweepConfig) (*MigrationSweepResult, error) {
+// migrationCombo is one {rebalancer, placer} arm of the plan.
+type migrationCombo struct {
+	rbName string
+	placer cluster.Placer
+	enf    bool
+}
+
+// migrationArmPayload is the canonical JSON result of one combination.
+type migrationArmPayload struct {
+	Placer     string          `json:"placer"`
+	Rebalancer string          `json:"rebalancer"`
+	Enforced   bool            `json:"enforced"`
+	Replay     arrivals.Result `json:"replay"`
+}
+
+// MigrationSweeper is the shardable form of MigrationSweep (see
+// TraceSweeper for the pattern): solo-baseline jobs plus one job per
+// {rebalancer, placer} combination.
+type MigrationSweeper struct {
+	tr        arrivals.Trace
+	cfg       MigrationSweepConfig
+	apps      []string
+	combos    []migrationCombo
+	overrides map[int]cluster.HostOverride
+	res       *MigrationSweepResult
+}
+
+// NewMigrationSweeper validates the trace and config, applies defaults
+// and returns the shardable sweep.
+func NewMigrationSweeper(tr arrivals.Trace, cfg MigrationSweepConfig) (*MigrationSweeper, error) {
 	if cfg.Hosts == 0 {
 		cfg.Hosts = 4
 	}
@@ -112,98 +143,186 @@ func MigrationSweep(tr arrivals.Trace, cfg MigrationSweepConfig) (*MigrationSwee
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	rebalancers := make([]cluster.Rebalancer, len(cfg.Rebalancers))
-	for i, name := range cfg.Rebalancers {
-		rb, err := cluster.RebalancerByName(name)
-		if err != nil {
+	var combos []migrationCombo
+	for _, name := range cfg.Rebalancers {
+		// Resolve now so a bogus name fails at plan time; each job builds
+		// its own instance (rebalancers may carry per-run cooldown state).
+		if _, err := cluster.RebalancerByName(name); err != nil {
 			return nil, err
 		}
-		rebalancers[i] = rb
+		for _, arm := range tracePlacers {
+			combos = append(combos, migrationCombo{name, arm.placer, arm.enforced})
+		}
 	}
 	overrides, err := bigLLCOverrides(cfg)
 	if err != nil {
 		return nil, err
 	}
-	solo, err := soloBaselines(tr, cfg.Seed)
+	return &MigrationSweeper{
+		tr: tr, cfg: cfg, apps: traceApps(tr), combos: combos, overrides: overrides,
+	}, nil
+}
+
+// Name implements sweep.Sweep.
+func (s *MigrationSweeper) Name() string { return "migration-sweep" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter (Workers
+// excluded, as in TraceSweeper).
+func (s *MigrationSweeper) ConfigFingerprint() string {
+	return sweepConfigFingerprint(s.tr, struct {
+		Hosts          int
+		Seed           uint64
+		DrainTicks     int
+		Overrides      map[int]cluster.HostOverride
+		BigLLCFactor   int
+		Rebalancers    []string
+		RebalanceEvery uint64
+		Downtime       int
+		Pending        arrivals.PendingPolicy
+		MaxWait        uint64
+	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides, s.cfg.BigLLCFactor,
+		s.cfg.Rebalancers, s.cfg.RebalanceEvery, s.cfg.Downtime, s.cfg.Pending, s.cfg.MaxWait})
+}
+
+// Plan implements sweep.Sweep: solo baselines, then the combination
+// grid rebalancer-major in the order requested, placers within in
+// first-fit/spread/kyoto order.
+func (s *MigrationSweeper) Plan() []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(s.apps)+len(s.combos))
+	for _, app := range s.apps {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "solo/" + app, Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"app": app},
+		})
+	}
+	for _, c := range s.combos {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "arm/" + c.rbName + "/" + c.placer.Name(), Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"rebalancer": c.rbName, "placer": c.placer.Name()},
+		})
+	}
+	return jobs
+}
+
+// Run implements sweep.Sweep.
+func (s *MigrationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
+		ipc, err := soloIPC(app, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(soloPayload{App: app, IPC: ipc})
+	}
+	c, err := s.comboByKey(job.Key)
 	if err != nil {
 		return nil, err
 	}
-
-	type combo struct {
-		rbName string
-		rb     cluster.Rebalancer
-		placer cluster.Placer
-		enf    bool
+	// A fresh rebalancer per job: the built-ins carry per-VM cooldown
+	// state, which must not leak between combinations (or between the
+	// shards of a distributed run, which could never share it anyway).
+	rb, err := cluster.RebalancerByName(c.rbName)
+	if err != nil {
+		return nil, err
 	}
-	var combos []combo
-	for i, rb := range rebalancers {
-		for _, arm := range tracePlacers {
-			combos = append(combos, combo{cfg.Rebalancers[i], rb, arm.placer, arm.enforced})
-		}
+	f, err := cluster.New(cluster.Config{
+		Hosts:     s.cfg.Hosts,
+		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: c.enf},
+		Overrides: s.overrides,
+		Placer:    c.placer,
+		Workers:   s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
 	}
+	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{
+		DrainTicks:        s.cfg.DrainTicks,
+		Pending:           s.cfg.Pending,
+		MaxWait:           s.cfg.MaxWait,
+		Rebalancer:        rb,
+		RebalanceEvery:    s.cfg.RebalanceEvery,
+		MigrationDowntime: s.cfg.Downtime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("placer %s, rebalancer %s: %w", c.placer.Name(), c.rbName, err)
+	}
+	return json.Marshal(migrationArmPayload{
+		Placer: c.placer.Name(), Rebalancer: c.rbName, Enforced: c.enf, Replay: replay,
+	})
+}
 
-	rows := make([]MigrationSweepRow, len(combos))
-	err = ForEach(len(combos), cfg.Workers, func(i int) error {
-		c := combos[i]
-		f, err := cluster.New(cluster.Config{
-			Hosts:     cfg.Hosts,
-			Template:  cluster.HostTemplate{Seed: cfg.Seed, EnableKyoto: c.enf},
-			Overrides: overrides,
-			Placer:    c.placer,
-			Workers:   cfg.Workers,
-		})
-		if err != nil {
-			return err
+// Merge implements sweep.Sweep.
+func (s *MigrationSweeper) Merge(payloads []json.RawMessage) error {
+	solo := make(map[string]float64, len(s.apps))
+	for i, app := range s.apps {
+		var p soloPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("solo/%s payload: %w", app, err)
 		}
-		replay, err := arrivals.Replay(f, tr, arrivals.Options{
-			DrainTicks:        cfg.DrainTicks,
-			Pending:           cfg.Pending,
-			MaxWait:           cfg.MaxWait,
-			Rebalancer:        c.rb,
-			RebalanceEvery:    cfg.RebalanceEvery,
-			MigrationDowntime: cfg.Downtime,
-		})
-		if err != nil {
-			return fmt.Errorf("placer %s, rebalancer %s: %w", c.placer.Name(), c.rbName, err)
+		solo[p.App] = p.IPC
+	}
+	res := &MigrationSweepResult{Hosts: s.cfg.Hosts, Pending: s.cfg.Pending}
+	for i := range s.combos {
+		var p migrationArmPayload
+		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
+			return fmt.Errorf("arm payload %d: %w", i, err)
 		}
 		row := MigrationSweepRow{
-			Placer:         c.placer.Name(),
-			Rebalancer:     c.rbName,
-			Enforced:       c.enf,
-			Submitted:      len(replay.Records),
-			Placed:         replay.Placed,
-			Rejected:       replay.Rejected,
-			RejectionRate:  replay.RejectionRate(),
-			CPUUtilization: replay.CPUUtilization,
-			MigrationCount: len(replay.Migrations),
-			Replay:         replay,
+			Placer:         p.Placer,
+			Rebalancer:     p.Rebalancer,
+			Enforced:       p.Enforced,
+			Submitted:      len(p.Replay.Records),
+			Placed:         p.Replay.Placed,
+			Rejected:       p.Replay.Rejected,
+			RejectionRate:  p.Replay.RejectionRate(),
+			CPUUtilization: p.Replay.CPUUtilization,
+			MigrationCount: len(p.Replay.Migrations),
+			Replay:         p.Replay,
 		}
-		if waits := replay.PlacedWaits(); len(waits) > 0 {
+		if waits := p.Replay.PlacedWaits(); len(waits) > 0 {
 			// Waits are lower-is-better, so pXX is the plain XXth
 			// percentile: the wait the luckiest XX% stayed under.
 			row.WaitP50, _ = stats.Percentile(waits, 50)
 			row.WaitP95, _ = stats.Percentile(waits, 95)
 			row.WaitP99, _ = stats.Percentile(waits, 99)
 		}
-		var norm []float64
-		for _, rec := range replay.Records {
-			base := solo[rec.App]
-			if rec.Rejected || base == 0 || rec.Counters.UnhaltedCycles == 0 {
-				continue
-			}
-			norm = append(norm, rec.Counters.IPC()/base)
-		}
-		if len(norm) > 0 {
+		if norm := normalizedPerf(p.Replay, solo); len(norm) > 0 {
 			row.P50, _ = stats.Percentile(norm, 50)
 			row.P99, _ = stats.Percentile(norm, 1)
 		}
-		rows[i] = row
-		return nil
-	})
+		res.Rows = append(res.Rows, row)
+	}
+	s.res = res
+	return nil
+}
+
+// Result returns the merged sweep outcome; it is nil until Merge ran.
+func (s *MigrationSweeper) Result() *MigrationSweepResult { return s.res }
+
+// comboByKey resolves an "arm/<rebalancer>/<placer>" job key.
+func (s *MigrationSweeper) comboByKey(key string) (migrationCombo, error) {
+	for _, c := range s.combos {
+		if key == "arm/"+c.rbName+"/"+c.placer.Name() {
+			return c, nil
+		}
+	}
+	return migrationCombo{}, fmt.Errorf("unknown job key %q", key)
+}
+
+// MigrationSweep replays the trace through every requested rebalancer x
+// placer combination on identically seeded fleets. Rows are ordered
+// rebalancer-major in the order requested, placers within in
+// first-fit/spread/kyoto order. The whole sweep is deterministic for a
+// given trace and config, and is the single-process path through
+// MigrationSweeper — sharded runs merge to the identical result.
+func MigrationSweep(tr arrivals.Trace, cfg MigrationSweepConfig) (*MigrationSweepResult, error) {
+	s, err := NewMigrationSweeper(tr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &MigrationSweepResult{Hosts: cfg.Hosts, Pending: cfg.Pending, Rows: rows}, nil
+	if err := (sweep.Engine{Workers: cfg.Workers}).Run(s); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
 }
 
 // bigLLCOverrides merges cfg.Overrides with the BigLLCFactor host.

@@ -76,6 +76,33 @@ func TestMigrationSweepComparesCombinations(t *testing.T) {
 	}
 }
 
+func TestMigrationSweepReportsSJFWaits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays three fleets")
+	}
+	res, err := MigrationSweep(sweepTrace(), MigrationSweepConfig{
+		Hosts:       2,
+		Seed:        5,
+		DrainTicks:  6,
+		Rebalancers: []string{"none"},
+		Pending:     arrivals.PendingSJF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pending != arrivals.PendingSJF {
+		t.Fatalf("result pending policy %v", res.Pending)
+	}
+	if title := res.Table().Title; !strings.Contains(title, "pending=sjf") {
+		t.Fatalf("table title %q does not name the sjf queue", title)
+	}
+	for _, r := range res.Rows {
+		if r.WaitP99 < r.WaitP95 || r.WaitP95 < r.WaitP50 {
+			t.Fatalf("%s: inverted wait percentiles p50=%v p95=%v p99=%v", r.Placer, r.WaitP50, r.WaitP95, r.WaitP99)
+		}
+	}
+}
+
 func TestMigrationSweepValidatesConfig(t *testing.T) {
 	if _, err := MigrationSweep(sweepTrace(), MigrationSweepConfig{BigLLCFactor: 3}); err == nil || !strings.Contains(err.Error(), "power of two") {
 		t.Fatalf("BigLLCFactor 3: %v", err)

@@ -9,13 +9,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"kyoto/internal/hv"
 	"kyoto/internal/machine"
 	"kyoto/internal/pmc"
 	"kyoto/internal/sched"
+	"kyoto/internal/sweep"
 	"kyoto/internal/vm"
 )
 
@@ -148,46 +147,11 @@ func RunAllWorkers(scenarios []Scenario, workers int) ([]Result, error) {
 
 // ForEach runs f(0) .. f(n-1) across a bounded worker pool (0 workers
 // means GOMAXPROCS; 1 means serial in index order) and returns the error
-// of the lowest-indexed failure. Experiment sweeps use it to fan their
-// independent arms out across cores.
+// of the lowest-indexed failure. Experiment fan-outs use it for their
+// independent arms; it is sweep.ForEach, re-exported so figure-level
+// code does not need the sweep package for a plain parallel loop.
 func ForEach(n, workers int, f func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				errs[i] = f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return sweep.ForEach(n, workers, f)
 }
 
 // newCreditSched builds the default XCS policy.

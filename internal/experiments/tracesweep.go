@@ -8,14 +8,22 @@ package experiments
 // reported — the paper's contrast, under churn: contention-blind
 // first-fit and contention-aware spread run unprotected, while the Kyoto
 // placer books llc_cap permits at admission and enforces them on-host.
+//
+// The sweep is expressed as a sweep.Sweep (TraceSweeper): solo-baseline
+// jobs (one per distinct app class) plus one replay job per placer, so it
+// can be fanned out across processes with -shard/-merge and merged
+// bit-identically to the in-process run.
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 
 	"kyoto/internal/arrivals"
 	"kyoto/internal/cluster"
 	"kyoto/internal/stats"
+	"kyoto/internal/sweep"
 )
 
 // TraceSweepConfig parameterizes a sweep.
@@ -77,11 +85,35 @@ var tracePlacers = []struct {
 	{cluster.Admission{}, true},
 }
 
-// TraceSweep replays the trace through all three placement policies and
-// reports per-policy rejection, utilization and normalized-performance
-// percentiles. Fleets are seeded identically, so rows differ only by
-// policy; the whole sweep is deterministic for a given trace and config.
-func TraceSweep(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
+// soloPayload is the canonical JSON result of one solo-baseline job.
+type soloPayload struct {
+	App string  `json:"app"`
+	IPC float64 `json:"ipc"`
+}
+
+// traceArmPayload is the canonical JSON result of one placer replay job.
+type traceArmPayload struct {
+	Placer   string          `json:"placer"`
+	Enforced bool            `json:"enforced"`
+	Replay   arrivals.Result `json:"replay"`
+}
+
+// TraceSweeper is the shardable form of TraceSweep: it implements
+// sweep.Sweep, so its jobs can be planned, run shard-by-shard across
+// processes, and merged into the same TraceSweepResult the in-process
+// run produces. Use NewTraceSweeper, then either sweep.Engine.Run for a
+// single process or RunShard/Merge for a distributed one; Result returns
+// the merged outcome.
+type TraceSweeper struct {
+	tr   arrivals.Trace
+	cfg  TraceSweepConfig
+	apps []string
+	res  *TraceSweepResult
+}
+
+// NewTraceSweeper validates the trace, applies the config defaults and
+// returns the shardable sweep.
+func NewTraceSweeper(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweeper, error) {
 	if cfg.Hosts == 0 {
 		cfg.Hosts = 4
 	}
@@ -94,48 +126,105 @@ func TraceSweep(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweepResult, err
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	solo, err := soloBaselines(tr, cfg.Seed)
+	return &TraceSweeper{tr: tr, cfg: cfg, apps: traceApps(tr)}, nil
+}
+
+// Name implements sweep.Sweep.
+func (s *TraceSweeper) Name() string { return "trace-sweep" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter: a digest of
+// the trace and every result-shaping knob (Workers is excluded — it only
+// changes scheduling, never results).
+func (s *TraceSweeper) ConfigFingerprint() string {
+	return sweepConfigFingerprint(s.tr, struct {
+		Hosts      int
+		Seed       uint64
+		DrainTicks int
+		Overrides  map[int]cluster.HostOverride
+	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides})
+}
+
+// Plan implements sweep.Sweep: one solo-baseline job per distinct app
+// class, then one replay job per placement policy.
+func (s *TraceSweeper) Plan() []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(s.apps)+len(tracePlacers))
+	for _, app := range s.apps {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "solo/" + app, Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"app": app},
+		})
+	}
+	for _, arm := range tracePlacers {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "arm/" + arm.placer.Name(), Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"placer": arm.placer.Name(), "enforced": fmt.Sprint(arm.enforced)},
+		})
+	}
+	return jobs
+}
+
+// Run implements sweep.Sweep.
+func (s *TraceSweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
+		ipc, err := soloIPC(app, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(soloPayload{App: app, IPC: ipc})
+	}
+	name, ok := strings.CutPrefix(job.Key, "arm/")
+	if !ok {
+		return nil, fmt.Errorf("unknown job key %q", job.Key)
+	}
+	arm, err := tracePlacerByName(name)
 	if err != nil {
 		return nil, err
 	}
+	f, err := cluster.New(cluster.Config{
+		Hosts:     s.cfg.Hosts,
+		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: arm.enforced},
+		Overrides: s.cfg.Overrides,
+		Placer:    arm.placer,
+		Workers:   s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{DrainTicks: s.cfg.DrainTicks})
+	if err != nil {
+		return nil, fmt.Errorf("placer %s: %w", name, err)
+	}
+	return json.Marshal(traceArmPayload{Placer: name, Enforced: arm.enforced, Replay: replay})
+}
 
-	res := &TraceSweepResult{Hosts: cfg.Hosts}
-	rows := make([]TraceSweepRow, len(tracePlacers))
-	err = ForEach(len(tracePlacers), cfg.Workers, func(i int) error {
-		arm := tracePlacers[i]
-		f, err := cluster.New(cluster.Config{
-			Hosts:     cfg.Hosts,
-			Template:  cluster.HostTemplate{Seed: cfg.Seed, EnableKyoto: arm.enforced},
-			Overrides: cfg.Overrides,
-			Placer:    arm.placer,
-			Workers:   cfg.Workers,
-		})
-		if err != nil {
-			return err
+// Merge implements sweep.Sweep: solo payloads become the normalization
+// baselines, arm payloads become rows with their tail percentiles.
+func (s *TraceSweeper) Merge(payloads []json.RawMessage) error {
+	solo := make(map[string]float64, len(s.apps))
+	for i, app := range s.apps {
+		var p soloPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("solo/%s payload: %w", app, err)
 		}
-		replay, err := arrivals.Replay(f, tr, arrivals.Options{DrainTicks: cfg.DrainTicks})
-		if err != nil {
-			return fmt.Errorf("placer %s: %w", arm.placer.Name(), err)
+		solo[p.App] = p.IPC
+	}
+	res := &TraceSweepResult{Hosts: s.cfg.Hosts}
+	for i := range tracePlacers {
+		var p traceArmPayload
+		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
+			return fmt.Errorf("arm payload %d: %w", i, err)
 		}
 		row := TraceSweepRow{
-			Placer:         arm.placer.Name(),
-			Enforced:       arm.enforced,
-			Submitted:      len(replay.Records),
-			Placed:         replay.Placed,
-			Rejected:       replay.Rejected,
-			RejectionRate:  replay.RejectionRate(),
-			CPUUtilization: replay.CPUUtilization,
-			Replay:         replay,
+			Placer:         p.Placer,
+			Enforced:       p.Enforced,
+			Submitted:      len(p.Replay.Records),
+			Placed:         p.Replay.Placed,
+			Rejected:       p.Replay.Rejected,
+			RejectionRate:  p.Replay.RejectionRate(),
+			CPUUtilization: p.Replay.CPUUtilization,
+			Replay:         p.Replay,
 		}
-		var norm []float64
-		for _, rec := range replay.Records {
-			base := solo[rec.App]
-			if rec.Rejected || base == 0 || rec.Counters.UnhaltedCycles == 0 {
-				continue
-			}
-			norm = append(norm, rec.Counters.IPC()/base)
-		}
-		if len(norm) > 0 {
+		if norm := normalizedPerf(p.Replay, solo); len(norm) > 0 {
 			// PXX = the perf floor XX% of VMs meet, i.e. the (100-XX)th
 			// percentile of the higher-is-better distribution. Errors are
 			// impossible here (non-empty sample, valid p).
@@ -143,22 +232,64 @@ func TraceSweep(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweepResult, err
 			row.P95, _ = stats.Percentile(norm, 5)
 			row.P99, _ = stats.Percentile(norm, 1)
 		}
-		rows[i] = row
-		return nil
-	})
+		res.Rows = append(res.Rows, row)
+	}
+	s.res = res
+	return nil
+}
+
+// Result returns the merged sweep outcome; it is nil until Merge ran.
+func (s *TraceSweeper) Result() *TraceSweepResult { return s.res }
+
+// TraceSweep replays the trace through all three placement policies and
+// reports per-policy rejection, utilization and normalized-performance
+// percentiles. Fleets are seeded identically, so rows differ only by
+// policy; the whole sweep is deterministic for a given trace and config.
+// It is the single-process path through TraceSweeper — sharded runs of
+// the same sweep merge to the identical result.
+func TraceSweep(tr arrivals.Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
+	s, err := NewTraceSweeper(tr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = rows
-	return res, nil
+	if err := (sweep.Engine{Workers: cfg.Workers}).Run(s); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
 }
 
-// soloBaselines runs each distinct app class of the trace alone on a
-// template host, returning its solo IPC — the denominator of normalized
-// performance. Baselines fan out across cores.
-func soloBaselines(tr arrivals.Trace, seed uint64) (map[string]float64, error) {
-	apps := make([]string, 0, 8)
+// sweepConfigFingerprint digests a trace plus a config struct into the
+// envelope's configuration check. Marshal errors degrade to a sentinel
+// (still caught at merge: both sides would need the same failure).
+func sweepConfigFingerprint(tr arrivals.Trace, cfg interface{}) string {
+	data, err := json.Marshal(struct {
+		Trace arrivals.Trace `json:"trace"`
+		Cfg   interface{}    `json:"cfg"`
+	}{tr, cfg})
+	if err != nil {
+		return "unmarshalable-config"
+	}
+	return sweep.FingerprintPayload(data)
+}
+
+// tracePlacerByName resolves a swept placement arm.
+func tracePlacerByName(name string) (struct {
+	placer   cluster.Placer
+	enforced bool
+}, error) {
+	for _, arm := range tracePlacers {
+		if arm.placer.Name() == name {
+			return arm, nil
+		}
+	}
+	return tracePlacers[0], fmt.Errorf("unknown placer arm %q", name)
+}
+
+// traceApps returns the distinct app classes of the trace, sorted — the
+// solo-baseline jobs of a sweep plan.
+func traceApps(tr arrivals.Trace) []string {
 	seen := make(map[string]bool)
+	apps := make([]string, 0, 8)
 	for _, e := range tr.Events {
 		if !seen[e.App] {
 			seen[e.App] = true
@@ -166,23 +297,31 @@ func soloBaselines(tr arrivals.Trace, seed uint64) (map[string]float64, error) {
 		}
 	}
 	sort.Strings(apps)
-	ipcs := make([]float64, len(apps))
-	err := ForEach(len(apps), 0, func(i int) error {
-		r, err := Run(soloScenario(apps[i], seed))
-		if err != nil {
-			return fmt.Errorf("solo baseline %s: %w", apps[i], err)
-		}
-		ipcs[i] = r.IPC("solo")
-		return nil
-	})
+	return apps
+}
+
+// soloIPC runs one app class alone on a template host and returns its
+// IPC — the denominator of normalized performance.
+func soloIPC(app string, seed uint64) (float64, error) {
+	r, err := Run(soloScenario(app, seed))
 	if err != nil {
-		return nil, err
+		return 0, fmt.Errorf("solo baseline %s: %w", app, err)
 	}
-	solo := make(map[string]float64, len(apps))
-	for i, app := range apps {
-		solo[app] = ipcs[i]
+	return r.IPC("solo"), nil
+}
+
+// normalizedPerf computes per-VM lifetime IPC over the app's solo IPC for
+// every placed VM with a measurable window, in record order.
+func normalizedPerf(replay arrivals.Result, solo map[string]float64) []float64 {
+	var norm []float64
+	for _, rec := range replay.Records {
+		base := solo[rec.App]
+		if rec.Rejected || base == 0 || rec.Counters.UnhaltedCycles == 0 {
+			continue
+		}
+		norm = append(norm, rec.Counters.IPC()/base)
 	}
-	return solo, nil
+	return norm
 }
 
 // Table renders the sweep as the rejection-rate / p99 comparison the

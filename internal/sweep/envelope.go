@@ -1,0 +1,96 @@
+package sweep
+
+// Envelope file I/O: shard results are plain JSON files, so any
+// transport that can move a file (scp, object storage, CI artifacts) can
+// move a shard between the process that ran it and the process that
+// merges it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteFile writes the envelope as indented JSON to path ("-" writes to
+// w if non-nil, else stdout).
+func (e Envelope) WriteFile(path string, w io.Writer) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encoding envelope: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		if w == nil {
+			w = os.Stdout
+		}
+		_, err := w.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadEnvelope parses one shard envelope file.
+func ReadEnvelope(path string) (Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("sweep: parsing envelope %s: %w", path, err)
+	}
+	if env.Schema != EnvelopeSchema {
+		return Envelope{}, fmt.Errorf("sweep: %s: schema %q, want %q", path, env.Schema, EnvelopeSchema)
+	}
+	return env, nil
+}
+
+// ReadEnvelopes expands each argument as a glob pattern (a literal path
+// matches itself) and parses every matched envelope. The expansion is
+// sorted, so results are deterministic whatever the shell did.
+func ReadEnvelopes(patterns []string) ([]Envelope, error) {
+	var paths []string
+	for _, pat := range patterns {
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad shard pattern %q: %w", pat, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("sweep: shard pattern %q matched no files", pat)
+		}
+		paths = append(paths, matches...)
+	}
+	sort.Strings(paths)
+	envs := make([]Envelope, 0, len(paths))
+	for _, p := range paths {
+		env, err := ReadEnvelope(p)
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, env)
+	}
+	return envs, nil
+}
+
+// ParseShardSpec parses a "-shard k/n" flag value.
+func ParseShardSpec(s string) (shard, shards int, err error) {
+	k, n, ok := strings.Cut(s, "/")
+	if ok {
+		var errK, errN error
+		shard, errK = strconv.Atoi(k)
+		shards, errN = strconv.Atoi(n)
+		ok = errK == nil && errN == nil
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("sweep: bad shard spec %q (want k/n, e.g. 0/4)", s)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("sweep: bad shard spec %q: shard must be in 0..n-1", s)
+	}
+	return shard, shards, nil
+}

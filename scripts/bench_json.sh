@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# bench_json.sh — run the hot-path microbenchmarks and emit BENCH_kyoto.json
-# (benchmark name -> ns/op, allocs/op), so the perf trajectory of the
-# simulator is tracked commit over commit.
+# bench_json.sh — run the hot-path microbenchmarks (and a sweep
+# wall-clock measurement) and emit BENCH_kyoto.json, so the perf
+# trajectory of the simulator is tracked commit over commit.
 #
 # Usage:
 #   ./scripts/bench_json.sh              # ~1s per benchmark, writes BENCH_kyoto.json
@@ -17,6 +17,21 @@
 #              stable ns/op; iteration counts ("100x", "10x") are the CI
 #              smoke mode — fast and noisy, but allocs/op stays exact,
 #              which is what the CI gate checks.
+#   SWEEPS     "0" skips the sweep wall-clock section (the fig4 sweep
+#              costs ~15s serial).
+#   SWEEP_EXP     shardable kyotobench experiment to time (default fig4).
+#   SWEEP_SHARDS  local processes for the sharded run (default nproc).
+#
+# The sweep section times the same experiment twice through the shard
+# protocol, where -workers reaches the sweep engine: once as one
+# single-worker process (sweep_shards.sh -n 1 — the serial reference)
+# and once fanned across SWEEP_SHARDS single-worker processes. Both
+# paths include envelope+merge overhead, so the ratio measures
+# process-level sharding alone — exactly what distributing over
+# machines buys. host_cpus records how many CPUs the measurement
+# actually had: with SWEEP_SHARDS <= host_cpus the sharded run
+# approaches shards-times speedup; a 1-CPU container shows sharding
+# overhead instead.
 #
 # The "baseline_pr2" block records the pre-refactor numbers measured on the
 # dev container (Xeon @ 2.70GHz) immediately before the PR-2 hot-path
@@ -26,6 +41,9 @@ cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_kyoto.json}"
 BENCHTIME="${BENCHTIME:-1s}"
+SWEEPS="${SWEEPS:-1}"
+SWEEP_EXP="${SWEEP_EXP:-fig4}"
+SWEEP_SHARDS="${SWEEP_SHARDS:-$(nproc)}"
 
 run_bench() {
 	go test -run '^$' -bench 'BenchmarkWorldTick|BenchmarkCacheAccess|BenchmarkWorkloadGen|BenchmarkAccessLRU' \
@@ -68,5 +86,43 @@ END {
 	printf "    \"BenchmarkFig1Contention\": {\"ns_per_op\": 20569638032, \"allocs_per_op\": null}\n"
 	printf "  }\n}\n"
 }' > "$OUT"
+
+if [ "$SWEEPS" != "0" ]; then
+	# Sweep wall-clock: serial vs process-sharded execution of one
+	# shardable experiment, folded into the report as a "sweeps" object.
+	BIN="$(mktemp -d)"
+	trap 'rm -rf "$BIN"' EXIT
+	go build -o "$BIN/kyotobench" ./cmd/kyotobench
+
+	t0=$(date +%s%N)
+	./scripts/sweep_shards.sh -n 1 -- "$BIN/kyotobench" -run "$SWEEP_EXP" -workers 1 >/dev/null
+	t1=$(date +%s%N)
+	serial_ms=$(((t1 - t0) / 1000000))
+
+	t0=$(date +%s%N)
+	./scripts/sweep_shards.sh -n "$SWEEP_SHARDS" -- "$BIN/kyotobench" -run "$SWEEP_EXP" -workers 1 >/dev/null
+	t1=$(date +%s%N)
+	sharded_ms=$(((t1 - t0) / 1000000))
+
+	python3 - "$OUT" "$SWEEP_EXP" "$serial_ms" "$sharded_ms" "$SWEEP_SHARDS" <<'EOF'
+import json, sys, os
+path, exp, serial_ms, sharded_ms, shards = sys.argv[1:6]
+with open(path) as f:
+    d = json.load(f)
+d["sweeps"] = {
+    exp: {
+        "serial_ms": int(serial_ms),
+        "sharded_ms": int(sharded_ms),
+        "shards": int(shards),
+        "speedup": round(int(serial_ms) / max(1, int(sharded_ms)), 2),
+        "host_cpus": os.cpu_count(),
+    }
+}
+with open(path, "w") as f:
+    json.dump(d, f, indent=2)
+    f.write("\n")
+EOF
+	echo "sweep $SWEEP_EXP: serial ${serial_ms}ms, ${SWEEP_SHARDS}-shard ${sharded_ms}ms" >&2
+fi
 
 echo "wrote $OUT" >&2

@@ -1,0 +1,105 @@
+package kyoto
+
+// The shardable sweep facade: every multi-configuration experiment in
+// the harness (trace sweep, migration sweep, the Figure 4 matrix, the
+// ablations) is planned as a list of deterministic jobs that external
+// drivers — cron jobs, CI matrices, a handful of machines pointed at the
+// same repository — can execute shard by shard and merge bit-identically
+// to an unsharded run. See internal/sweep/README.md for the job model
+// and the shard envelope schema, and scripts/sweep_shards.sh for a
+// ready-made local fan-out.
+//
+// The division of labour: every process rebuilds the same sweep from the
+// same configuration (trace, seed, config struct), so only job *results*
+// ever cross process boundaries, as JSON envelopes with per-job
+// fingerprints.
+
+import (
+	"kyoto/internal/experiments"
+	"kyoto/internal/sweep"
+)
+
+// Re-exported sweep types.
+type (
+	// Sweep is a shardable experiment: a deterministic plan of
+	// independent jobs plus a merge folding their payloads into the
+	// final result. Obtain one from NewTraceSweeper, NewMigrationSweeper
+	// or the experiment constructors in internal/experiments.
+	Sweep = sweep.Sweep
+	// SweepJob is one deterministic unit of a sweep's plan.
+	SweepJob = sweep.Job
+	// SweepJobResult is one executed job inside a shard envelope.
+	SweepJobResult = sweep.JobResult
+	// ShardEnvelope is the canonical JSON result of one shard of a
+	// sweep — the unit that crosses process and machine boundaries.
+	ShardEnvelope = sweep.Envelope
+	// TraceSweeper is the shardable form of SweepTrace.
+	TraceSweeper = experiments.TraceSweeper
+	// MigrationSweeper is the shardable form of SweepMigrations.
+	MigrationSweeper = experiments.MigrationSweeper
+)
+
+// NewTraceSweeper returns the three-placer trace sweep as a shardable
+// Sweep; after merging, its Result method returns the TraceSweepResult
+// that SweepTrace would have produced.
+func NewTraceSweeper(tr Trace, cfg TraceSweepConfig) (*TraceSweeper, error) {
+	return experiments.NewTraceSweeper(tr, cfg)
+}
+
+// NewMigrationSweeper returns the rebalancer x placer migration sweep as
+// a shardable Sweep; after merging, its Result method returns the
+// MigrationSweepResult that SweepMigrations would have produced.
+func NewMigrationSweeper(tr Trace, cfg MigrationSweepConfig) (*MigrationSweeper, error) {
+	return experiments.NewMigrationSweeper(tr, cfg)
+}
+
+// SweepJobs returns the sweep's canonical job plan — what a distributed
+// driver partitions across processes. Shard k of n owns the jobs with
+// Index % n == k, which is exactly what RunSweepShard executes.
+func SweepJobs(s Sweep) []SweepJob { return s.Plan() }
+
+// RunSweepShard executes shard `shard` of `shards` of the sweep's plan
+// across `workers` goroutines (0 = GOMAXPROCS) and returns its envelope.
+// Write it with ShardEnvelope.WriteFile and merge all n envelopes with
+// MergeShards — on this machine or another one.
+func RunSweepShard(s Sweep, shard, shards, workers int) (ShardEnvelope, error) {
+	return sweep.Engine{Workers: workers}.RunShard(s, shard, shards)
+}
+
+// RunSweep executes the whole sweep in-process and merges the result —
+// the single-machine path, bit-identical to a sharded run of the same
+// sweep.
+func RunSweep(s Sweep, workers int) error {
+	return sweep.Engine{Workers: workers}.Run(s)
+}
+
+// MergeShards validates that the envelopes cover every job of the
+// sweep's plan exactly once and folds them into the sweep's final result
+// (retrievable from the concrete sweeper). The sweep must be built from
+// the same configuration as the one the shards ran.
+func MergeShards(s Sweep, envs []ShardEnvelope) error {
+	return sweep.Merge(s, envs)
+}
+
+// MergedSweepFingerprint folds a complete envelope set's per-job
+// fingerprints in plan order — the whole-sweep identity the shard
+// determinism goldens pin.
+func MergedSweepFingerprint(envs []ShardEnvelope) (string, error) {
+	return sweep.MergedFingerprint(envs)
+}
+
+// ReadShardEnvelope parses one shard envelope file.
+func ReadShardEnvelope(path string) (ShardEnvelope, error) {
+	return sweep.ReadEnvelope(path)
+}
+
+// ReadShardEnvelopes expands glob patterns (a literal path matches
+// itself) and parses every matched envelope, in sorted path order.
+func ReadShardEnvelopes(patterns []string) ([]ShardEnvelope, error) {
+	return sweep.ReadEnvelopes(patterns)
+}
+
+// ParseShardSpec parses a "k/n" shard flag value into (shard, shards).
+func ParseShardSpec(s string) (shard, shards int, err error) {
+	return sweep.ParseShardSpec(s)
+}
