@@ -24,6 +24,15 @@
 //
 // scripts/sweep_shards.sh automates that fan-out over local processes;
 // the same envelopes move across machines with any file transport.
+//
+// -seeds N replicates a seedable experiment (fig4, ablations) under N
+// consecutive seeds starting at -seed and prints per-metric means,
+// percentiles and confidence intervals instead of single numbers. The
+// seed sweep is itself a sweep, so -seeds composes with -shard/-merge:
+//
+//	kyotobench -run fig4 -seeds 32 -shard 0/2 -shard-out fig4-0.json
+//	kyotobench -run fig4 -seeds 32 -shard 1/2 -shard-out fig4-1.json
+//	kyotobench -run fig4 -seeds 32 -merge 'fig4-*.json'
 package main
 
 import (
@@ -164,7 +173,7 @@ func registry() map[string]experimentFunc {
 // shardableSweep pairs a sweep with the renderer of its merged result.
 type shardableSweep struct {
 	s      sweep.Sweep
-	tables func() []experiments.Table
+	tables func() ([]experiments.Table, error)
 }
 
 // shardableSweeps builds the sweep-shaped experiments by id — the ones
@@ -175,14 +184,14 @@ func shardableSweeps(seed uint64) map[string]shardableSweep {
 	matrix := experiments.NewFig4MatrixSweeper(seed)
 	abl := experiments.NewAblationSweeper(seed)
 	return map[string]shardableSweep{
-		"fig4": {fig4, func() []experiments.Table {
-			return []experiments.Table{fig4.Result().Table()}
+		"fig4": {fig4, func() ([]experiments.Table, error) {
+			return []experiments.Table{fig4.Result().Table()}, nil
 		}},
-		"fig4matrix": {matrix, func() []experiments.Table {
-			return []experiments.Table{*matrix.Result()}
+		"fig4matrix": {matrix, func() ([]experiments.Table, error) {
+			return []experiments.Table{*matrix.Result()}, nil
 		}},
-		"ablations": {abl, func() []experiments.Table {
-			return []experiments.Table{*abl.Result()}
+		"ablations": {abl, func() ([]experiments.Table, error) {
+			return []experiments.Table{*abl.Result()}, nil
 		}},
 	}
 }
@@ -197,6 +206,46 @@ func shardableIDs() []string {
 	return ids
 }
 
+// seedableSweeps builds the experiments -seeds can replicate across
+// consecutive seeds — the sweeps with sweep.Seedable adapters.
+func seedableSweeps(seed uint64) map[string]sweep.Seedable {
+	return map[string]sweep.Seedable{
+		"fig4":      experiments.NewFig4Sweeper(seed),
+		"ablations": experiments.NewAblationSweeper(seed),
+	}
+}
+
+// seedableIDs lists the -seeds capable experiment ids, sorted.
+func seedableIDs() []string {
+	ids := make([]string, 0, 2)
+	for id := range seedableSweeps(1) {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// seedSweepEntry wraps a seedable experiment in a seed sweep paired
+// with the statistics-table renderer, so seed sweeps flow through the
+// same run/shard/merge paths as any other sweep.
+func seedSweepEntry(id string, seed uint64, seeds int) (shardableSweep, error) {
+	proto, ok := seedableSweeps(seed)[id]
+	if !ok {
+		return shardableSweep{}, fmt.Errorf("experiment %q does not support -seeds (seedable: %s)", id, strings.Join(seedableIDs(), ", "))
+	}
+	ss, err := sweep.NewSeedSweeper(proto, sweep.SeedSweepConfig{Seeds: seeds, BaseSeed: seed})
+	if err != nil {
+		return shardableSweep{}, err
+	}
+	return shardableSweep{ss, func() ([]experiments.Table, error) {
+		t, err := experiments.SeedSweepTable(ss.Result())
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Table{t}, nil
+	}}, nil
+}
+
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("kyotobench", flag.ContinueOnError)
 	var (
@@ -208,11 +257,17 @@ func run(args []string) (err error) {
 		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the experiment's tables")
 		listShard  = fs.Bool("list-shardable", false, "list experiment ids that support -shard/-merge and exit")
+		seeds      = fs.Int("seeds", 0, "statistical mode: replicate a seedable experiment under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["seeds"] && *seeds < 1 {
+		return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)
 	}
 	if *listShard {
 		for _, id := range shardableIDs() {
@@ -226,7 +281,7 @@ func run(args []string) (err error) {
 	}
 	defer profiling.StopInto(stopProf, &err)
 	if *shardSpec != "" || *mergeGlobs != "" {
-		return runSharded(*runList, *seed, *workers, *shardSpec, *shardOut, *mergeGlobs, os.Stdout)
+		return runSharded(*runList, *seed, *seeds, *workers, *shardSpec, *shardOut, *mergeGlobs, os.Stdout)
 	}
 	reg := registry()
 	ids := make([]string, 0, len(reg))
@@ -251,6 +306,10 @@ func run(args []string) (err error) {
 		if _, ok := reg[selected[i]]; !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", selected[i])
 		}
+	}
+
+	if *seeds > 0 {
+		return runSeedSweeps(selected, *seed, *seeds, *workers, os.Stdout)
 	}
 
 	// Experiments are independent: fan them out across workers (each one
@@ -281,10 +340,37 @@ func run(args []string) (err error) {
 	return nil
 }
 
+// runSeedSweeps handles plain -seeds mode: each selected experiment must
+// be seedable; its seed sweep runs in-process and prints the statistics
+// table.
+func runSeedSweeps(ids []string, seed uint64, seeds, workers int, out io.Writer) error {
+	for _, id := range ids {
+		entry, err := seedSweepEntry(id, seed, seeds)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := (sweep.Engine{Workers: workers}).Run(entry.s); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tables, err := entry.tables()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			fmt.Fprintln(out, t.String())
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
 // runSharded handles the -shard / -merge modes: exactly one shardable
 // experiment, either executing one shard of its job plan or folding the
-// shard envelopes into its tables.
-func runSharded(runList string, seed uint64, workers int, shardSpec, shardOut, mergeGlobs string, out io.Writer) error {
+// shard envelopes into its tables. With seeds > 0 the experiment is
+// wrapped in a seed sweep first, so the shards partition the
+// seed-replicated job plan.
+func runSharded(runList string, seed uint64, seeds, workers int, shardSpec, shardOut, mergeGlobs string, out io.Writer) error {
 	if shardSpec != "" && mergeGlobs != "" {
 		return fmt.Errorf("-shard and -merge are mutually exclusive (run shards first, merge after)")
 	}
@@ -293,9 +379,17 @@ func runSharded(runList string, seed uint64, workers int, shardSpec, shardOut, m
 		return fmt.Errorf("-shard/-merge need exactly one experiment in -run (shardable: %s)", strings.Join(shardableIDs(), ", "))
 	}
 	id := strings.TrimSpace(ids[0])
-	entry, ok := shardableSweeps(seed)[id]
-	if !ok {
-		return fmt.Errorf("experiment %q is not shardable (shardable: %s)", id, strings.Join(shardableIDs(), ", "))
+	var entry shardableSweep
+	if seeds > 0 {
+		var err error
+		if entry, err = seedSweepEntry(id, seed, seeds); err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		if entry, ok = shardableSweeps(seed)[id]; !ok {
+			return fmt.Errorf("experiment %q is not shardable (shardable: %s)", id, strings.Join(shardableIDs(), ", "))
+		}
 	}
 	if shardSpec != "" {
 		k, n, err := sweep.ParseShardSpec(shardSpec)
@@ -315,7 +409,11 @@ func runSharded(runList string, seed uint64, workers int, shardSpec, shardOut, m
 	if err := sweep.Merge(entry.s, envs); err != nil {
 		return err
 	}
-	for _, t := range entry.tables() {
+	tables, err := entry.tables()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
 		fmt.Fprintln(out, t.String())
 	}
 	fp, err := sweep.MergedFingerprint(envs)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -98,6 +99,100 @@ func TestShardMergeRoundTrip(t *testing.T) {
 		!strings.Contains(err.Error(), "belongs to sweep") {
 		t.Fatalf("foreign envelopes merged silently: %v", err)
 	}
+}
+
+func TestSeedsFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"explicit zero":    {"-run", "fig4", "-seeds", "0"},
+		"negative":         {"-run", "fig4", "-seeds", "-2"},
+		"unseedable":       {"-run", "table1", "-seeds", "2"},
+		"all experiments":  {"-run", "all", "-seeds", "2"},
+		"unseedable shard": {"-run", "fig4matrix", "-seeds", "2", "-shard", "0/2"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("%s: must fail", name)
+		}
+	}
+}
+
+func TestSeedableIDsAreShardable(t *testing.T) {
+	shardable := shardableSweeps(1)
+	ids := seedableIDs()
+	if len(ids) < 2 {
+		t.Fatalf("seedable set shrank: %v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := shardable[id]; !ok {
+			t.Errorf("seedable id %q is not shardable", id)
+		}
+	}
+}
+
+// TestSeedsShardMergeRoundTrip is the -seeds acceptance lock: a sharded
+// seed sweep must merge to the byte-identical statistics table a serial
+// -seeds run prints.
+func TestSeedsShardMergeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the three ablation studies under two seeds twice")
+	}
+	dir := t.TempDir()
+	base := []string{"-run", "ablations", "-seed", "3", "-seeds", "2"}
+	for _, spec := range []string{"0/2", "1/2"} {
+		args := append(append([]string{}, base...),
+			"-shard", spec, "-shard-out", filepath.Join(dir, "seedshard-"+spec[:1]+".json"))
+		if err := run(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, err := captureRun(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Seed sweep: ablations, 2 seeds (base 3)", "mean ± 95% CI", "indicator/eq1", "banking/bank4"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("seed sweep table missing %q:\n%s", want, serial)
+		}
+	}
+	merged, err := captureRun(append(append([]string{}, base...), "-merge", filepath.Join(dir, "seedshard-*.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableOf := func(s string) string {
+		i := strings.Index(s, "== Seed sweep")
+		j := strings.Index(s, "[ablations")
+		if i < 0 || j < i {
+			t.Fatalf("no seed sweep table in output:\n%s", s)
+		}
+		return s[i:j]
+	}
+	if tableOf(serial) != tableOf(merged) {
+		t.Fatalf("merged seed sweep differs from serial:\n--- serial\n%s\n--- merged\n%s", serial, merged)
+	}
+	// The same envelopes must not merge under a plain (seedless) run of
+	// the experiment: the seed sweep is a different sweep.
+	if err := run([]string{"-run", "ablations", "-seed", "3", "-merge", filepath.Join(dir, "seedshard-*.json")}); err == nil {
+		t.Fatal("seed-sweep envelopes merged into the plain experiment")
+	}
+}
+
+// captureRun executes run() with stdout captured, since the plain-mode
+// experiment paths print through fmt.Println.
+func captureRun(args []string) (string, error) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		return "", err
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	return string(out), runErr
 }
 
 func TestRegistryIdsSorted(t *testing.T) {

@@ -51,6 +51,16 @@
 //	kyotosim -churn 24 -hosts 4 -migrate all -shard 1/2 -shard-out s1.json
 //	kyotosim -churn 24 -hosts 4 -migrate all -merge 's*.json'
 //
+// -seeds N is statistical mode: the whole sweep (plain or migration) is
+// replicated under N consecutive seeds starting at -seed, and the table
+// reports each metric's across-seed mean, p50/p95/p99 and 95%
+// confidence intervals instead of single numbers. The seed sweep is
+// itself a sweep, so -seeds composes with -shard/-merge and the merged
+// statistics are bit-identical for every shard count:
+//
+//	kyotosim -trace trace.json -hosts 4 -seeds 200
+//	kyotosim -churn 24 -hosts 4 -seeds 100 -shard 0/4 -shard-out s0.json
+//
 // Scenario schema (JSON):
 //
 //	{
@@ -161,6 +171,8 @@ func run(args []string, out io.Writer) (err error) {
 		maxWait      = fs.Uint64("pending-deadline", 0, "max queue wait in ticks under -pending deadline (default 60)")
 		bigLLC       = fs.Int("big-llc", -1, "LLC scale factor of the sweep's highest-ID host (power of two; 0 = homogeneous; default: 2 when a topo arm is swept, else 0 so non-topo sweeps stay comparable to plain -trace runs)")
 
+		seeds = fs.Int("seeds", 0, "statistical mode: replicate the -trace/-churn sweep under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
+
 		shardSpec  = fs.String("shard", "", "run one shard (k/n) of the -trace/-churn sweep's job plan and write its envelope instead of the table")
 		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the sweep's table (repeat the shard runs' flags)")
@@ -194,7 +206,7 @@ func run(args []string, out io.Writer) (err error) {
 	if *tracePath == "" && *churn == 0 {
 		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
 			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc",
-			"shard", "shard-out", "merge"} {
+			"seeds", "shard", "shard-out", "merge"} {
 			if set[name] {
 				return fmt.Errorf("-%s only applies in -trace/-churn mode", name)
 			}
@@ -217,6 +229,9 @@ func run(args []string, out io.Writer) (err error) {
 			return fmt.Errorf("-trace-out/-churn-horizon/-churn-life only apply with -churn")
 		}
 		migrateMode := set["migrate"] || set["pending"]
+		if set["seeds"] && *seeds < 1 {
+			return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)
+		}
 		if set["big-llc"] && *bigLLC < 0 {
 			return fmt.Errorf("-big-llc must be >= 0, got %d", *bigLLC)
 		}
@@ -275,10 +290,10 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		dispatch := sweepDispatch{shardSpec: *shardSpec, shardOut: *shardOut, mergeGlobs: *mergeGlobs}
 		if migrateMode {
-			return executeMigrationSweep(tr, *hosts, *seed, *migrate, *pending,
+			return executeMigrationSweep(tr, *hosts, *seed, *seeds, *migrate, *pending,
 				*migrateEvery, *downtime, *maxWait, *bigLLC, dispatch, out)
 		}
-		return executeTrace(tr, *hosts, *seed, dispatch, out)
+		return executeTrace(tr, *hosts, *seed, *seeds, dispatch, out)
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -scenario (use -example for a template)")
@@ -346,12 +361,40 @@ func (d sweepDispatch) apply(s kyoto.Sweep, out io.Writer) (bool, error) {
 	}
 }
 
+// executeSeedSweep runs the -seeds statistical mode: the seedable sweep
+// is replicated under consecutive seeds starting at baseSeed, sharded or
+// merged exactly like the underlying sweep, and the merged across-seed
+// statistics table is printed (the per-seed digests are not — with many
+// seeds they are noise).
+func executeSeedSweep(proto kyoto.SeedableSweep, seeds int, baseSeed uint64, dispatch sweepDispatch, out io.Writer) error {
+	ss, err := kyoto.NewSeedSweeper(proto, kyoto.SeedSweepConfig{Seeds: seeds, BaseSeed: baseSeed})
+	if err != nil {
+		return err
+	}
+	print, err := dispatch.apply(ss, out)
+	if err != nil {
+		return err
+	}
+	if !print {
+		return nil
+	}
+	tbl, err := kyoto.SeedSweepTable(ss.Result())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, tbl.String())
+	return nil
+}
+
 // executeTrace replays the trace through all three placement policies and
 // prints the comparison table plus a short per-policy rejection digest.
-func executeTrace(tr kyoto.Trace, hosts int, seed uint64, dispatch sweepDispatch, out io.Writer) error {
+func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, dispatch sweepDispatch, out io.Writer) error {
 	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed})
 	if err != nil {
 		return err
+	}
+	if seeds > 0 {
+		return executeSeedSweep(s, seeds, seed, dispatch, out)
 	}
 	print, err := dispatch.apply(s, out)
 	if err != nil {
@@ -378,7 +421,7 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, dispatch sweepDispatch
 
 // executeMigrationSweep runs the rebalancer x placer grid over the trace
 // and prints the comparison table plus a per-combination migration digest.
-func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pending string,
+func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, migrate, pending string,
 	every uint64, downtime int, maxWait uint64, bigLLC int, dispatch sweepDispatch, out io.Writer) error {
 	var rebalancers []string
 	switch migrate {
@@ -424,6 +467,9 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, migrate, pend
 	})
 	if err != nil {
 		return err
+	}
+	if seeds > 0 {
+		return executeSeedSweep(s, seeds, seed, dispatch, out)
 	}
 	print, err := dispatch.apply(s, out)
 	if err != nil {

@@ -368,6 +368,87 @@ func TestShardMergeReproducesSerialTraceSweep(t *testing.T) {
 	}
 }
 
+func TestSeedsFlagValidation(t *testing.T) {
+	if err := run([]string{"-churn", "5", "-seeds", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("explicit -seeds 0 must fail, not silently run once")
+	}
+	if err := run([]string{"-churn", "5", "-seeds", "-3"}, &strings.Builder{}); err == nil {
+		t.Fatal("negative -seeds must fail")
+	}
+	if err := run([]string{"-scenario", "s.json", "-seeds", "4"}, &strings.Builder{}); err == nil {
+		t.Fatal("-seeds outside -trace/-churn mode must fail")
+	}
+}
+
+// TestSeedsModeStatisticsTable is the acceptance lock for -seeds: the
+// churn sweep replicated across seeds must print the per-metric
+// statistics table instead of the single-seed comparison.
+func TestSeedsModeStatisticsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace under several seeds")
+	}
+	var out strings.Builder
+	if err := run([]string{"-churn", "8", "-hosts", "2", "-seeds", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Seed sweep", "3 seeds", "mean ± 95% CI", "bootstrap",
+		"first-fit", "spread", "kyoto", "p99_norm",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("seed sweep report missing %q:\n%s", want, s)
+		}
+	}
+	// The migration sweep gains the size-class tail columns.
+	var mig strings.Builder
+	if err := run([]string{"-churn", "8", "-hosts", "2", "-migrate", "reactive", "-pending", "sjf", "-seeds", "2"}, &mig); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Seed sweep", "2 seeds", "wait_p99_small", "wait_p99_large", "first-fit/reactive"} {
+		if !strings.Contains(mig.String(), want) {
+			t.Fatalf("migration seed sweep missing %q:\n%s", want, mig.String())
+		}
+	}
+}
+
+// TestSeedsShardMergeReproducesSerial is the acceptance criterion for
+// -seeds composing with -shard/-merge: the merged statistics table must
+// be byte-identical to the serial -seeds run.
+func TestSeedsShardMergeReproducesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace under four seeds twice")
+	}
+	dir := t.TempDir()
+	baseArgs := []string{"-churn", "8", "-hosts", "2", "-seed", "11", "-seeds", "4"}
+	for _, spec := range []string{"0/4", "1/4", "2/4", "3/4"} {
+		args := append(append([]string{}, baseArgs...),
+			"-shard", spec, "-shard-out", filepath.Join(dir, "shard-"+spec[:1]+".json"))
+		if err := run(args, &strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var serial, merged strings.Builder
+	if err := run(baseArgs, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, baseArgs...), "-merge", filepath.Join(dir, "shard-*.json")), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != merged.String() {
+		t.Fatalf("merged seed sweep differs from serial:\n--- serial\n%s\n--- merged\n%s", serial.String(), merged.String())
+	}
+	if !strings.Contains(merged.String(), "Seed sweep") {
+		t.Fatalf("merged output is not the statistics table:\n%s", merged.String())
+	}
+	// A different seed count plans a different sweep: merging the four
+	// envelopes under -seeds 5 must fail via the configuration digest.
+	bad := []string{"-churn", "8", "-hosts", "2", "-seed", "11", "-seeds", "5", "-merge", filepath.Join(dir, "shard-*.json")}
+	if err := run(bad, &strings.Builder{}); err == nil {
+		t.Fatal("envelopes from a different -seeds count merged silently")
+	}
+}
+
 func TestMigrateModeFlagValidation(t *testing.T) {
 	if err := run([]string{"-churn", "5", "-migrate", "bogus"}, &strings.Builder{}); err == nil {
 		t.Fatal("bogus -migrate value must fail")

@@ -141,6 +141,46 @@ func ExampleNewReactiveRebalancer() {
 	// t=9 batch: host0 -> host1
 }
 
+// ExampleNewSeedSweeper replicates the three-placer trace sweep under
+// three consecutive seeds and reads a metric's across-seed distribution
+// off the merged result. Kyoto admission rejects the permit-less VM
+// under every seed, so the rejection rate is exactly 1/4 with a
+// zero-width confidence interval.
+func ExampleNewSeedSweeper() {
+	proto, err := kyoto.NewTraceSweeper(lifecycleTrace(), kyoto.TraceSweepConfig{
+		Hosts: 2, Seed: 1, DrainTicks: 6,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ss, err := kyoto.NewSeedSweeper(proto, kyoto.SeedSweepConfig{Seeds: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("plan: %d jobs\n", len(kyoto.SweepJobs(ss)))
+	if err := kyoto.RunSweep(ss, 0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := ss.Result()
+	sum, err := res.Metric("kyoto", "rej_rate")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ci, err := sum.MeanCI(res.Confidence)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("kyoto rej_rate over %d seeds: %s\n", sum.Count(), kyoto.FormatMeanCI(sum.Mean(), ci.Halfwidth()))
+	// Output:
+	// plan: 21 jobs
+	// kyoto rej_rate over 3 seeds: 0.250 ± 0.000
+}
+
 // ExampleMergeShards runs the three-placer trace sweep as two
 // independent shards — the way two processes or machines would, each
 // rebuilding the sweep from the same trace and config — and merges the

@@ -56,6 +56,12 @@ type Record struct {
 	// Name and App echo the resolved event.
 	Name string
 	App  string
+	// VCPUs echoes the event's requested vCPU count (0 means the default
+	// of 1, as in Event) — the size-class key the per-class wait
+	// percentiles group by. omitempty keeps the JSON of all-default
+	// traces byte-identical to records minted before the field existed,
+	// so sweep payload fingerprints over such traces are unchanged.
+	VCPUs int `json:",omitempty"`
 	// Submit and Depart bound the VM's residency in ticks. For VMs still
 	// running when the replay ends (Lifetime 0), Depart is the end tick.
 	Submit uint64
@@ -142,6 +148,31 @@ func (r Result) PlacedWaits() []float64 {
 		}
 	}
 	return waits
+}
+
+// SmallVMMaxCPUs is the size-class boundary for PlacedWaitsByClass:
+// VMs booking at most this many vCPUs are "small", the rest "large".
+// Matches the {1,2} vs {4} split of the Azure-calibrated size mix.
+const SmallVMMaxCPUs = 2
+
+// PlacedWaitsByClass splits PlacedWaits by VM size class: small VMs
+// (booked vCPUs <= SmallVMMaxCPUs) versus large. Shortest-job-first
+// pending queues systematically push large VMs to the back, so the two
+// distributions expose the starvation cost a pooled percentile hides.
+// Sizes are compared after booking normalization (0 vCPUs books as 1).
+func (r Result) PlacedWaitsByClass() (small, large []float64) {
+	for _, rec := range r.Records {
+		if rec.Rejected {
+			continue
+		}
+		req := cluster.Request{Spec: vm.Spec{VCPUs: rec.VCPUs}}
+		if req.CPUs() <= SmallVMMaxCPUs {
+			small = append(small, float64(rec.WaitTicks))
+		} else {
+			large = append(large, float64(rec.WaitTicks))
+		}
+	}
+	return small, large
 }
 
 // Fingerprint folds every record's counters and placement metadata into
@@ -502,7 +533,7 @@ func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
 		for i < len(events) && events[i].Submit == now {
 			ev := events[i]
 			rec := &res.Records[i]
-			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, Submit: now, PlacedTick: now, HostID: -1}
+			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, VCPUs: ev.VCPUs, Submit: now, PlacedTick: now, HostID: -1}
 			if _, dup := active[rec.Name]; dup {
 				return res, fmt.Errorf("arrivals: event %d: VM name %q already active at tick %d", i, rec.Name, now)
 			}

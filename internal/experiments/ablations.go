@@ -177,6 +177,9 @@ type ablationPayload struct {
 type AblationSweeper struct {
 	seed uint64
 	res  *Table
+	// vals keeps the merged study outcomes in ablationArms order, for
+	// the Seedable metric rows.
+	vals []ablationPayload
 }
 
 // NewAblationSweeper returns the shardable ablation suite.
@@ -220,6 +223,7 @@ func (s *AblationSweeper) Merge(payloads []json.RawMessage) error {
 		Note:    "vsen1 normalized performance on the Figure 5 scenario unless stated",
 		Columns: []string{"ablation", "arm", "vsen1 norm perf"},
 	}
+	s.vals = make([]ablationPayload, len(ablationArms))
 	for i, arm := range ablationArms {
 		var p ablationPayload
 		if err := json.Unmarshal(payloads[i], &p); err != nil {
@@ -227,6 +231,7 @@ func (s *AblationSweeper) Merge(payloads []json.RawMessage) error {
 		}
 		t.AddRow(arm.rows[0][0], arm.rows[0][1], p.A)
 		t.AddRow(arm.rows[1][0], arm.rows[1][1], p.B)
+		s.vals[i] = p
 	}
 	s.res = &t
 	return nil

@@ -80,6 +80,13 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if !(p >= 0 && p <= 100) { // inverted so NaN is rejected too
 		return 0, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
 	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			// sort.Float64s leaves NaNs in unspecified positions, which
+			// would silently corrupt every rank after them.
+			return 0, fmt.Errorf("stats: percentile over NaN sample")
+		}
+	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)

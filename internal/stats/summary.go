@@ -1,0 +1,362 @@
+package stats
+
+// Statistical summaries for repeated-sample experiments: streaming
+// moments (Welford), an order-insensitive per-metric Summary whose merge
+// is exactly associative and commutative, and confidence intervals
+// (normal-approximation for means, seeded bootstrap for percentiles).
+//
+// This is the layer behind the seed sweeps: "Patterns in the Chaos"
+// (Leitner & Cito) shows IaaS performance distributions are multi-modal
+// and only resolvable with large repeated samples, so every headline
+// number the harness reports wants an error bar computed from many
+// seeds. Because seed sweeps shard across processes and merge in one
+// canonical plan order, every aggregation here is deterministic: same
+// samples, same seed, same CI — bit for bit, whatever the shard count.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"kyoto/internal/xrand"
+)
+
+// Welford accumulates streaming mean and variance using Welford's
+// online algorithm (numerically stable: no catastrophic cancellation of
+// sum-of-squares). The zero value is an empty accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge folds another accumulator into w (Chan et al.'s parallel
+// update). Merging is associative and commutative up to floating-point
+// rounding; code that needs bit-identical results across merge shapes
+// should fold observations in one canonical order instead (see Summary).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Count returns the number of observations folded in.
+func (w Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator; 0 for fewer
+// than two observations).
+func (w Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Summary is an order-insensitive aggregate of one metric's samples
+// (one sample per seed in a seed sweep). It keeps the full sorted
+// sample multiset, which buys two things the streaming moments cannot:
+// percentiles with bootstrap confidence intervals, and a Merge that is
+// *exactly* associative and commutative — merge(a, b) and merge(b, a)
+// hold the identical float64s, so statistics derived from a merged
+// Summary are bit-identical however the samples were partitioned across
+// shard envelopes. Derived moments are computed by streaming the sorted
+// samples through Welford, making them deterministic too.
+//
+// NaN and ±Inf samples are rejected at the door: a non-finite metric is
+// a harness bug upstream, and silently sorting NaNs would corrupt every
+// percentile after it.
+type Summary struct {
+	sorted []float64
+}
+
+// NewSummary builds a Summary from the samples (copied, not aliased).
+// It rejects non-finite samples.
+func NewSummary(xs ...float64) (Summary, error) {
+	sorted := make([]float64, len(xs))
+	for i, x := range xs {
+		if !finite(x) {
+			return Summary{}, fmt.Errorf("stats: non-finite sample %v", x)
+		}
+		sorted[i] = canonical(x)
+	}
+	sort.Float64s(sorted)
+	return Summary{sorted: sorted}, nil
+}
+
+// Add folds one sample in, keeping the multiset sorted.
+func (s *Summary) Add(x float64) error {
+	if !finite(x) {
+		return fmt.Errorf("stats: non-finite sample %v", x)
+	}
+	x = canonical(x)
+	i := sort.SearchFloat64s(s.sorted, x)
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = x
+	return nil
+}
+
+// Merge returns the union of both sample multisets. The result is the
+// same sorted slice whichever operand comes first and however the
+// samples were previously grouped, so Merge is exactly associative and
+// commutative — the property that lets per-shard Summaries fold into
+// one whole-sweep Summary in any order.
+func (s Summary) Merge(o Summary) Summary {
+	merged := make([]float64, 0, len(s.sorted)+len(o.sorted))
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(o.sorted) {
+		// Equal finite float64s hold identical bits (-0 is canonicalized
+		// to +0 at intake), so ties may come from either side and the
+		// merged slice is bitwise identical whichever operand led.
+		if o.sorted[j] < s.sorted[i] {
+			merged = append(merged, o.sorted[j])
+			j++
+		} else {
+			merged = append(merged, s.sorted[i])
+			i++
+		}
+	}
+	merged = append(merged, s.sorted[i:]...)
+	merged = append(merged, o.sorted[j:]...)
+	return Summary{sorted: merged}
+}
+
+// Count returns the number of samples.
+func (s Summary) Count() int { return len(s.sorted) }
+
+// Samples returns the sorted samples (a copy).
+func (s Summary) Samples() []float64 {
+	return append([]float64(nil), s.sorted...)
+}
+
+// Equal reports whether both Summaries hold bitwise-identical sample
+// multisets — the equality the merge-associativity property tests pin.
+func (s Summary) Equal(o Summary) bool {
+	if len(s.sorted) != len(o.sorted) {
+		return false
+	}
+	for i, x := range s.sorted {
+		if math.Float64bits(x) != math.Float64bits(o.sorted[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// moments streams the sorted samples through Welford — one canonical
+// fold order, so the moments of a merged Summary cannot depend on how
+// the samples reached it.
+func (s Summary) moments() Welford {
+	var w Welford
+	for _, x := range s.sorted {
+		w.Add(x)
+	}
+	return w
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s Summary) Mean() float64 { return s.moments().Mean() }
+
+// Variance returns the sample variance (n-1 denominator).
+func (s Summary) Variance() float64 { return s.moments().Variance() }
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return s.moments().StdDev() }
+
+// Min returns the smallest sample, or an error when empty.
+func (s Summary) Min() (float64, error) {
+	if len(s.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return s.sorted[0], nil
+}
+
+// Max returns the largest sample, or an error when empty.
+func (s Summary) Max() (float64, error) {
+	if len(s.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return s.sorted[len(s.sorted)-1], nil
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of the samples
+// with the same linear-interpolation estimator as the package-level
+// Percentile, but without re-sorting.
+func (s Summary) Percentile(p float64) (float64, error) {
+	if len(s.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if !(p >= 0 && p <= 100) { // inverted so NaN is rejected too
+		return 0, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
+	}
+	return interpolate(s.sorted, p), nil
+}
+
+// interpolate reads the p-th percentile off an already-sorted slice.
+func interpolate(sorted []float64, p float64) float64 {
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+}
+
+// Halfwidth returns half the interval's width — the "±" number.
+func (c CI) Halfwidth() float64 { return (c.Hi - c.Lo) / 2 }
+
+// MeanCI returns the mean's two-sided confidence interval at the given
+// level (e.g. 0.95) under the normal approximation: mean ± z·stderr.
+// With a single sample the interval degenerates to [x, x].
+func (s Summary) MeanCI(confidence float64) (CI, error) {
+	if len(s.sorted) == 0 {
+		return CI{}, ErrEmpty
+	}
+	z, err := zQuantile(confidence)
+	if err != nil {
+		return CI{}, err
+	}
+	w := s.moments()
+	hw := z * w.StdErr()
+	return CI{Lo: w.Mean() - hw, Hi: w.Mean() + hw}, nil
+}
+
+// DefaultBootstrapResamples is the bootstrap replication count used when
+// a caller passes 0.
+const DefaultBootstrapResamples = 1000
+
+// PercentileCI returns a bootstrap confidence interval for the p-th
+// percentile: `resamples` resamples-with-replacement are drawn with a
+// deterministic generator seeded by `seed`, the percentile of each is
+// collected, and the interval is the (1±confidence)/2 span of that
+// bootstrap distribution (the percentile method). The same samples,
+// seed, and resample count always yield the identical interval.
+func (s Summary) PercentileCI(p, confidence float64, resamples int, seed uint64) (CI, error) {
+	if len(s.sorted) == 0 {
+		return CI{}, ErrEmpty
+	}
+	if !(p >= 0 && p <= 100) {
+		return CI{}, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return CI{}, fmt.Errorf("stats: confidence %v outside (0, 1)", confidence)
+	}
+	if resamples <= 0 {
+		resamples = DefaultBootstrapResamples
+	}
+	n := len(s.sorted)
+	if n == 1 {
+		return CI{Lo: s.sorted[0], Hi: s.sorted[0]}, nil
+	}
+	rng := xrand.New(seed)
+	boot := make([]float64, resamples)
+	resample := make([]float64, n)
+	for b := range boot {
+		for i := range resample {
+			resample[i] = s.sorted[rng.Intn(n)]
+		}
+		sort.Float64s(resample)
+		boot[b] = interpolate(resample, p)
+	}
+	sort.Float64s(boot)
+	alpha := (1 - confidence) / 2
+	return CI{
+		Lo: interpolate(boot, 100*alpha),
+		Hi: interpolate(boot, 100*(1-alpha)),
+	}, nil
+}
+
+// MarshalJSON encodes the Summary as its sorted sample array, so a
+// Summary can ride inside a shard envelope or checkpoint file.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	if s.sorted == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.sorted)
+}
+
+// UnmarshalJSON decodes a sample array, re-sorting and re-validating so
+// a hand-edited or corrupted file cannot smuggle in NaNs or misorder.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var xs []float64
+	if err := json.Unmarshal(data, &xs); err != nil {
+		return err
+	}
+	sum, err := NewSummary(xs...)
+	if err != nil {
+		return err
+	}
+	*s = sum
+	return nil
+}
+
+// zQuantile returns the standard-normal two-sided critical value for a
+// confidence level in (0, 1): z with P(|Z| <= z) = confidence
+// (confidence 0.95 → ≈1.96).
+func zQuantile(confidence float64) (float64, error) {
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("stats: confidence %v outside (0, 1)", confidence)
+	}
+	return math.Sqrt2 * math.Erfinv(confidence), nil
+}
+
+// finite reports whether x is neither NaN nor ±Inf.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// canonical maps -0 to +0 so every sample value has exactly one bit
+// pattern in the sorted multiset; sort.Float64s treats the zeros as
+// equal and would otherwise leave their bit order arbitrary, breaking
+// bitwise merge commutativity.
+func canonical(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return x
+}
+
+// FormatMeanCI renders "mean ± halfwidth" the way the README results
+// tables quote seed-sweep statistics, e.g. "0.54 ± 0.03".
+func FormatMeanCI(mean, halfwidth float64) string {
+	return fmt.Sprintf("%.3f ± %.3f", mean, halfwidth)
+}

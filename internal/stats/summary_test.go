@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"kyoto/internal/xrand"
+)
+
+// randomSamples draws n deterministic pseudo-random samples, mixing in
+// a few repeated and signed-zero values so the merge order tests hit
+// the interesting equal-value cases.
+func randomSamples(rng *xrand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch rng.Intn(8) {
+		case 0:
+			xs[i] = 0.25 // repeated value across both operands
+		case 1:
+			xs[i] = math.Copysign(0, -1) // negative zero
+		case 2:
+			xs[i] = 0.0
+		default:
+			xs[i] = float64(rng.Uint64n(1<<20))/float64(1<<10) - 256
+		}
+	}
+	return xs
+}
+
+func mustSummary(t *testing.T, xs ...float64) Summary {
+	t.Helper()
+	s, err := NewSummary(xs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Property: merge(a, b) == merge(b, a), bitwise, for many random sample
+// sets — the seed-sweep merge must not care which shard arrives first.
+func TestSummaryMergeCommutative(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		a := mustSummary(t, randomSamples(rng, int(rng.Uint64n(40)))...)
+		b := mustSummary(t, randomSamples(rng, int(rng.Uint64n(40)))...)
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("trial %d: merge(a,b) %v != merge(b,a) %v", trial, ab.Samples(), ba.Samples())
+		}
+	}
+}
+
+// Property: merging in any grouping equals the flat Summary over all
+// samples — ((a+b)+c) == (a+(b+c)) == flat(a,b,c). This is the property
+// that makes per-shard Summaries composable with any shard count.
+func TestSummaryMergeAssociativeAndFlat(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 100; trial++ {
+		xsA := randomSamples(rng, int(rng.Uint64n(25)))
+		xsB := randomSamples(rng, int(rng.Uint64n(25)))
+		xsC := randomSamples(rng, int(rng.Uint64n(25)))
+		a, b, c := mustSummary(t, xsA...), mustSummary(t, xsB...), mustSummary(t, xsC...)
+
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		flat := mustSummary(t, append(append(append([]float64(nil), xsA...), xsB...), xsC...)...)
+
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: (a+b)+c != a+(b+c)", trial)
+		}
+		if !left.Equal(flat) {
+			t.Fatalf("trial %d: merged %v != flat %v", trial, left.Samples(), flat.Samples())
+		}
+		// Moments derived from merged vs flat must be bit-identical too:
+		// both stream the same sorted slice through Welford.
+		if math.Float64bits(left.Mean()) != math.Float64bits(flat.Mean()) ||
+			math.Float64bits(left.Variance()) != math.Float64bits(flat.Variance()) {
+			t.Fatalf("trial %d: merged moments differ from flat", trial)
+		}
+	}
+}
+
+func TestSummaryMergeEmptyIdentity(t *testing.T) {
+	var empty Summary
+	s := mustSummary(t, 3, 1, 2)
+	if got := empty.Merge(s); !got.Equal(s) {
+		t.Fatalf("empty+s = %v", got.Samples())
+	}
+	if got := s.Merge(empty); !got.Equal(s) {
+		t.Fatalf("s+empty = %v", got.Samples())
+	}
+	if got := empty.Merge(empty); got.Count() != 0 {
+		t.Fatalf("empty+empty has %d samples", got.Count())
+	}
+}
+
+func TestSummaryRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewSummary(1, bad); err == nil {
+			t.Fatalf("NewSummary accepted %v", bad)
+		}
+		var s Summary
+		if err := s.Add(bad); err == nil {
+			t.Fatalf("Add accepted %v", bad)
+		}
+	}
+}
+
+func TestSummaryPercentileEdgeCases(t *testing.T) {
+	var empty Summary
+	if _, err := empty.Percentile(50); err != ErrEmpty {
+		t.Fatalf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	if _, err := empty.MeanCI(0.95); err != ErrEmpty {
+		t.Fatalf("empty MeanCI err = %v", err)
+	}
+	if _, err := empty.PercentileCI(50, 0.95, 10, 1); err != ErrEmpty {
+		t.Fatalf("empty PercentileCI err = %v", err)
+	}
+
+	single := mustSummary(t, 42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		got, err := single.Percentile(p)
+		if err != nil || got != 42 {
+			t.Fatalf("single p%v = %v, %v", p, got, err)
+		}
+	}
+	ci, err := single.PercentileCI(99, 0.95, 10, 1)
+	if err != nil || ci.Lo != 42 || ci.Hi != 42 {
+		t.Fatalf("single-sample CI = %+v, %v", ci, err)
+	}
+	mci, err := single.MeanCI(0.95)
+	if err != nil || mci.Lo != 42 || mci.Hi != 42 {
+		t.Fatalf("single-sample mean CI = %+v, %v", mci, err)
+	}
+
+	s := mustSummary(t, 1, 2, 3, 4)
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		if _, err := s.Percentile(p); err == nil {
+			t.Fatalf("Percentile(%v) accepted", p)
+		}
+		if _, err := s.PercentileCI(p, 0.95, 10, 1); err == nil {
+			t.Fatalf("PercentileCI(%v) accepted", p)
+		}
+	}
+	if got, _ := s.Percentile(50); got != 2.5 {
+		t.Fatalf("p50 of 1..4 = %v", got)
+	}
+	min, _ := s.Min()
+	max, _ := s.Max()
+	if min != 1 || max != 4 {
+		t.Fatalf("min/max = %v/%v", min, max)
+	}
+}
+
+// Package-level Percentile must reject NaN samples rather than sort
+// them into an unspecified position.
+func TestPercentileRejectsNaNSamples(t *testing.T) {
+	if _, err := Percentile([]float64{1, math.NaN(), 3}, 50); err == nil {
+		t.Fatal("Percentile accepted a NaN sample")
+	}
+}
+
+// Property: the bootstrap is a pure function of (samples, p, confidence,
+// resamples, seed) — identical inputs give the identical interval, and
+// a different seed gives a (generally) different one.
+func TestBootstrapCIDeterministic(t *testing.T) {
+	rng := xrand.New(3)
+	xs := randomSamples(rng, 64)
+	s := mustSummary(t, xs...)
+
+	a, err := s.PercentileCI(99, 0.95, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.PercentileCI(99, 0.95, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.Lo) != math.Float64bits(b.Lo) || math.Float64bits(a.Hi) != math.Float64bits(b.Hi) {
+		t.Fatalf("same seed, different CI: %+v vs %+v", a, b)
+	}
+	if a.Lo > a.Hi {
+		t.Fatalf("inverted CI %+v", a)
+	}
+	p99, _ := s.Percentile(99)
+	if p99 < a.Lo-1e-9 || p99 > a.Hi+1e-9 {
+		// Not guaranteed in theory, but with 64 samples and 500 resamples
+		// the point estimate falling outside its own bootstrap interval
+		// means the resampling is broken.
+		t.Fatalf("point estimate %v outside bootstrap CI %+v", p99, a)
+	}
+	c, err := s.PercentileCI(99, 0.95, 500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("different seeds produced the identical CI %+v — seed is being ignored", a)
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Count() != 8 || math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, count = %d", w.Mean(), w.Count())
+	}
+	// Sample variance of the classic 2,4,4,4,5,5,7,9 set is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	var a, b Welford
+	for _, x := range xs[:3] {
+		a.Add(x)
+	}
+	for _, x := range xs[3:] {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.Count() != w.Count() || math.Abs(a.Mean()-w.Mean()) > 1e-12 || math.Abs(a.Variance()-w.Variance()) > 1e-12 {
+		t.Fatalf("merged moments diverge: %v/%v vs %v/%v", a.Mean(), a.Variance(), w.Mean(), w.Variance())
+	}
+	var empty Welford
+	empty.Merge(a)
+	if empty.Count() != 8 {
+		t.Fatalf("merge into empty lost samples: %d", empty.Count())
+	}
+	if empty.StdErr() <= 0 {
+		t.Fatalf("stderr = %v", empty.StdErr())
+	}
+}
+
+func TestMeanCIUsesNormalQuantile(t *testing.T) {
+	// 100 identical-spread samples: CI halfwidth must be z * s/sqrt(n).
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := mustSummary(t, xs...)
+	ci, err := s.MeanCI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := math.Sqrt2 * math.Erfinv(0.95)
+	if math.Abs(z-1.9599639845) > 1e-6 {
+		t.Fatalf("z(0.95) = %v", z)
+	}
+	wantHW := z * s.StdDev() / 10
+	if math.Abs(ci.Halfwidth()-wantHW) > 1e-9 {
+		t.Fatalf("halfwidth %v, want %v", ci.Halfwidth(), wantHW)
+	}
+	if math.Abs((ci.Lo+ci.Hi)/2-s.Mean()) > 1e-9 {
+		t.Fatalf("CI %+v not centred on mean %v", ci, s.Mean())
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := s.MeanCI(bad); err == nil {
+			t.Fatalf("MeanCI accepted confidence %v", bad)
+		}
+		if _, err := s.PercentileCI(50, bad, 10, 1); err == nil {
+			t.Fatalf("PercentileCI accepted confidence %v", bad)
+		}
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	s := mustSummary(t, 3, 1, 2, 2)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[1,2,2,3]" {
+		t.Fatalf("marshalled %s", data)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip lost samples: %v", back.Samples())
+	}
+	var empty Summary
+	data, err = json.Marshal(empty)
+	if err != nil || string(data) != "[]" {
+		t.Fatalf("empty marshals to %s, %v", data, err)
+	}
+	if err := json.Unmarshal([]byte(`["x"]`), &back); err == nil {
+		t.Fatal("string sample accepted")
+	}
+	if err := json.Unmarshal([]byte(`[1,"NaN"]`), &back); err == nil {
+		t.Fatal("NaN-as-string accepted")
+	}
+}
+
+func TestFormatMeanCI(t *testing.T) {
+	if got := FormatMeanCI(0.54321, 0.0321); got != "0.543 ± 0.032" {
+		t.Fatalf("FormatMeanCI = %q", got)
+	}
+}

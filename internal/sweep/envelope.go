@@ -6,6 +6,7 @@ package sweep
 // merges it.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,11 +20,18 @@ import (
 // WriteFile writes the envelope as indented JSON to path ("-" writes to
 // w if non-nil, else stdout).
 func (e Envelope) WriteFile(path string, w io.Writer) error {
-	data, err := json.MarshalIndent(e, "", "  ")
-	if err != nil {
+	// Encode without HTML escaping: escaping would rewrite & < > inside
+	// job payloads, so a payload that is legal JSON with those bytes
+	// would come back from the file with a different fingerprint and be
+	// rejected at merge as corrupt.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
 		return fmt.Errorf("sweep: encoding envelope: %w", err)
 	}
-	data = append(data, '\n')
+	data := buf.Bytes()
 	if path == "-" {
 		if w == nil {
 			w = os.Stdout

@@ -16,6 +16,7 @@ package kyoto
 
 import (
 	"kyoto/internal/experiments"
+	"kyoto/internal/stats"
 	"kyoto/internal/sweep"
 )
 
@@ -37,6 +38,27 @@ type (
 	TraceSweeper = experiments.TraceSweeper
 	// MigrationSweeper is the shardable form of SweepMigrations.
 	MigrationSweeper = experiments.MigrationSweeper
+	// SeedableSweep is a sweep that can be replicated under different RNG
+	// seeds and report scalar metrics; TraceSweeper and MigrationSweeper
+	// implement it.
+	SeedableSweep = sweep.Seedable
+	// SeedSweeper replicates a SeedableSweep across consecutive seeds and
+	// aggregates its metrics into distributions with confidence
+	// intervals. It is itself a Sweep, so seed sweeps shard and merge
+	// through the same envelope machinery.
+	SeedSweeper = sweep.SeedSweeper
+	// SeedSweepConfig parameterizes NewSeedSweeper.
+	SeedSweepConfig = sweep.SeedSweepConfig
+	// SeedSweepResult is a merged seed sweep: per-(arm, metric) sample
+	// distributions over all seeds.
+	SeedSweepResult = sweep.SeedSweepResult
+	// SeedSweepArm is one arm's per-metric distributions.
+	SeedSweepArm = sweep.SeedSweepArm
+	// MetricSummary is one metric's across-seed sample distribution, with
+	// mean/percentile/CI accessors.
+	MetricSummary = stats.Summary
+	// SweepTable is a rendered experiment table (String gives ASCII).
+	SweepTable = experiments.Table
 )
 
 // NewTraceSweeper returns the three-placer trace sweep as a shardable
@@ -51,6 +73,30 @@ func NewTraceSweeper(tr Trace, cfg TraceSweepConfig) (*TraceSweeper, error) {
 // MigrationSweepResult that SweepMigrations would have produced.
 func NewMigrationSweeper(tr Trace, cfg MigrationSweepConfig) (*MigrationSweeper, error) {
 	return experiments.NewMigrationSweeper(tr, cfg)
+}
+
+// NewSeedSweeper wraps a seedable sweep (NewTraceSweeper,
+// NewMigrationSweeper) in a seed sweep: replication i of cfg.Seeds runs
+// the whole inner sweep under seed cfg.BaseSeed+i, and the merged
+// result reports each metric's across-seed mean, percentiles and
+// confidence intervals. Because the seed sweep is itself a Sweep, it
+// shards with RunSweepShard and merges with MergeShards like any other
+// — and the merged statistics are bit-identical for every shard count.
+func NewSeedSweeper(proto SeedableSweep, cfg SeedSweepConfig) (*SeedSweeper, error) {
+	return sweep.NewSeedSweeper(proto, cfg)
+}
+
+// SeedSweepTable renders a merged seed sweep as the arm x metric
+// statistics table the CLIs print (mean ± CI, p50/p95/p99 with
+// bootstrap CIs).
+func SeedSweepTable(r *SeedSweepResult) (SweepTable, error) {
+	return experiments.SeedSweepTable(r)
+}
+
+// FormatMeanCI renders a mean and CI half-width in the "0.540 ± 0.030"
+// form the seed-sweep tables and README use.
+func FormatMeanCI(mean, halfwidth float64) string {
+	return stats.FormatMeanCI(mean, halfwidth)
 }
 
 // SweepJobs returns the sweep's canonical job plan — what a distributed
