@@ -61,6 +61,9 @@ type (
 	// MigrationSweepResult compares the combinations over one trace; its
 	// Table renders the migration-vs-admission report.
 	MigrationSweepResult = experiments.MigrationSweepResult
+	// TwoTierTraceResult pairs a broad analytic trace sweep with the
+	// exact re-runs of its leading arms (SweepTraceTwoTier).
+	TwoTierTraceResult = experiments.TwoTierTraceResult
 )
 
 // Pending-queue policies (see arrivals.PendingPolicy).
@@ -140,6 +143,14 @@ func ReplayTrace(cfg ClusterConfig, tr Trace, opts ReplayOptions) (ReplayResult,
 // paper's contrast under churn.
 func SweepTrace(tr Trace, cfg TraceSweepConfig) (*TraceSweepResult, error) {
 	return experiments.TraceSweep(tr, cfg)
+}
+
+// SweepTraceTwoTier runs the trace sweep two-tier: the whole sweep on
+// the analytic fast tier, then the topK arms with the best analytic p99
+// floor re-run on the exact tier (with exact solo baselines). topK <= 0
+// confirms one arm. The broad pass ranks, the exact pass decides.
+func SweepTraceTwoTier(tr Trace, cfg TraceSweepConfig, topK int) (*TwoTierTraceResult, error) {
+	return experiments.TwoTierTraceSweep(tr, cfg, topK)
 }
 
 // SweepMigrations replays the trace through every requested rebalancer x

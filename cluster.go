@@ -155,6 +155,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			EnableKyoto:   wc.EnableKyoto,
 			ShadowMonitor: shadow,
 			Seed:          wc.Seed,
+			Fidelity:      wc.Fidelity,
 			MemoryMB:      cfg.HostMemoryMB,
 			LLCBudget:     cfg.HostLLCBudget,
 		},

@@ -33,6 +33,19 @@
 //	kyotobench -run fig4 -seeds 32 -shard 0/2 -shard-out fig4-0.json
 //	kyotobench -run fig4 -seeds 32 -shard 1/2 -shard-out fig4-1.json
 //	kyotobench -run fig4 -seeds 32 -merge 'fig4-*.json'
+//
+// -fidelity selects the cache-model tier for the fidelity-capable
+// experiments (fig4): exact is the default per-access simulation,
+// analytic runs the whole sweep on the fast LLC-occupancy model
+// (~10-100x less wall clock), and two-tier runs the broad pass analytic
+// then re-measures the -confirm-top most aggressive applications exact.
+// exact and analytic compose with -shard/-merge/-seeds — the fidelity
+// enters the sweep's config digest, so envelopes from mismatched tiers
+// refuse to merge:
+//
+//	kyotobench -run fig4 -fidelity analytic
+//	kyotobench -run fig4 -fidelity analytic -shard 0/2 -shard-out fig4-0.json
+//	kyotobench -run fig4 -fidelity two-tier -confirm-top 3
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"strings"
 	"time"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/experiments"
 	"kyoto/internal/profiling"
 	"kyoto/internal/sweep"
@@ -59,9 +73,15 @@ func main() {
 // experimentFunc runs one experiment and returns its rendered tables.
 type experimentFunc func(seed uint64) ([]experiments.Table, error)
 
+// fidelityCapable lists the experiments -fidelity analytic / two-tier
+// can accelerate. The rest either measure cache micro-behaviour the
+// analytic tier deliberately does not simulate (ablations partition the
+// exact LLC) or are cheap enough that two tiers would be noise.
+var fidelityCapable = map[string]bool{"fig4": true}
+
 // registry maps experiment ids to runners. Keep ids in sync with
 // DESIGN.md's per-experiment index.
-func registry() map[string]experimentFunc {
+func registry(fid cache.Fidelity) map[string]experimentFunc {
 	return map[string]experimentFunc{
 		"table1": func(seed uint64) ([]experiments.Table, error) {
 			return []experiments.Table{experiments.Table1()}, nil
@@ -70,11 +90,11 @@ func registry() map[string]experimentFunc {
 			return []experiments.Table{experiments.Table2()}, nil
 		},
 		"fig4": func(seed uint64) ([]experiments.Table, error) {
-			r, err := experiments.Fig4(seed)
-			if err != nil {
+			s := experiments.NewFig4SweeperFidelity(seed, fid)
+			if err := (sweep.Engine{}).Run(s); err != nil {
 				return nil, err
 			}
-			return []experiments.Table{r.Table()}, nil
+			return []experiments.Table{s.Result().Table()}, nil
 		},
 		"fig4matrix": func(seed uint64) ([]experiments.Table, error) {
 			t, err := experiments.Fig4Matrix(seed)
@@ -167,6 +187,13 @@ func registry() map[string]experimentFunc {
 			}
 			return []experiments.Table{r.Table()}, nil
 		},
+		"crossval": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.CrossValidate(seed)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
 	}
 }
 
@@ -179,8 +206,8 @@ type shardableSweep struct {
 // shardableSweeps builds the sweep-shaped experiments by id — the ones
 // -shard/-merge can distribute. Each call returns fresh sweeps, so shard
 // and merge processes plan identical job lists from flags alone.
-func shardableSweeps(seed uint64) map[string]shardableSweep {
-	fig4 := experiments.NewFig4Sweeper(seed)
+func shardableSweeps(seed uint64, fid cache.Fidelity) map[string]shardableSweep {
+	fig4 := experiments.NewFig4SweeperFidelity(seed, fid)
 	matrix := experiments.NewFig4MatrixSweeper(seed)
 	abl := experiments.NewAblationSweeper(seed)
 	return map[string]shardableSweep{
@@ -199,7 +226,7 @@ func shardableSweeps(seed uint64) map[string]shardableSweep {
 // shardableIDs lists the -shard/-merge capable experiment ids, sorted.
 func shardableIDs() []string {
 	ids := make([]string, 0, 4)
-	for id := range shardableSweeps(1) {
+	for id := range shardableSweeps(1, cache.FidelityExact) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -208,9 +235,9 @@ func shardableIDs() []string {
 
 // seedableSweeps builds the experiments -seeds can replicate across
 // consecutive seeds — the sweeps with sweep.Seedable adapters.
-func seedableSweeps(seed uint64) map[string]sweep.Seedable {
+func seedableSweeps(seed uint64, fid cache.Fidelity) map[string]sweep.Seedable {
 	return map[string]sweep.Seedable{
-		"fig4":      experiments.NewFig4Sweeper(seed),
+		"fig4":      experiments.NewFig4SweeperFidelity(seed, fid),
 		"ablations": experiments.NewAblationSweeper(seed),
 	}
 }
@@ -218,7 +245,7 @@ func seedableSweeps(seed uint64) map[string]sweep.Seedable {
 // seedableIDs lists the -seeds capable experiment ids, sorted.
 func seedableIDs() []string {
 	ids := make([]string, 0, 2)
-	for id := range seedableSweeps(1) {
+	for id := range seedableSweeps(1, cache.FidelityExact) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -228,8 +255,8 @@ func seedableIDs() []string {
 // seedSweepEntry wraps a seedable experiment in a seed sweep paired
 // with the statistics-table renderer, so seed sweeps flow through the
 // same run/shard/merge paths as any other sweep.
-func seedSweepEntry(id string, seed uint64, seeds int) (shardableSweep, error) {
-	proto, ok := seedableSweeps(seed)[id]
+func seedSweepEntry(id string, seed uint64, seeds int, fid cache.Fidelity) (shardableSweep, error) {
+	proto, ok := seedableSweeps(seed, fid)[id]
 	if !ok {
 		return shardableSweep{}, fmt.Errorf("experiment %q does not support -seeds (seedable: %s)", id, strings.Join(seedableIDs(), ", "))
 	}
@@ -258,6 +285,8 @@ func run(args []string) (err error) {
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the experiment's tables")
 		listShard  = fs.Bool("list-shardable", false, "list experiment ids that support -shard/-merge and exit")
 		seeds      = fs.Int("seeds", 0, "statistical mode: replicate a seedable experiment under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
+		fidelity   = fs.String("fidelity", "exact", "cache-model tier for fidelity-capable experiments (fig4): exact, analytic, or two-tier (broad analytic pass, top attackers confirmed exact)")
+		confirmTop = fs.Int("confirm-top", 1, "attackers the two-tier mode re-runs on the exact tier")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -268,6 +297,19 @@ func run(args []string) (err error) {
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["seeds"] && *seeds < 1 {
 		return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)
+	}
+	twoTier := *fidelity == "two-tier"
+	var fid cache.Fidelity
+	if !twoTier {
+		if fid, err = cache.ParseFidelity(*fidelity); err != nil {
+			return err
+		}
+	}
+	if set["confirm-top"] && !twoTier {
+		return fmt.Errorf("-confirm-top only applies with -fidelity two-tier")
+	}
+	if twoTier && *confirmTop < 1 {
+		return fmt.Errorf("-confirm-top must be at least 1, got %d", *confirmTop)
 	}
 	if *listShard {
 		for _, id := range shardableIDs() {
@@ -281,9 +323,15 @@ func run(args []string) (err error) {
 	}
 	defer profiling.StopInto(stopProf, &err)
 	if *shardSpec != "" || *mergeGlobs != "" {
-		return runSharded(*runList, *seed, *seeds, *workers, *shardSpec, *shardOut, *mergeGlobs, os.Stdout)
+		if twoTier {
+			// The exact pass depends on the analytic ranking, so the
+			// two-tier mode cannot be planned as independent jobs up
+			// front; shard each tier separately instead.
+			return fmt.Errorf("-fidelity two-tier does not shard (-shard/-merge); shard each tier separately with -fidelity analytic/exact")
+		}
+		return runSharded(*runList, *seed, *seeds, *workers, fid, *shardSpec, *shardOut, *mergeGlobs, os.Stdout)
 	}
-	reg := registry()
+	reg := registry(fid)
 	ids := make([]string, 0, len(reg))
 	for id := range reg {
 		ids = append(ids, id)
@@ -306,10 +354,19 @@ func run(args []string) (err error) {
 		if _, ok := reg[selected[i]]; !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", selected[i])
 		}
+		if (twoTier || fid != cache.FidelityExact) && !fidelityCapable[selected[i]] {
+			return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4)", selected[i])
+		}
 	}
 
+	if twoTier {
+		if *seeds > 0 {
+			return fmt.Errorf("-fidelity two-tier does not compose with -seeds; replicate each tier separately with -fidelity analytic/exact")
+		}
+		return runTwoTier(selected, *seed, *confirmTop, os.Stdout)
+	}
 	if *seeds > 0 {
-		return runSeedSweeps(selected, *seed, *seeds, *workers, os.Stdout)
+		return runSeedSweeps(selected, *seed, *seeds, *workers, fid, os.Stdout)
 	}
 
 	// Experiments are independent: fan them out across workers (each one
@@ -343,9 +400,9 @@ func run(args []string) (err error) {
 // runSeedSweeps handles plain -seeds mode: each selected experiment must
 // be seedable; its seed sweep runs in-process and prints the statistics
 // table.
-func runSeedSweeps(ids []string, seed uint64, seeds, workers int, out io.Writer) error {
+func runSeedSweeps(ids []string, seed uint64, seeds, workers int, fid cache.Fidelity, out io.Writer) error {
 	for _, id := range ids {
-		entry, err := seedSweepEntry(id, seed, seeds)
+		entry, err := seedSweepEntry(id, seed, seeds, fid)
 		if err != nil {
 			return err
 		}
@@ -365,12 +422,30 @@ func runSeedSweeps(ids []string, seed uint64, seeds, workers int, out io.Writer)
 	return nil
 }
 
+// runTwoTier handles -fidelity two-tier: each selected experiment runs
+// its broad pass on the analytic tier and re-runs the top-k leaders on
+// the exact tier.
+func runTwoTier(ids []string, seed uint64, topK int, out io.Writer) error {
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.TwoTierFig4(seed, topK)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range r.Tables() {
+			fmt.Fprintln(out, t.String())
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
 // runSharded handles the -shard / -merge modes: exactly one shardable
 // experiment, either executing one shard of its job plan or folding the
 // shard envelopes into its tables. With seeds > 0 the experiment is
 // wrapped in a seed sweep first, so the shards partition the
 // seed-replicated job plan.
-func runSharded(runList string, seed uint64, seeds, workers int, shardSpec, shardOut, mergeGlobs string, out io.Writer) error {
+func runSharded(runList string, seed uint64, seeds, workers int, fid cache.Fidelity, shardSpec, shardOut, mergeGlobs string, out io.Writer) error {
 	if shardSpec != "" && mergeGlobs != "" {
 		return fmt.Errorf("-shard and -merge are mutually exclusive (run shards first, merge after)")
 	}
@@ -380,14 +455,17 @@ func runSharded(runList string, seed uint64, seeds, workers int, shardSpec, shar
 	}
 	id := strings.TrimSpace(ids[0])
 	var entry shardableSweep
+	if fid != cache.FidelityExact && !fidelityCapable[id] {
+		return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4)", id)
+	}
 	if seeds > 0 {
 		var err error
-		if entry, err = seedSweepEntry(id, seed, seeds); err != nil {
+		if entry, err = seedSweepEntry(id, seed, seeds, fid); err != nil {
 			return err
 		}
 	} else {
 		var ok bool
-		if entry, ok = shardableSweeps(seed)[id]; !ok {
+		if entry, ok = shardableSweeps(seed, fid)[id]; !ok {
 			return fmt.Errorf("experiment %q is not shardable (shardable: %s)", id, strings.Join(shardableIDs(), ", "))
 		}
 	}

@@ -51,6 +51,18 @@
 //	kyotosim -churn 24 -hosts 4 -migrate all -shard 1/2 -shard-out s1.json
 //	kyotosim -churn 24 -hosts 4 -migrate all -merge 's*.json'
 //
+// -fidelity selects the cache-model tier: exact (the default,
+// per-access cache simulation), analytic (the fast LLC-occupancy model:
+// no per-access work, ~100x faster, modeled rather than simulated miss
+// rates), or two-tier (-trace/-churn only: the whole sweep runs on the
+// analytic tier, then the -confirm-top arms with the best analytic p99
+// floor are re-run exact). exact and analytic compose with
+// -shard/-merge/-seeds; the fidelity enters the sweep's config digest,
+// so shard envelopes produced under mismatched tiers refuse to merge:
+//
+//	kyotosim -churn 1000 -hosts 4 -fidelity analytic
+//	kyotosim -trace trace.json -fidelity two-tier -confirm-top 2
+//
 // -seeds N is statistical mode: the whole sweep (plain or migration) is
 // replicated under N consecutive seeds starting at -seed, and the table
 // reports each metric's across-seed mean, p50/p95/p99 and 95%
@@ -173,6 +185,9 @@ func run(args []string, out io.Writer) (err error) {
 
 		seeds = fs.Int("seeds", 0, "statistical mode: replicate the -trace/-churn sweep under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
 
+		fidelity   = fs.String("fidelity", "exact", "cache-model tier: exact (per-access simulation), analytic (fast LLC-occupancy model), or two-tier (-trace/-churn only: broad analytic pass, top arms confirmed exact)")
+		confirmTop = fs.Int("confirm-top", 1, "arms the two-tier mode re-runs on the exact tier")
+
 		shardSpec  = fs.String("shard", "", "run one shard (k/n) of the -trace/-churn sweep's job plan and write its envelope instead of the table")
 		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the sweep's table (repeat the shard runs' flags)")
@@ -203,6 +218,19 @@ func run(args []string, out io.Writer) (err error) {
 	// rejects trace/churn flags.
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	twoTier := *fidelity == "two-tier"
+	var fid kyoto.Fidelity
+	if !twoTier {
+		if fid, err = kyoto.ParseFidelity(*fidelity); err != nil {
+			return err
+		}
+	}
+	if set["confirm-top"] && !twoTier {
+		return fmt.Errorf("-confirm-top only applies with -fidelity two-tier")
+	}
+	if twoTier && *confirmTop < 1 {
+		return fmt.Errorf("-confirm-top must be at least 1, got %d", *confirmTop)
+	}
 	if *tracePath == "" && *churn == 0 {
 		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
 			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc",
@@ -289,11 +317,29 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}
 		dispatch := sweepDispatch{shardSpec: *shardSpec, shardOut: *shardOut, mergeGlobs: *mergeGlobs}
+		if twoTier {
+			// The two-tier mode's exact pass depends on the analytic
+			// ranking, so it cannot be planned as independent jobs up
+			// front; it runs in-process only.
+			if *shardSpec != "" || *mergeGlobs != "" {
+				return fmt.Errorf("-fidelity two-tier does not shard (-shard/-merge); shard each tier separately with -fidelity analytic/exact")
+			}
+			if *seeds > 0 {
+				return fmt.Errorf("-fidelity two-tier does not compose with -seeds; replicate each tier separately with -fidelity analytic/exact")
+			}
+			if migrateMode {
+				return fmt.Errorf("-fidelity two-tier applies to the plain trace sweep; run the migration sweep with -fidelity analytic or exact")
+			}
+			return executeTwoTierTrace(tr, *hosts, *seed, *confirmTop, out)
+		}
 		if migrateMode {
-			return executeMigrationSweep(tr, *hosts, *seed, *seeds, *migrate, *pending,
+			return executeMigrationSweep(tr, *hosts, *seed, *seeds, fid, *migrate, *pending,
 				*migrateEvery, *downtime, *maxWait, *bigLLC, dispatch, out)
 		}
-		return executeTrace(tr, *hosts, *seed, *seeds, dispatch, out)
+		return executeTrace(tr, *hosts, *seed, *seeds, fid, dispatch, out)
+	}
+	if twoTier {
+		return fmt.Errorf("-fidelity two-tier only applies in -trace/-churn mode")
 	}
 	if *path == "" {
 		return fmt.Errorf("missing -scenario (use -example for a template)")
@@ -322,9 +368,9 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	if *hosts > 1 {
-		return executeFleet(sc, *hosts, *placer, placerKind, out)
+		return executeFleet(sc, *hosts, fid, *placer, placerKind, out)
 	}
-	return execute(sc, out)
+	return execute(sc, fid, out)
 }
 
 // sweepDispatch carries the -shard/-merge flags into the sweep modes.
@@ -386,10 +432,23 @@ func executeSeedSweep(proto kyoto.SeedableSweep, seeds int, baseSeed uint64, dis
 	return nil
 }
 
+// executeTwoTierTrace runs the trace sweep two-tier: broad analytic
+// pass, top-k arms confirmed exact.
+func executeTwoTierTrace(tr kyoto.Trace, hosts int, seed uint64, topK int, out io.Writer) error {
+	res, err := kyoto.SweepTraceTwoTier(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed}, topK)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables() {
+		fmt.Fprintln(out, t.String())
+	}
+	return nil
+}
+
 // executeTrace replays the trace through all three placement policies and
 // prints the comparison table plus a short per-policy rejection digest.
-func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, dispatch sweepDispatch, out io.Writer) error {
-	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed})
+func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, dispatch sweepDispatch, out io.Writer) error {
+	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed, Fidelity: fid})
 	if err != nil {
 		return err
 	}
@@ -421,7 +480,7 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, dispatch sw
 
 // executeMigrationSweep runs the rebalancer x placer grid over the trace
 // and prints the comparison table plus a per-combination migration digest.
-func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, migrate, pending string,
+func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, migrate, pending string,
 	every uint64, downtime int, maxWait uint64, bigLLC int, dispatch sweepDispatch, out io.Writer) error {
 	var rebalancers []string
 	switch migrate {
@@ -464,6 +523,7 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, mi
 		Pending:        pp,
 		MaxWait:        maxWait,
 		BigLLCFactor:   bigLLC,
+		Fidelity:       fid,
 	})
 	if err != nil {
 		return err
@@ -493,8 +553,8 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, mi
 }
 
 // worldConfig maps the scenario's host settings onto a WorldConfig.
-func worldConfig(sc scenario) (kyoto.WorldConfig, error) {
-	cfg := kyoto.WorldConfig{Seed: sc.Seed, EnableKyoto: sc.Kyoto}
+func worldConfig(sc scenario, fid kyoto.Fidelity) (kyoto.WorldConfig, error) {
+	cfg := kyoto.WorldConfig{Seed: sc.Seed, EnableKyoto: sc.Kyoto, Fidelity: fid}
 	switch sc.Machine {
 	case "", "table1":
 		cfg.Machine = kyoto.TableOneMachine(sc.Seed)
@@ -545,8 +605,8 @@ func statsRow(tw io.Writer, prefix string, v *kyoto.VM, before kyoto.Counters) {
 		v.Punishments)
 }
 
-func execute(sc scenario, out io.Writer) error {
-	cfg, err := worldConfig(sc)
+func execute(sc scenario, fid kyoto.Fidelity, out io.Writer) error {
+	cfg, err := worldConfig(sc, fid)
 	if err != nil {
 		return err
 	}
@@ -585,8 +645,8 @@ func execute(sc scenario, out io.Writer) error {
 
 // executeFleet runs the scenario on a cluster of identical hosts behind
 // the named placement policy.
-func executeFleet(sc scenario, hosts int, placerName string, placer kyoto.PlacerKind, out io.Writer) error {
-	cfg, err := worldConfig(sc)
+func executeFleet(sc scenario, hosts int, fid kyoto.Fidelity, placerName string, placer kyoto.PlacerKind, out io.Writer) error {
+	cfg, err := worldConfig(sc, fid)
 	if err != nil {
 		return err
 	}

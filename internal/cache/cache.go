@@ -9,6 +9,16 @@
 // own misses (what hardware PMCs expose) and the evictions it inflicts on
 // other VMs (the ground-truth "pollution" that hardware cannot attribute
 // when VMs share the LLC in parallel).
+//
+// The package carries two fidelity tiers, selected by Fidelity. The exact
+// tier (this file and hierarchy.go) simulates every access through the
+// set-associative structures; the analytic tier (AnalyticLLC, analytic.go)
+// replaces per-access work with a per-owner occupancy recurrence advanced
+// once per epoch — ~200x faster, with modeled rather than simulated miss
+// rates. The analytic model's equations and their assumptions are derived
+// in analytic.go's file comment; its error against the exact tier is
+// cross-validated on every committed golden by internal/experiments
+// (crossval.go), with declared budgets enforced in CI.
 package cache
 
 import (

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/core"
 	"kyoto/internal/hv"
 	"kyoto/internal/machine"
@@ -57,6 +58,10 @@ type HostTemplate struct {
 	ShadowMonitor bool
 	// Seed drives all randomness; host i derives its own stream from it.
 	Seed uint64
+	// Fidelity selects each host's cache-model tier (hv.Config.Fidelity).
+	// The analytic tier cannot drive the shadow monitor, which needs a
+	// per-access trace.
+	Fidelity cache.Fidelity
 	// MemoryMB overrides the host memory capacity used for admission
 	// (default Machine.MainMemoryMB).
 	MemoryMB int
@@ -257,7 +262,10 @@ func newHost(id int, t HostTemplate) (*Host, error) {
 		k = core.New(base)
 		s = k
 	}
-	w, err := hv.New(hv.Config{Machine: mcfg, Seed: seed}, s)
+	if t.ShadowMonitor && t.Fidelity == cache.FidelityAnalytic {
+		return nil, fmt.Errorf("cluster: the shadow monitor replays per-access traces, which the analytic tier does not produce — use the counter monitor or exact fidelity")
+	}
+	w, err := hv.New(hv.Config{Machine: mcfg, Seed: seed, Fidelity: t.Fidelity}, s)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,432 @@
+package experiments
+
+// Cross-validation of the analytic fast tier against the exact model.
+//
+// The analytic tier (internal/cache.AnalyticLLC + cpu.RunAnalytic) is
+// only useful if its errors are known and bounded, so this harness runs
+// the repo's committed golden configurations — the Figure 1 contention
+// grid, the Figure 4 indicator study, and the trace/migration sweeps
+// whose shard fingerprints are pinned in testdata/golden_sweep.json —
+// on BOTH tiers and reports the analytic tier's error on each headline
+// metric against a declared budget. TestCrossValidationBudgets asserts
+// every budget holds, so the budgets below are commitments, not
+// documentation: loosening one is a reviewable diff.
+//
+// Budgets are set from measured errors with roughly 2x headroom (the
+// measured values are recorded next to each constant), wide enough to
+// absorb drift from unrelated tuning but tight enough that a broken
+// analytic model — occupancy leak, wrong miss-rate split, broken
+// renormalization — blows through them immediately.
+
+import (
+	"fmt"
+	"math"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cache"
+	"kyoto/internal/stats"
+	"kyoto/internal/sweep"
+	"kyoto/internal/vm"
+)
+
+// Declared error budgets, one per cross-validated metric. Units match
+// the metric: percentage points for degradation/aggressiveness and
+// rejection rates, absolute normalized-performance units for p99
+// floors, absolute fractions for LLC occupancy shares.
+const (
+	// BudgetFig1MeanPts bounds the mean |degradation error| across the
+	// 27 Figure 1 cells (measured ~4.0 pts).
+	BudgetFig1MeanPts = 10.0
+	// BudgetFig1MaxPts bounds the worst single Figure 1 cell (measured
+	// ~22.6 pts; the alternative-mode cells are the hardest because the
+	// analytic tier models slice rotation with epoch-grained occupancy).
+	BudgetFig1MaxPts = 40.0
+	// BudgetFig4MeanPts bounds the mean |aggressiveness error| across
+	// the ten Figure 4 applications (measured ~4.5 pts).
+	BudgetFig4MeanPts = 10.0
+	// BudgetFig4RankDisagreement bounds 1 - KendallTau between the two
+	// tiers' aggressiveness rankings (measured ~0.18, i.e. tau ~0.82;
+	// with ten apps tau is quantized in steps of ~0.044). The ranking is
+	// what the two-tier sweep trusts the fast tier for, so it gets its
+	// own budget independent of the magnitudes.
+	BudgetFig4RankDisagreement = 0.35
+	// BudgetTraceP99 bounds the per-placer |p99 normalized-performance
+	// error| on the committed trace-sweep golden (measured ~0.13).
+	BudgetTraceP99 = 0.30
+	// BudgetTraceRejectionPts bounds the per-placer |rejection-rate
+	// error| in percentage points on the same golden (measured 0.0:
+	// admission decisions depend on permits and capacity, which the
+	// analytic tier reproduces exactly).
+	BudgetTraceRejectionPts = 5.0
+	// BudgetMigrationP99 bounds the per-combination |p99 error| on the
+	// committed migration-sweep golden (measured ~0.13).
+	BudgetMigrationP99 = 0.30
+	// BudgetMigrationRejectionPts is BudgetTraceRejectionPts for the
+	// migration sweep's nine rebalancer x placer combinations.
+	BudgetMigrationRejectionPts = 5.0
+	// BudgetOccupancyFraction bounds the per-VM |LLC occupancy fraction
+	// error| of a contended four-app world (measured ~0.12). Occupancy
+	// is the analytic tier's state variable, so this is the most direct
+	// check of the Markov recurrence itself.
+	BudgetOccupancyFraction = 0.25
+)
+
+// GoldenSweepTrace returns the committed churn trace behind the
+// trace-sweep-2h and migration-sweep-2h shard goldens: eight
+// permit-booking VMs with staggered lifetimes on a 2-host fleet, plus
+// one permit-less VM that only Kyoto admission rejects. The shard
+// determinism test pins the sweeps' merged fingerprints over exactly
+// this trace, which is what makes it a golden the cross-validation
+// harness must run.
+func GoldenSweepTrace() arrivals.Trace {
+	return arrivals.Trace{Events: []arrivals.Event{
+		{Submit: 0, Lifetime: 18, Name: "a", App: "gcc", LLCCap: 250},
+		{Submit: 0, Lifetime: 24, Name: "b", App: "lbm", LLCCap: 250},
+		{Submit: 3, Lifetime: 18, Name: "c", App: "omnetpp", LLCCap: 250},
+		{Submit: 6, Lifetime: 21, Name: "d", App: "blockie", LLCCap: 250},
+		{Submit: 9, Lifetime: 15, Name: "e", App: "astar", LLCCap: 250},
+		{Submit: 12, Name: "noperm", App: "mcf"},
+		{Submit: 15, Lifetime: 15, Name: "f", App: "lbm", LLCCap: 250},
+		{Submit: 18, Lifetime: 12, Name: "g", App: "gcc", LLCCap: 250},
+		{Submit: 21, Lifetime: 12, Name: "h", App: "bzip", LLCCap: 250},
+	}}
+}
+
+// GoldenTraceSweepConfig is the trace-sweep-2h golden configuration.
+func GoldenTraceSweepConfig() TraceSweepConfig {
+	return TraceSweepConfig{Hosts: 2, Seed: 5, DrainTicks: 6}
+}
+
+// GoldenMigrationSweepConfig is the migration-sweep-2h golden
+// configuration.
+func GoldenMigrationSweepConfig() MigrationSweepConfig {
+	return MigrationSweepConfig{
+		Hosts: 2, Seed: 5, DrainTicks: 6, BigLLCFactor: 2,
+		Pending: arrivals.PendingFIFO, Downtime: 2,
+	}
+}
+
+// CrossValCheck is one cross-validated metric: the figure it came from,
+// both tiers' values (aggregates where the figure has many cells), the
+// error and its declared budget.
+type CrossValCheck struct {
+	Figure string
+	Metric string
+	// Exact and Analytic are the metric's value on each tier. For
+	// aggregate metrics (mean/max over cells) they are the values of
+	// the worst cell, so the table stays readable.
+	Exact    float64
+	Analytic float64
+	// Err is the analytic tier's error in the metric's own units.
+	Err float64
+	// Budget is the declared bound Err must stay under.
+	Budget float64
+}
+
+// Pass reports whether the error is within budget.
+func (c CrossValCheck) Pass() bool { return c.Err <= c.Budget }
+
+// CrossValResult is the harness output: every check, in figure order.
+type CrossValResult struct {
+	Checks []CrossValCheck
+}
+
+// Pass reports whether every check is within budget.
+func (r *CrossValResult) Pass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the checks that blew their budget.
+func (r *CrossValResult) Failures() []CrossValCheck {
+	var out []CrossValCheck
+	for _, c := range r.Checks {
+		if !c.Pass() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Table renders the per-figure, per-metric error report.
+func (r *CrossValResult) Table() Table {
+	t := Table{
+		Title: "Cross-validation: analytic tier vs exact model on the committed goldens",
+		Note: "err is the analytic tier's error in the metric's units; budget is the declared bound\n" +
+			"(asserted by TestCrossValidationBudgets); exact/analytic are the worst cell's values",
+		Columns: []string{"figure", "metric", "exact", "analytic", "err", "budget", "ok"},
+	}
+	for _, c := range r.Checks {
+		ok := "pass"
+		if !c.Pass() {
+			ok = "FAIL"
+		}
+		t.AddRow(c.Figure, c.Metric, c.Exact, c.Analytic, c.Err, c.Budget, ok)
+	}
+	return t
+}
+
+// CrossValFigures lists the figures CrossValidate knows, in run order.
+var CrossValFigures = []string{"fig1", "fig4", "trace", "migration", "occupancy"}
+
+// CrossValidate runs the requested golden figures on both fidelity
+// tiers and returns the per-metric error report. No figures means all
+// of CrossValFigures. seed drives the Figure 1/4 grids and the
+// occupancy scenario; the trace and migration sweeps run their golden
+// configurations verbatim (those pin their own seed, because the shard
+// determinism test pins fingerprints over exactly that configuration).
+func CrossValidate(seed uint64, figures ...string) (*CrossValResult, error) {
+	if len(figures) == 0 {
+		figures = CrossValFigures
+	}
+	res := &CrossValResult{}
+	for _, fig := range figures {
+		var err error
+		switch fig {
+		case "fig1":
+			err = crossValFig1(res, seed)
+		case "fig4":
+			err = crossValFig4(res, seed)
+		case "trace":
+			err = crossValTrace(res)
+		case "migration":
+			err = crossValMigration(res)
+		case "occupancy":
+			err = crossValOccupancy(res, seed)
+		default:
+			return nil, fmt.Errorf("crossval: unknown figure %q (have %v)", fig, CrossValFigures)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crossval %s: %w", fig, err)
+		}
+	}
+	return res, nil
+}
+
+// crossValFig1 compares the 27 degradation cells of the Figure 1
+// contention grid: mean and worst-cell absolute error in points.
+func crossValFig1(res *CrossValResult, seed uint64) error {
+	exact, err := Fig1Fidelity(seed, cache.FidelityExact)
+	if err != nil {
+		return err
+	}
+	analytic, err := Fig1Fidelity(seed, cache.FidelityAnalytic)
+	if err != nil {
+		return err
+	}
+	var sum, worst float64
+	var n int
+	var worstE, worstA float64
+	for mode, reps := range exact.Degradation {
+		for rep, diss := range reps {
+			for dis, e := range diss {
+				a := analytic.Degradation[mode][rep][dis]
+				d := math.Abs(a - e)
+				sum += d
+				n++
+				if d > worst {
+					worst, worstE, worstA = d, e, a
+				}
+			}
+		}
+	}
+	res.Checks = append(res.Checks,
+		CrossValCheck{
+			Figure: "fig1", Metric: "degradation mean |err| (pts)",
+			Exact: worstE, Analytic: worstA, Err: sum / float64(n), Budget: BudgetFig1MeanPts,
+		},
+		CrossValCheck{
+			Figure: "fig1", Metric: "degradation max |err| (pts)",
+			Exact: worstE, Analytic: worstA, Err: worst, Budget: BudgetFig1MaxPts,
+		})
+	return nil
+}
+
+// crossValFig4 compares aggressiveness magnitudes and, separately, the
+// aggressiveness ranking (what the two-tier sweep trusts the fast tier
+// for) between the tiers.
+func crossValFig4(res *CrossValResult, seed uint64) error {
+	run := func(fid cache.Fidelity) (*Fig4Result, error) {
+		s := NewFig4SweeperFidelity(seed, fid)
+		if err := (sweep.Engine{}).Run(s); err != nil {
+			return nil, err
+		}
+		return s.Result(), nil
+	}
+	exact, err := run(cache.FidelityExact)
+	if err != nil {
+		return err
+	}
+	analytic, err := run(cache.FidelityAnalytic)
+	if err != nil {
+		return err
+	}
+	var sum, worst, worstE, worstA float64
+	for _, app := range exact.Apps {
+		e, a := exact.Aggressiveness[app], analytic.Aggressiveness[app]
+		d := math.Abs(a - e)
+		sum += d
+		if d > worst {
+			worst, worstE, worstA = d, e, a
+		}
+	}
+	tau, err := stats.KendallTau(stats.RankByValue(analytic.Aggressiveness),
+		stats.RankByValue(exact.Aggressiveness))
+	if err != nil {
+		return err
+	}
+	res.Checks = append(res.Checks,
+		CrossValCheck{
+			Figure: "fig4", Metric: "aggressiveness mean |err| (pts)",
+			Exact: worstE, Analytic: worstA, Err: sum / float64(len(exact.Apps)), Budget: BudgetFig4MeanPts,
+		},
+		CrossValCheck{
+			Figure: "fig4", Metric: "ranking disagreement (1 - Kendall tau)",
+			Exact: 1, Analytic: tau, Err: 1 - tau, Budget: BudgetFig4RankDisagreement,
+		})
+	return nil
+}
+
+// crossValTrace compares the three placer arms of the committed
+// trace-sweep golden: worst per-placer p99 normalized-performance error
+// and worst rejection-rate error.
+func crossValTrace(res *CrossValResult) error {
+	run := func(fid cache.Fidelity) (*TraceSweepResult, error) {
+		cfg := GoldenTraceSweepConfig()
+		cfg.Fidelity = fid
+		return TraceSweep(GoldenSweepTrace(), cfg)
+	}
+	exact, err := run(cache.FidelityExact)
+	if err != nil {
+		return err
+	}
+	analytic, err := run(cache.FidelityAnalytic)
+	if err != nil {
+		return err
+	}
+	byPlacer := make(map[string]TraceSweepRow, len(analytic.Rows))
+	for _, row := range analytic.Rows {
+		byPlacer[row.Placer] = row
+	}
+	var worstP99, p99E, p99A, worstRej, rejE, rejA float64
+	for _, e := range exact.Rows {
+		a := byPlacer[e.Placer]
+		if d := math.Abs(a.P99 - e.P99); d > worstP99 {
+			worstP99, p99E, p99A = d, e.P99, a.P99
+		}
+		if d := 100 * math.Abs(a.RejectionRate-e.RejectionRate); d > worstRej {
+			worstRej, rejE, rejA = d, 100*e.RejectionRate, 100*a.RejectionRate
+		}
+	}
+	res.Checks = append(res.Checks,
+		CrossValCheck{
+			Figure: "trace-sweep-2h", Metric: "p99 normalized perf max |err|",
+			Exact: p99E, Analytic: p99A, Err: worstP99, Budget: BudgetTraceP99,
+		},
+		CrossValCheck{
+			Figure: "trace-sweep-2h", Metric: "rejection rate max |err| (pts)",
+			Exact: rejE, Analytic: rejA, Err: worstRej, Budget: BudgetTraceRejectionPts,
+		})
+	return nil
+}
+
+// crossValMigration is crossValTrace for the nine rebalancer x placer
+// combinations of the committed migration-sweep golden.
+func crossValMigration(res *CrossValResult) error {
+	run := func(fid cache.Fidelity) (*MigrationSweepResult, error) {
+		cfg := GoldenMigrationSweepConfig()
+		cfg.Fidelity = fid
+		return MigrationSweep(GoldenSweepTrace(), cfg)
+	}
+	exact, err := run(cache.FidelityExact)
+	if err != nil {
+		return err
+	}
+	analytic, err := run(cache.FidelityAnalytic)
+	if err != nil {
+		return err
+	}
+	type comb struct{ placer, rebalancer string }
+	byComb := make(map[comb]MigrationSweepRow, len(analytic.Rows))
+	for _, row := range analytic.Rows {
+		byComb[comb{row.Placer, row.Rebalancer}] = row
+	}
+	var worstP99, p99E, p99A, worstRej, rejE, rejA float64
+	for _, e := range exact.Rows {
+		a := byComb[comb{e.Placer, e.Rebalancer}]
+		if d := math.Abs(a.P99 - e.P99); d > worstP99 {
+			worstP99, p99E, p99A = d, e.P99, a.P99
+		}
+		if d := 100 * math.Abs(a.RejectionRate-e.RejectionRate); d > worstRej {
+			worstRej, rejE, rejA = d, 100*e.RejectionRate, 100*a.RejectionRate
+		}
+	}
+	res.Checks = append(res.Checks,
+		CrossValCheck{
+			Figure: "migration-sweep-2h", Metric: "p99 normalized perf max |err|",
+			Exact: p99E, Analytic: p99A, Err: worstP99, Budget: BudgetMigrationP99,
+		},
+		CrossValCheck{
+			Figure: "migration-sweep-2h", Metric: "rejection rate max |err| (pts)",
+			Exact: rejE, Analytic: rejA, Err: worstRej, Budget: BudgetMigrationRejectionPts,
+		})
+	return nil
+}
+
+// crossValOccupancy contends four Figure 4 applications on one machine
+// and compares each VM's end-of-run LLC occupancy fraction between the
+// tiers — the most direct check of the Markov occupancy recurrence,
+// with no performance model in between.
+func crossValOccupancy(res *CrossValResult, seed uint64) error {
+	scenario := func(fid cache.Fidelity) Scenario {
+		return Scenario{
+			Seed: seed,
+			VMs: []vm.Spec{
+				pinned("mcf", "mcf", 0),
+				pinned("gcc", "gcc", 1),
+				pinned("blockie", "blockie", 2),
+				pinned("astar", "astar", 3),
+			},
+			Fidelity: fid,
+		}
+	}
+	occupancy := func(fid cache.Fidelity) (map[string]float64, error) {
+		r, err := Run(scenario(fid))
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]float64, len(r.World.VMs()))
+		for _, m := range r.World.VMs() {
+			var frac float64
+			for _, v := range m.VCPUs {
+				frac += r.World.LLCOccupancyFraction(v)
+			}
+			out[m.Name] = frac
+		}
+		return out, nil
+	}
+	exact, err := occupancy(cache.FidelityExact)
+	if err != nil {
+		return err
+	}
+	analytic, err := occupancy(cache.FidelityAnalytic)
+	if err != nil {
+		return err
+	}
+	var worst, worstE, worstA float64
+	for name, e := range exact {
+		a := analytic[name]
+		if d := math.Abs(a - e); d > worst {
+			worst, worstE, worstA = d, e, a
+		}
+	}
+	res.Checks = append(res.Checks, CrossValCheck{
+		Figure: "occupancy", Metric: "LLC occupancy fraction max |err|",
+		Exact: worstE, Analytic: worstA, Err: worst, Budget: BudgetOccupancyFraction,
+	})
+	return nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/stats"
 	"kyoto/internal/vm"
 )
@@ -56,12 +57,19 @@ var (
 
 // Fig1 runs the 3 reps x (1 alone + 3 modes x 3 disruptors) grid.
 func Fig1(seed uint64) (Fig1Result, error) {
+	return Fig1Fidelity(seed, cache.FidelityExact)
+}
+
+// Fig1Fidelity is Fig1 with an explicit cache-model tier; the
+// cross-validation harness runs the grid on both tiers and compares.
+func Fig1Fidelity(seed uint64, fid cache.Fidelity) (Fig1Result, error) {
 	modes := []ExecMode{Alternative, Parallel, Combined}
 
 	// Baselines: each rep alone on core 0.
 	solos := make([]Scenario, len(microReps))
 	for i, rep := range microReps {
 		solos[i] = soloScenario(rep, seed)
+		solos[i].Fidelity = fid
 	}
 	soloRes, err := RunAll(solos)
 	if err != nil {
@@ -83,7 +91,9 @@ func Fig1(seed uint64) (Fig1Result, error) {
 		for _, rep := range microReps {
 			for _, dis := range microDis {
 				keys = append(keys, key{mode, rep, dis})
-				scenarios = append(scenarios, fig1Scenario(mode, rep, dis, seed))
+				sc := fig1Scenario(mode, rep, dis, seed)
+				sc.Fidelity = fid
+				scenarios = append(scenarios, sc)
 			}
 		}
 	}

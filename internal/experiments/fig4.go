@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/core"
 	"kyoto/internal/stats"
 	"kyoto/internal/sweep"
@@ -90,10 +91,12 @@ func fig4Plan(name string, apps []string, seed uint64) []sweep.Job {
 }
 
 // fig4RunJob executes one job of a Figure 4 plan (shared by the study
-// and the diagnostic matrix).
-func fig4RunJob(job sweep.Job, seed uint64) (json.RawMessage, error) {
+// and the diagnostic matrix) on the given fidelity tier.
+func fig4RunJob(job sweep.Job, seed uint64, fid cache.Fidelity) (json.RawMessage, error) {
 	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
-		r, err := Run(soloScenario(app, seed))
+		sc := soloScenario(app, seed)
+		sc.Fidelity = fid
+		r, err := Run(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +114,8 @@ func fig4RunJob(job sweep.Job, seed uint64) (json.RawMessage, error) {
 		return nil, fmt.Errorf("unknown job key %q", job.Key)
 	}
 	r, err := Run(Scenario{
-		Seed: seed,
+		Seed:     seed,
+		Fidelity: fid,
 		VMs: []vm.Spec{
 			pinned("attacker", attacker, 0),
 			pinned("victim", victim, 1),
@@ -129,21 +133,31 @@ func fig4RunJob(job sweep.Job, seed uint64) (json.RawMessage, error) {
 // harness, and the reference workload for process-level sharding.
 type Fig4Sweeper struct {
 	seed uint64
+	fid  cache.Fidelity
 	apps []string
 	res  *Fig4Result
 }
 
-// NewFig4Sweeper returns the shardable Figure 4 indicator study.
+// NewFig4Sweeper returns the shardable Figure 4 indicator study on the
+// exact tier.
 func NewFig4Sweeper(seed uint64) *Fig4Sweeper {
-	return &Fig4Sweeper{seed: seed, apps: workload.Figure4Apps()}
+	return NewFig4SweeperFidelity(seed, cache.FidelityExact)
+}
+
+// NewFig4SweeperFidelity is NewFig4Sweeper with an explicit cache-model
+// tier — the broad pass of a two-tier sweep runs it analytic.
+func NewFig4SweeperFidelity(seed uint64, fid cache.Fidelity) *Fig4Sweeper {
+	return &Fig4Sweeper{seed: seed, fid: fid, apps: workload.Figure4Apps()}
 }
 
 // Name implements sweep.Sweep.
 func (s *Fig4Sweeper) Name() string { return "fig4" }
 
-// ConfigFingerprint implements sweep.ConfigFingerprinter.
+// ConfigFingerprint implements sweep.ConfigFingerprinter. Exact-tier
+// digests predate the fidelity knob and must not move; non-exact tiers
+// append their tag so mixed-fidelity shards refuse to merge.
 func (s *Fig4Sweeper) ConfigFingerprint() string {
-	return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d}`, s.seed)))
+	return fig4ConfigFingerprint(s.seed, s.fid)
 }
 
 // Plan implements sweep.Sweep.
@@ -151,7 +165,16 @@ func (s *Fig4Sweeper) Plan() []sweep.Job { return fig4Plan(s.Name(), s.apps, s.s
 
 // Run implements sweep.Sweep.
 func (s *Fig4Sweeper) Run(job sweep.Job) (json.RawMessage, error) {
-	return fig4RunJob(job, s.seed)
+	return fig4RunJob(job, s.seed, s.fid)
+}
+
+// fig4ConfigFingerprint digests the seed, plus the fidelity tag when it
+// is not the pre-two-fidelity default.
+func fig4ConfigFingerprint(seed uint64, fid cache.Fidelity) string {
+	if tag := fidelityTag(fid); tag != "" {
+		return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d,"fidelity":%q}`, seed, tag)))
+	}
+	return sweep.FingerprintPayload([]byte(fmt.Sprintf(`{"seed":%d}`, seed)))
 }
 
 // Merge implements sweep.Sweep: fold the solo indicators and pairwise

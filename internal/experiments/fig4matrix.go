@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/stats"
 	"kyoto/internal/sweep"
 	"kyoto/internal/workload"
@@ -40,7 +41,7 @@ func (s *Fig4MatrixSweeper) Plan() []sweep.Job { return fig4Plan(s.Name(), s.app
 
 // Run implements sweep.Sweep.
 func (s *Fig4MatrixSweeper) Run(job sweep.Job) (json.RawMessage, error) {
-	return fig4RunJob(job, s.seed)
+	return fig4RunJob(job, s.seed, cache.FidelityExact)
 }
 
 // Merge implements sweep.Sweep: fold the cells into the rendered matrix.

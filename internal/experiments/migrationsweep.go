@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"kyoto/internal/arrivals"
+	"kyoto/internal/cache"
 	"kyoto/internal/cluster"
 	"kyoto/internal/machine"
 	"kyoto/internal/stats"
@@ -60,6 +61,10 @@ type MigrationSweepConfig struct {
 	// MaxWait bounds queue waits under PendingDeadline (default
 	// arrivals.DefaultMaxWait).
 	MaxWait uint64
+	// Fidelity selects the cache-model tier for every fleet and the solo
+	// baselines (default cache.FidelityExact). It enters the config
+	// digest, so shards run at different fidelities refuse to merge.
+	Fidelity cache.Fidelity
 }
 
 // MigrationSweepRow is one {rebalancer, placer} combination's outcome.
@@ -180,8 +185,10 @@ func (s *MigrationSweeper) ConfigFingerprint() string {
 		Downtime       int
 		Pending        arrivals.PendingPolicy
 		MaxWait        uint64
+		Fidelity       string `json:",omitempty"`
 	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides, s.cfg.BigLLCFactor,
-		s.cfg.Rebalancers, s.cfg.RebalanceEvery, s.cfg.Downtime, s.cfg.Pending, s.cfg.MaxWait})
+		s.cfg.Rebalancers, s.cfg.RebalanceEvery, s.cfg.Downtime, s.cfg.Pending, s.cfg.MaxWait,
+		fidelityTag(s.cfg.Fidelity)})
 }
 
 // Plan implements sweep.Sweep: solo baselines, then the combination
@@ -207,7 +214,7 @@ func (s *MigrationSweeper) Plan() []sweep.Job {
 // Run implements sweep.Sweep.
 func (s *MigrationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
-		ipc, err := soloIPC(app, s.cfg.Seed)
+		ipc, err := soloIPC(app, s.cfg.Seed, s.cfg.Fidelity)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +233,7 @@ func (s *MigrationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	}
 	f, err := cluster.New(cluster.Config{
 		Hosts:     s.cfg.Hosts,
-		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: c.enf},
+		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: c.enf, Fidelity: s.cfg.Fidelity},
 		Overrides: s.overrides,
 		Placer:    c.placer,
 		Workers:   s.cfg.Workers,

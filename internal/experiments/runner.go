@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/hv"
 	"kyoto/internal/machine"
 	"kyoto/internal/pmc"
@@ -43,6 +44,8 @@ type Scenario struct {
 	// Warmup/Measure override the default window lengths when non-zero.
 	Warmup  int
 	Measure int
+	// Fidelity selects the cache-model tier (default cache.FidelityExact).
+	Fidelity cache.Fidelity
 }
 
 // Result holds a scenario's measurement-window counters.
@@ -80,6 +83,7 @@ func Run(s Scenario) (Result, error) {
 		Machine:       s.Machine,
 		CyclesPerTick: s.CyclesPerTick,
 		Seed:          seed,
+		Fidelity:      s.Fidelity,
 	}, newSched(cores))
 	if err != nil {
 		return Result{}, err
@@ -152,6 +156,16 @@ func RunAllWorkers(scenarios []Scenario, workers int) ([]Result, error) {
 // code does not need the sweep package for a plain parallel loop.
 func ForEach(n, workers int, f func(i int) error) error {
 	return sweep.ForEach(n, workers, f)
+}
+
+// fidelityTag is a fidelity's config-digest tag: empty for exact, so
+// every digest computed before the two-fidelity split — and every
+// envelope committed under it — keeps its value byte for byte.
+func fidelityTag(f cache.Fidelity) string {
+	if f == cache.FidelityExact {
+		return ""
+	}
+	return f.String()
 }
 
 // newCreditSched builds the default XCS policy.

@@ -15,7 +15,6 @@ import (
 	"runtime"
 	"testing"
 
-	"kyoto/internal/arrivals"
 	"kyoto/internal/sweep"
 )
 
@@ -72,7 +71,7 @@ func TestSweepShardDeterminismGolden(t *testing.T) {
 	// The trace sweep: cheap enough to run in short mode (and therefore
 	// under CI's -race pass).
 	got["trace-sweep-2h"] = shardGoldenCase(t, func() sweep.Sweep {
-		s, err := NewTraceSweeper(sweepTrace(), TraceSweepConfig{Hosts: 2, Seed: 5, DrainTicks: 6})
+		s, err := NewTraceSweeper(sweepTrace(), GoldenTraceSweepConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,10 +85,7 @@ func TestSweepShardDeterminismGolden(t *testing.T) {
 	// full mode only.
 	if !testing.Short() {
 		got["migration-sweep-2h"] = shardGoldenCase(t, func() sweep.Sweep {
-			s, err := NewMigrationSweeper(sweepTrace(), MigrationSweepConfig{
-				Hosts: 2, Seed: 5, DrainTicks: 6, BigLLCFactor: 2,
-				Pending: arrivals.PendingFIFO, Downtime: 2,
-			})
+			s, err := NewMigrationSweeper(sweepTrace(), GoldenMigrationSweepConfig())
 			if err != nil {
 				t.Fatal(err)
 			}

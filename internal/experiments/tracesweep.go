@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"kyoto/internal/arrivals"
+	"kyoto/internal/cache"
 	"kyoto/internal/cluster"
 	"kyoto/internal/stats"
 	"kyoto/internal/sweep"
@@ -40,6 +41,10 @@ type TraceSweepConfig struct {
 	// Overrides optionally makes the fleets heterogeneous; the same
 	// overrides apply under every policy.
 	Overrides map[int]cluster.HostOverride
+	// Fidelity selects the cache-model tier for every fleet and the solo
+	// baselines (default cache.FidelityExact). It enters the config
+	// digest, so shards run at different fidelities refuse to merge.
+	Fidelity cache.Fidelity
 }
 
 // TraceSweepRow is one policy's outcome over the trace.
@@ -141,7 +146,8 @@ func (s *TraceSweeper) ConfigFingerprint() string {
 		Seed       uint64
 		DrainTicks int
 		Overrides  map[int]cluster.HostOverride
-	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides})
+		Fidelity   string `json:",omitempty"`
+	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides, fidelityTag(s.cfg.Fidelity)})
 }
 
 // Plan implements sweep.Sweep: one solo-baseline job per distinct app
@@ -166,7 +172,7 @@ func (s *TraceSweeper) Plan() []sweep.Job {
 // Run implements sweep.Sweep.
 func (s *TraceSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
-		ipc, err := soloIPC(app, s.cfg.Seed)
+		ipc, err := soloIPC(app, s.cfg.Seed, s.cfg.Fidelity)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +188,7 @@ func (s *TraceSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	}
 	f, err := cluster.New(cluster.Config{
 		Hosts:     s.cfg.Hosts,
-		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: arm.enforced},
+		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: arm.enforced, Fidelity: s.cfg.Fidelity},
 		Overrides: s.cfg.Overrides,
 		Placer:    arm.placer,
 		Workers:   s.cfg.Workers,
@@ -214,25 +220,7 @@ func (s *TraceSweeper) Merge(payloads []json.RawMessage) error {
 		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
 			return fmt.Errorf("arm payload %d: %w", i, err)
 		}
-		row := TraceSweepRow{
-			Placer:         p.Placer,
-			Enforced:       p.Enforced,
-			Submitted:      len(p.Replay.Records),
-			Placed:         p.Replay.Placed,
-			Rejected:       p.Replay.Rejected,
-			RejectionRate:  p.Replay.RejectionRate(),
-			CPUUtilization: p.Replay.CPUUtilization,
-			Replay:         p.Replay,
-		}
-		if norm := normalizedPerf(p.Replay, solo); len(norm) > 0 {
-			// PXX = the perf floor XX% of VMs meet, i.e. the (100-XX)th
-			// percentile of the higher-is-better distribution. Errors are
-			// impossible here (non-empty sample, valid p).
-			row.P50, _ = stats.Percentile(norm, 50)
-			row.P95, _ = stats.Percentile(norm, 5)
-			row.P99, _ = stats.Percentile(norm, 1)
-		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, traceRow(p, solo))
 	}
 	s.res = res
 	return nil
@@ -240,6 +228,31 @@ func (s *TraceSweeper) Merge(payloads []json.RawMessage) error {
 
 // Result returns the merged sweep outcome; it is nil until Merge ran.
 func (s *TraceSweeper) Result() *TraceSweepResult { return s.res }
+
+// traceRow folds one arm payload into its result row, normalizing
+// against the solo baselines (shared by Merge and the two-tier exact
+// confirmation pass).
+func traceRow(p traceArmPayload, solo map[string]float64) TraceSweepRow {
+	row := TraceSweepRow{
+		Placer:         p.Placer,
+		Enforced:       p.Enforced,
+		Submitted:      len(p.Replay.Records),
+		Placed:         p.Replay.Placed,
+		Rejected:       p.Replay.Rejected,
+		RejectionRate:  p.Replay.RejectionRate(),
+		CPUUtilization: p.Replay.CPUUtilization,
+		Replay:         p.Replay,
+	}
+	if norm := normalizedPerf(p.Replay, solo); len(norm) > 0 {
+		// PXX = the perf floor XX% of VMs meet, i.e. the (100-XX)th
+		// percentile of the higher-is-better distribution. Errors are
+		// impossible here (non-empty sample, valid p).
+		row.P50, _ = stats.Percentile(norm, 50)
+		row.P95, _ = stats.Percentile(norm, 5)
+		row.P99, _ = stats.Percentile(norm, 1)
+	}
+	return row
+}
 
 // TraceSweep replays the trace through all three placement policies and
 // reports per-policy rejection, utilization and normalized-performance
@@ -301,9 +314,13 @@ func traceApps(tr arrivals.Trace) []string {
 }
 
 // soloIPC runs one app class alone on a template host and returns its
-// IPC — the denominator of normalized performance.
-func soloIPC(app string, seed uint64) (float64, error) {
-	r, err := Run(soloScenario(app, seed))
+// IPC — the denominator of normalized performance. The baseline runs on
+// the same fidelity tier as the fleets it normalizes, so a tier's
+// systematic bias cancels out of the ratio.
+func soloIPC(app string, seed uint64, fid cache.Fidelity) (float64, error) {
+	sc := soloScenario(app, seed)
+	sc.Fidelity = fid
+	r, err := Run(sc)
 	if err != nil {
 		return 0, fmt.Errorf("solo baseline %s: %w", app, err)
 	}

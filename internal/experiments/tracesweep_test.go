@@ -10,20 +10,9 @@ import (
 
 // sweepTrace is a small churn trace sized for a 2-host fleet: eight
 // permit-booking VMs with staggered lifetimes plus one permit-less VM
-// that only Kyoto admission rejects.
-func sweepTrace() arrivals.Trace {
-	return arrivals.Trace{Events: []arrivals.Event{
-		{Submit: 0, Lifetime: 18, Name: "a", App: "gcc", LLCCap: 250},
-		{Submit: 0, Lifetime: 24, Name: "b", App: "lbm", LLCCap: 250},
-		{Submit: 3, Lifetime: 18, Name: "c", App: "omnetpp", LLCCap: 250},
-		{Submit: 6, Lifetime: 21, Name: "d", App: "blockie", LLCCap: 250},
-		{Submit: 9, Lifetime: 15, Name: "e", App: "astar", LLCCap: 250},
-		{Submit: 12, Name: "noperm", App: "mcf"},
-		{Submit: 15, Lifetime: 15, Name: "f", App: "lbm", LLCCap: 250},
-		{Submit: 18, Lifetime: 12, Name: "g", App: "gcc", LLCCap: 250},
-		{Submit: 21, Lifetime: 12, Name: "h", App: "bzip", LLCCap: 250},
-	}}
-}
+// that only Kyoto admission rejects. It lives in crossval.go because the
+// cross-validation harness must run the same committed golden.
+func sweepTrace() arrivals.Trace { return GoldenSweepTrace() }
 
 func TestTraceSweepComparesPlacers(t *testing.T) {
 	if testing.Short() {

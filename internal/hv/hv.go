@@ -40,6 +40,7 @@ package hv
 import (
 	"fmt"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/cpu"
 	"kyoto/internal/machine"
 	"kyoto/internal/pmc"
@@ -65,6 +66,11 @@ type Config struct {
 	ChunkCycles uint64
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Fidelity selects the cache-model tier: cache.FidelityExact (the
+	// zero value — per-access simulation, the goldens' reference) or
+	// cache.FidelityAnalytic (closed-form occupancy model, ~100x faster,
+	// validated by the cross-validation harness in internal/experiments).
+	Fidelity cache.Fidelity
 }
 
 // TickHook observes the world once per tick, after execution and charging
@@ -125,6 +131,12 @@ type World struct {
 	// pays one length check when no migration is in flight.
 	wakes []wake
 
+	// analytic holds the per-socket occupancy models when the world runs
+	// on the analytic tier; nil on the exact tier, which is also the
+	// tick loop's fidelity dispatch test.
+	analytic []*cache.AnalyticLLC
+	aparams  cpu.AnalyticParams
+
 	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
 	IdleCycles []uint64
 }
@@ -155,7 +167,76 @@ func New(cfg Config, s sched.Scheduler) (*World, error) {
 		caps:       make([]uint64, m.NumCores()),
 		IdleCycles: make([]uint64, m.NumCores()),
 	}
+	if cfg.Fidelity == cache.FidelityAnalytic {
+		for range m.Sockets() {
+			llc, err := cache.NewAnalyticLLC(cfg.Machine.LLC)
+			if err != nil {
+				return nil, err
+			}
+			w.analytic = append(w.analytic, llc)
+		}
+		w.aparams = analyticParams(cfg.Machine)
+	}
 	return w, nil
+}
+
+// analyticParams derives the analytic executor's geometry and latencies
+// from the machine description.
+func analyticParams(mcfg machine.Config) cpu.AnalyticParams {
+	lines := func(c cache.Config) int { return c.SizeBytes / c.LineBytes }
+	return cpu.AnalyticParams{
+		L1Lines: lines(mcfg.L1), L1Sets: lines(mcfg.L1) / mcfg.L1.Ways, L1Ways: mcfg.L1.Ways,
+		L2Lines: lines(mcfg.L2), L2Sets: lines(mcfg.L2) / mcfg.L2.Ways, L2Ways: mcfg.L2.Ways,
+		LLCSets: lines(mcfg.LLC) / mcfg.LLC.Ways, LLCWays: mcfg.LLC.Ways,
+		LineBytes:     mcfg.L1.LineBytes,
+		L1Lat:         float64(mcfg.L1.HitLatencyCycles),
+		L2Lat:         float64(mcfg.L2.HitLatencyCycles),
+		LLCLat:        float64(mcfg.LLC.HitLatencyCycles),
+		MemLat:        float64(mcfg.MemLatencyCycles),
+		RemotePenalty: float64(mcfg.RemotePenaltyCycles),
+	}
+}
+
+// Fidelity returns the cache-model tier the world runs on.
+func (w *World) Fidelity() cache.Fidelity {
+	if w.analytic != nil {
+		return cache.FidelityAnalytic
+	}
+	return cache.FidelityExact
+}
+
+// AnalyticLLC returns the analytic occupancy model of the given socket,
+// or nil on the exact tier. Monitors and the cross-validation harness
+// read per-owner occupancy fractions from it.
+func (w *World) AnalyticLLC(socket int) *cache.AnalyticLLC {
+	if w.analytic == nil {
+		return nil
+	}
+	return w.analytic[socket]
+}
+
+// LLCOccupancyFraction returns the fraction of the machine's total LLC
+// lines owned by the vCPU, summed across sockets — readable on either
+// fidelity tier, which is what lets Equation-1 views and the
+// cross-validation harness compare occupancy between tiers.
+func (w *World) LLCOccupancyFraction(v *vm.VCPU) float64 {
+	var owned, capacity float64
+	if w.analytic != nil {
+		for _, llc := range w.analytic {
+			owned += llc.OccupancyLines(v.Owner())
+			capacity += llc.Lines()
+		}
+	} else {
+		for _, sock := range w.m.Sockets() {
+			cfg := sock.LLC.Config()
+			owned += float64(sock.LLC.Occupancy(v.Owner()))
+			capacity += float64(cfg.SizeBytes / cfg.LineBytes)
+		}
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return owned / capacity
 }
 
 // Machine returns the simulated machine.
@@ -275,6 +356,13 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 			AddrBase: uint64(domain.ID) << 36,
 			Counters: &v.Counters,
 		}
+		if w.analytic != nil {
+			actx, err := cpu.NewAnalyticContext(profile, w.aparams, v.Owner(), &v.Counters)
+			if err != nil {
+				return nil, err
+			}
+			v.ACtx = actx
+		}
 		domain.VCPUs = append(domain.VCPUs, v)
 	}
 	w.vmSeq++
@@ -341,6 +429,9 @@ func (w *World) RemoveVM(name string) error {
 		}
 		for _, sock := range w.m.Sockets() {
 			sock.LLC.ReleaseOwner(v.Owner())
+		}
+		for _, llc := range w.analytic {
+			llc.ReleaseOwner(v.Owner())
 		}
 		w.freeOwners = append(w.freeOwners, v.ID)
 		for i, wv := range w.vcpus {
@@ -518,7 +609,11 @@ func (w *World) tick() {
 				}
 			}
 			if budgets[core.ID] < limit {
-				budgets[core.ID] += cpu.Run(&v.Ctx, limit-budgets[core.ID])
+				if w.analytic != nil {
+					budgets[core.ID] += cpu.RunAnalytic(v.ACtx, limit-budgets[core.ID])
+				} else {
+					budgets[core.ID] += cpu.Run(&v.Ctx, limit-budgets[core.ID])
+				}
 			}
 		}
 		if target == tickBudget {
@@ -541,7 +636,11 @@ func (w *World) tick() {
 		h.OnTick(w)
 	}
 
-	// 6. End-of-tick policy accounting.
+	// 6. End-of-tick policy accounting; on the analytic tier the
+	// occupancy recurrence advances one epoch per tick.
+	for _, llc := range w.analytic {
+		llc.EndEpoch()
+	}
 	w.sch.EndTick(w.now)
 	w.now++
 }
@@ -550,6 +649,10 @@ func (w *World) tick() {
 func (w *World) bind(v *vm.VCPU, core *machine.Core) {
 	v.Ctx.Path = &core.Path
 	v.Ctx.Remote = v.VM.HomeNode != core.SocketID
+	if w.analytic != nil {
+		v.ACtx.LLC = w.analytic[core.SocketID]
+		v.ACtx.Remote = v.Ctx.Remote
+	}
 	v.LastCore = core.ID
 }
 

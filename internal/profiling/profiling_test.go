@@ -1,0 +1,72 @@
+package profiling
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	var runErr error
+	StopInto(stop, &runErr)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartDisabledIsNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRejectsUnwritableCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.out"), ""); err == nil {
+		t.Error("unwritable cpu path must fail Start")
+	}
+}
+
+func TestStopIntoReportsUnwritableMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "missing", "mem.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	StopInto(stop, &runErr)
+	if runErr == nil {
+		t.Error("unwritable mem path must surface through StopInto")
+	}
+}
+
+func TestStopIntoKeepsFirstError(t *testing.T) {
+	first := errors.New("first")
+	err := first
+	StopInto(func() error { return errors.New("second") }, &err)
+	if err != first {
+		t.Errorf("StopInto replaced existing error: %v", err)
+	}
+}

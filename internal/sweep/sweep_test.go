@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"kyoto/internal/pmc"
 )
 
 // fakeSweep squares its job indices: cheap, deterministic, and the merge
@@ -246,5 +249,40 @@ func TestForEachSerialAndParallel(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "fail 4") {
 		t.Fatalf("lowest-indexed failure must win, got %v", err)
+	}
+}
+
+// The fused compact-and-fold in FingerprintPayload must produce exactly
+// what the original implementation produced — json.Compact into a
+// buffer, then fold — for any valid JSON, or every committed envelope
+// and golden fingerprint would shift.
+func TestFingerprintPayloadMatchesCompactThenFold(t *testing.T) {
+	reference := func(payload []byte) string {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, payload); err == nil {
+			payload = buf.Bytes()
+		}
+		h := pmc.FoldSeed
+		for _, b := range payload {
+			h = pmc.FoldUint64(h, uint64(b))
+		}
+		return fmt.Sprintf("%016x", h)
+	}
+	cases := []string{
+		`{}`,
+		`{"seed":5}`,
+		"{\n  \"seed\": 5,\n  \"apps\": [\"gcc\", \"lbm\"]\n}",
+		`{"s":"spaces  inside\tstay","esc":"a \"quoted\" part"}`,
+		`{"backslash":"ends with \\", "next": " \t "}`,
+		`{"unicode":"é café — ☕","nested":{"a":[1,2,{"b":" x "}]}}`,
+		`[1, 2,    3,
+			{"deep": {"deeper": "  \\\" tricky "}}]`,
+		`"just a string with \" and \\ and spaces  "`,
+		`  42  `,
+	}
+	for _, c := range cases {
+		if got, want := FingerprintPayload([]byte(c)), reference([]byte(c)); got != want {
+			t.Errorf("payload %q: fused fold %s, reference %s", c, got, want)
+		}
 	}
 }

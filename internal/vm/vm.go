@@ -142,6 +142,10 @@ type VCPU struct {
 	// Ctx is the execution context bound to Counters/Gen; the hypervisor
 	// rebinds its Path on every placement.
 	Ctx cpu.Context
+	// ACtx is the analytic-tier execution context; nil on exact-fidelity
+	// worlds. The hypervisor rebinds its LLC on every placement, exactly
+	// as it rebinds Ctx.Path.
+	ACtx *cpu.AnalyticContext
 
 	// Pin restricts the vCPU to one core (NoPin = free).
 	Pin int

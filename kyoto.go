@@ -35,7 +35,9 @@ package kyoto
 import (
 	"fmt"
 
+	"kyoto/internal/cache"
 	"kyoto/internal/core"
+	"kyoto/internal/experiments"
 	"kyoto/internal/hv"
 	"kyoto/internal/machine"
 	"kyoto/internal/monitor"
@@ -73,6 +75,9 @@ type (
 	Measurement = core.Measurement
 	// Indicator selects the pollution metric (Equation1 or RawLLCM).
 	Indicator = core.Indicator
+	// Fidelity selects the cache-model tier (FidelityExact or
+	// FidelityAnalytic).
+	Fidelity = cache.Fidelity
 	// TickHook observes the world once per scheduler tick.
 	TickHook = hv.TickHook
 )
@@ -85,6 +90,40 @@ const (
 	// RawLLCM is the wall-time-normalized baseline indicator.
 	RawLLCM = core.RawLLCM
 )
+
+// Cache-model fidelity tiers. The exact tier simulates every memory
+// access through the set-associative hierarchy; the analytic tier
+// advances a per-owner LLC-occupancy recurrence once per tick and costs
+// no per-access work (~100x faster), at the price of modeled rather
+// than simulated miss rates.
+const (
+	// FidelityExact is the per-access cycle-level cache model (default).
+	FidelityExact = cache.FidelityExact
+	// FidelityAnalytic is the analytic LLC-occupancy fast tier.
+	FidelityAnalytic = cache.FidelityAnalytic
+)
+
+// ParseFidelity parses "exact", "analytic" or "" (exact).
+func ParseFidelity(s string) (Fidelity, error) { return cache.ParseFidelity(s) }
+
+// Cross-validation of the analytic tier against the exact model.
+type (
+	// CrossValResult is the per-figure, per-metric error report of the
+	// analytic tier over the committed goldens.
+	CrossValResult = experiments.CrossValResult
+	// CrossValCheck is one cross-validated metric with its declared
+	// error budget.
+	CrossValCheck = experiments.CrossValCheck
+)
+
+// CrossValidate runs the committed golden configurations (Figure 1/4,
+// the trace and migration sweep goldens, an occupancy scenario) on both
+// fidelity tiers and reports each headline metric's analytic-tier error
+// against the budgets declared in internal/experiments/crossval.go.
+// No figures means all of them; see experiments.CrossValFigures.
+func CrossValidate(seed uint64, figures ...string) (*CrossValResult, error) {
+	return experiments.CrossValidate(seed, figures...)
+}
 
 // SchedulerKind selects the base scheduling policy of a World.
 type SchedulerKind int
@@ -120,6 +159,10 @@ type WorldConfig struct {
 	// Seed drives all randomness; identical seeds reproduce runs
 	// exactly. The zero value means seed 1.
 	Seed uint64
+	// Fidelity selects the cache-model tier (default FidelityExact).
+	// FidelityAnalytic is incompatible with MonitorShadowSim, which
+	// replays per-access traces the analytic tier does not produce.
+	Fidelity Fidelity
 }
 
 // MonitorKind selects a pollution monitor.
@@ -177,13 +220,17 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("kyoto: unknown scheduler kind %d", cfg.Scheduler)
 	}
 
+	if cfg.Fidelity == cache.FidelityAnalytic && cfg.EnableKyoto && cfg.Monitor == MonitorShadowSim {
+		return nil, fmt.Errorf("kyoto: the shadow-sim monitor replays per-access traces, which the analytic tier does not produce — use MonitorCounters or FidelityExact")
+	}
+
 	w := &World{}
 	s := base
 	if cfg.EnableKyoto {
 		w.kyoto = core.New(base)
 		s = w.kyoto
 	}
-	inner, err := hv.New(hv.Config{Machine: cfg.Machine, Seed: cfg.Seed}, s)
+	inner, err := hv.New(hv.Config{Machine: cfg.Machine, Seed: cfg.Seed, Fidelity: cfg.Fidelity}, s)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +288,9 @@ func (w *World) AddHook(h TickHook) { w.inner.AddHook(h) }
 // Kyoto returns the pollution ledger when EnableKyoto was set, else nil.
 // Use it to read quota balances and measured rates.
 func (w *World) Kyoto() *Kyoto { return w.kyoto }
+
+// Fidelity returns the world's cache-model tier.
+func (w *World) Fidelity() Fidelity { return w.inner.Fidelity() }
 
 // MachineTable renders the machine description as the paper's Table 1.
 func (w *World) MachineTable() string { return w.inner.Machine().Config().TableString() }

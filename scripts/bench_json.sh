@@ -21,6 +21,11 @@
 #              costs ~15s serial).
 #   SWEEP_EXP     shardable kyotobench experiment to time (default fig4).
 #   SWEEP_SHARDS  local processes for the sharded run (default nproc).
+#   FIDELITY   "0" skips the fidelity section: the analytic-vs-exact
+#              tick-throughput ratios (paired from the benchmarks
+#              section, so they are exactly as stable as BENCHTIME) and
+#              the fig4 sweep wall-clock on each tier — the two numbers
+#              the two-fidelity work is accountable to.
 #
 # The sweep section times the same experiment twice through the shard
 # protocol, where -workers reaches the sweep engine: once as one
@@ -44,6 +49,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 SWEEPS="${SWEEPS:-1}"
 SWEEP_EXP="${SWEEP_EXP:-fig4}"
 SWEEP_SHARDS="${SWEEP_SHARDS:-$(nproc)}"
+FIDELITY="${FIDELITY:-1}"
 
 run_bench() {
 	go test -run '^$' -bench 'BenchmarkWorldTick|BenchmarkCacheAccess|BenchmarkWorkloadGen|BenchmarkAccessLRU' \
@@ -87,13 +93,15 @@ END {
 	printf "  }\n}\n"
 }' > "$OUT"
 
-if [ "$SWEEPS" != "0" ]; then
-	# Sweep wall-clock: serial vs process-sharded execution of one
-	# shardable experiment, folded into the report as a "sweeps" object.
+if [ "$SWEEPS" != "0" ] || [ "$FIDELITY" != "0" ]; then
 	BIN="$(mktemp -d)"
 	trap 'rm -rf "$BIN"' EXIT
 	go build -o "$BIN/kyotobench" ./cmd/kyotobench
+fi
 
+if [ "$SWEEPS" != "0" ]; then
+	# Sweep wall-clock: serial vs process-sharded execution of one
+	# shardable experiment, folded into the report as a "sweeps" object.
 	t0=$(date +%s%N)
 	./scripts/sweep_shards.sh -n 1 -- "$BIN/kyotobench" -run "$SWEEP_EXP" -workers 1 >/dev/null
 	t1=$(date +%s%N)
@@ -123,6 +131,55 @@ with open(path, "w") as f:
     f.write("\n")
 EOF
 	echo "sweep $SWEEP_EXP: serial ${serial_ms}ms, ${SWEEP_SHARDS}-shard ${sharded_ms}ms" >&2
+fi
+
+if [ "$FIDELITY" != "0" ]; then
+	# Fidelity wall-clock: the same fig4 sweep on each cache-model tier.
+	# Tick-level ratios come from the benchmarks section (paired
+	# BenchmarkWorldTick vs BenchmarkWorldTickAnalytic sub-benchmarks);
+	# the sweep timing shows what the ratio buys end to end.
+	t0=$(date +%s%N)
+	"$BIN/kyotobench" -run fig4 >/dev/null
+	t1=$(date +%s%N)
+	exact_ms=$(((t1 - t0) / 1000000))
+
+	t0=$(date +%s%N)
+	"$BIN/kyotobench" -run fig4 -fidelity analytic >/dev/null
+	t1=$(date +%s%N)
+	analytic_ms=$(((t1 - t0) / 1000000))
+
+	python3 - "$OUT" "$exact_ms" "$analytic_ms" <<'EOF'
+import json, sys
+path, exact_ms, analytic_ms = sys.argv[1:4]
+with open(path) as f:
+    d = json.load(f)
+ticks = {}
+for name, b in d.get("benchmarks", {}).items():
+    prefix = "BenchmarkWorldTick/"
+    if not name.startswith(prefix):
+        continue
+    sub = name[len(prefix):]
+    a = d["benchmarks"].get("BenchmarkWorldTickAnalytic/" + sub)
+    if a is None:
+        continue
+    ticks[sub] = {
+        "exact_ns_per_op": b["ns_per_op"],
+        "analytic_ns_per_op": a["ns_per_op"],
+        "speedup": round(b["ns_per_op"] / max(1e-9, a["ns_per_op"]), 1),
+    }
+d["fidelity"] = {
+    "tick": ticks,
+    "fig4_sweep": {
+        "exact_ms": int(exact_ms),
+        "analytic_ms": int(analytic_ms),
+        "speedup": round(int(exact_ms) / max(1, int(analytic_ms)), 1),
+    },
+}
+with open(path, "w") as f:
+    json.dump(d, f, indent=2)
+    f.write("\n")
+EOF
+	echo "fidelity fig4: exact ${exact_ms}ms, analytic ${analytic_ms}ms" >&2
 fi
 
 echo "wrote $OUT" >&2

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# profile_churn.sh — profile the replay engine under a million-VM churn
+# sweep and print the top CPU consumers. This is the workload that
+# exposed json.Compact inside sweep.FingerprintPayload as half the
+# sweep's CPU (fixed by fusing the compaction into the fingerprint
+# fold); keep an eye on the top entries staying simulation work, not
+# serialization overhead.
+#
+#   ./scripts/profile_churn.sh                 # analytic tier, 1M VMs
+#   VMS=100000 FIDELITY=exact ./scripts/profile_churn.sh
+#
+#   VMS       trace size (default 1000000)
+#   FIDELITY  cache-model tier for the replay (default analytic — the
+#             fast tier makes the replay engine, not the cache model,
+#             the hotspot, which is what this profile is for)
+#   OUT       profile path prefix (default /tmp/kyoto-churn), writes
+#             $OUT.cpu and $OUT.mem for `go tool pprof`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+VMS="${VMS:-1000000}"
+FIDELITY="${FIDELITY:-analytic}"
+OUT="${OUT:-/tmp/kyoto-churn}"
+
+go run ./cmd/kyotosim -churn "$VMS" -hosts 4 -fidelity "$FIDELITY" \
+	-cpuprofile "$OUT.cpu" -memprofile "$OUT.mem" >/dev/null
+go tool pprof -top -nodecount=15 "$OUT.cpu"
+echo >&2
+echo "profiles: $OUT.cpu $OUT.mem (go tool pprof -http=: $OUT.cpu)" >&2
