@@ -118,6 +118,10 @@ type ClusterPlacement struct {
 type Cluster struct {
 	fleet *cluster.Fleet
 	hosts []*World
+
+	// cfg is the construction config, retained so SnapshotCluster can
+	// digest it into the envelope (ResumeCluster must match it exactly).
+	cfg ClusterConfig
 }
 
 // NewCluster builds a fleet of cfg.Hosts identical hosts.
@@ -166,7 +170,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{fleet: f}
+	c := &Cluster{fleet: f, cfg: cfg}
 	for _, h := range f.Hosts() {
 		c.hosts = append(c.hosts, &World{inner: h.World, kyoto: h.Kyoto()})
 	}

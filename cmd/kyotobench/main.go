@@ -46,9 +46,19 @@
 //	kyotobench -run fig4 -fidelity analytic
 //	kyotobench -run fig4 -fidelity analytic -shard 0/2 -shard-out fig4-0.json
 //	kyotobench -run fig4 -fidelity two-tier -confirm-top 3
+//
+// The warmstart experiment runs the contention arms cold (each arm
+// re-simulates the shared warm-up) and forked from one checkpoint,
+// verifies per-arm bit-identity, and reports the measured wall-clock
+// speedup; -warmstart-json emits the fork accounting as JSON, which
+// scripts/bench_json.sh folds into BENCH_kyoto.json:
+//
+//	kyotobench -run warmstart
+//	kyotobench -warmstart-json - -fidelity analytic
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -73,11 +83,15 @@ func main() {
 // experimentFunc runs one experiment and returns its rendered tables.
 type experimentFunc func(seed uint64) ([]experiments.Table, error)
 
-// fidelityCapable lists the experiments -fidelity analytic / two-tier
-// can accelerate. The rest either measure cache micro-behaviour the
+// fidelityCapable lists the experiments -fidelity analytic can
+// accelerate. The rest either measure cache micro-behaviour the
 // analytic tier deliberately does not simulate (ablations partition the
 // exact LLC) or are cheap enough that two tiers would be noise.
-var fidelityCapable = map[string]bool{"fig4": true}
+var fidelityCapable = map[string]bool{"fig4": true, "warmstart": true}
+
+// twoTierCapable lists the experiments -fidelity two-tier applies to —
+// the ones whose broad pass ranks arms for exact confirmation.
+var twoTierCapable = map[string]bool{"fig4": true}
 
 // registry maps experiment ids to runners. Keep ids in sync with
 // DESIGN.md's per-experiment index.
@@ -194,7 +208,65 @@ func registry(fid cache.Fidelity) map[string]experimentFunc {
 			}
 			return []experiments.Table{r.Table()}, nil
 		},
+		"warmstart": func(seed uint64) ([]experiments.Table, error) {
+			r, err := experiments.WarmStartSweep(experiments.WarmStartConfig{Seed: seed, Fidelity: fid})
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Table{r.Table()}, nil
+		},
 	}
+}
+
+// warmstartJSON is the -warmstart-json report: the warm-start sweep's
+// fork accounting in machine-readable form, for scripts/bench_json.sh
+// to fold into BENCH_kyoto.json.
+type warmstartJSON struct {
+	Seed         uint64  `json:"seed"`
+	Fidelity     string  `json:"fidelity"`
+	Arms         int     `json:"arms"`
+	WarmupTicks  int     `json:"warmup_ticks"`
+	MeasureTicks int     `json:"measure_ticks"`
+	TicksCold    int     `json:"ticks_cold"`
+	TicksWarm    int     `json:"ticks_warm"`
+	TickSavings  float64 `json:"tick_savings"`
+	ColdMS       float64 `json:"cold_ms"`
+	WarmMS       float64 `json:"warm_ms"`
+	WallSpeedup  float64 `json:"wall_speedup"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// runWarmstartJSON runs the warm-start sweep and writes the fork
+// accounting as JSON to path ('-' = stdout).
+func runWarmstartJSON(seed uint64, fid cache.Fidelity, path string, out io.Writer) error {
+	r, err := experiments.WarmStartSweep(experiments.WarmStartConfig{Seed: seed, Fidelity: fid})
+	if err != nil {
+		return err
+	}
+	rep := warmstartJSON{
+		Seed:         seed,
+		Fidelity:     fid.String(),
+		Arms:         len(r.Warm),
+		WarmupTicks:  r.WarmupTicks,
+		MeasureTicks: r.MeasureTicks,
+		TicksCold:    r.TicksCold,
+		TicksWarm:    r.TicksWarm,
+		TickSavings:  float64(r.TicksCold) / float64(r.TicksWarm),
+		ColdMS:       float64(r.ColdDuration.Microseconds()) / 1000,
+		WarmMS:       float64(r.WarmDuration.Microseconds()) / 1000,
+		WallSpeedup:  r.Speedup,
+		BitIdentical: r.BitIdentical(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := out.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // shardableSweep pairs a sweep with the renderer of its merged result.
@@ -285,8 +357,9 @@ func run(args []string) (err error) {
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the experiment's tables")
 		listShard  = fs.Bool("list-shardable", false, "list experiment ids that support -shard/-merge and exit")
 		seeds      = fs.Int("seeds", 0, "statistical mode: replicate a seedable experiment under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
-		fidelity   = fs.String("fidelity", "exact", "cache-model tier for fidelity-capable experiments (fig4): exact, analytic, or two-tier (broad analytic pass, top attackers confirmed exact)")
+		fidelity   = fs.String("fidelity", "exact", "cache-model tier for fidelity-capable experiments (fig4, warmstart): exact, analytic, or two-tier (fig4 only: broad analytic pass, top attackers confirmed exact)")
 		confirmTop = fs.Int("confirm-top", 1, "attackers the two-tier mode re-runs on the exact tier")
+		wsJSON     = fs.String("warmstart-json", "", "run the warm-start forking sweep and write its fork accounting as JSON to this file ('-' = stdout) instead of tables")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -316,6 +389,15 @@ func run(args []string) (err error) {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *wsJSON != "" {
+		if twoTier {
+			return fmt.Errorf("-warmstart-json runs on one tier; use -fidelity exact or analytic")
+		}
+		if *seeds > 0 || *shardSpec != "" || *mergeGlobs != "" {
+			return fmt.Errorf("-warmstart-json does not compose with -seeds/-shard/-merge")
+		}
+		return runWarmstartJSON(*seed, fid, *wsJSON, os.Stdout)
 	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -354,8 +436,11 @@ func run(args []string) (err error) {
 		if _, ok := reg[selected[i]]; !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", selected[i])
 		}
-		if (twoTier || fid != cache.FidelityExact) && !fidelityCapable[selected[i]] {
-			return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4)", selected[i])
+		if twoTier && !twoTierCapable[selected[i]] {
+			return fmt.Errorf("experiment %q does not support -fidelity two-tier (two-tier applies to: fig4)", selected[i])
+		}
+		if !twoTier && fid != cache.FidelityExact && !fidelityCapable[selected[i]] {
+			return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart)", selected[i])
 		}
 	}
 
@@ -456,7 +541,7 @@ func runSharded(runList string, seed uint64, seeds, workers int, fid cache.Fidel
 	id := strings.TrimSpace(ids[0])
 	var entry shardableSweep
 	if fid != cache.FidelityExact && !fidelityCapable[id] {
-		return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4)", id)
+		return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart)", id)
 	}
 	if seeds > 0 {
 		var err error

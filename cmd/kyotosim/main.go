@@ -51,6 +51,24 @@
 //	kyotosim -churn 24 -hosts 4 -migrate all -shard 1/2 -shard-out s1.json
 //	kyotosim -churn 24 -hosts 4 -migrate all -merge 's*.json'
 //
+// Runs are checkpointable: -checkpoint-every N -checkpoint-out f
+// periodically writes a resumable checkpoint (atomically, so a kill
+// mid-write leaves the previous one intact), and -resume f continues a
+// killed run, producing output byte-identical to an uninterrupted run.
+// In single-host scenario mode N counts ticks and the checkpoint wraps
+// the versioned world snapshot plus the scenario and report baseline;
+// resuming under a different seed/fidelity/machine fails with the
+// snapshot config-digest error, and any other scenario change is caught
+// against the stored scenario bytes. In the -trace/-churn sweep modes
+// (including -seeds and -shard) N counts completed jobs and the
+// checkpoint is a partial shard envelope; resumed shard envelopes merge
+// byte-identically with serial runs:
+//
+//	kyotosim -scenario s.json -checkpoint-every 50 -checkpoint-out ck.json
+//	kyotosim -scenario s.json -resume ck.json
+//	kyotosim -churn 24 -hosts 4 -seeds 100 -checkpoint-every 5 -checkpoint-out sweep-ck.json
+//	kyotosim -churn 24 -hosts 4 -seeds 100 -resume sweep-ck.json
+//
 // -fidelity selects the cache-model tier: exact (the default,
 // per-access cache simulation), analytic (the fast LLC-occupancy model:
 // no per-access work, ~100x faster, modeled rather than simulated miss
@@ -192,6 +210,10 @@ func run(args []string, out io.Writer) (err error) {
 		shardOut   = fs.String("shard-out", "-", "shard envelope output path ('-' = stdout)")
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the sweep's table (repeat the shard runs' flags)")
 
+		ckEvery    = fs.Int("checkpoint-every", 0, "write a resumable checkpoint every N ticks (scenario mode) or N completed jobs (-trace/-churn sweeps); requires -checkpoint-out")
+		ckOut      = fs.String("checkpoint-out", "", "checkpoint file the run writes (atomically) and a killed run resumes from with -resume")
+		resumeFrom = fs.String("resume", "", "resume from this checkpoint file; the run must repeat the checkpointed run's scenario/flags and its output is byte-identical to an uninterrupted run")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -230,6 +252,21 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if twoTier && *confirmTop < 1 {
 		return fmt.Errorf("-confirm-top must be at least 1, got %d", *confirmTop)
+	}
+	// Checkpoint flags: -checkpoint-every/-checkpoint-out checkpoint a
+	// run, -resume continues one. Valid in single-host scenario mode and
+	// the sweep modes; validated here, routed below.
+	checkpointing := set["checkpoint-every"] || set["checkpoint-out"] || set["resume"]
+	if set["checkpoint-every"] && *ckEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be at least 1, got %d", *ckEvery)
+	}
+	if set["checkpoint-every"] != set["checkpoint-out"] {
+		return fmt.Errorf("-checkpoint-every and -checkpoint-out go together (got one without the other)")
+	}
+	if *resumeFrom != "" {
+		if _, err := os.Stat(*resumeFrom); err != nil {
+			return fmt.Errorf("cannot resume: %w", err)
+		}
 	}
 	if *tracePath == "" && *churn == 0 {
 		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
@@ -275,6 +312,9 @@ func run(args []string, out io.Writer) (err error) {
 			// trace once, separately.
 			return fmt.Errorf("-trace-out does not apply with -shard/-merge (synthesize the trace in its own run)")
 		}
+		if *mergeGlobs != "" && checkpointing {
+			return fmt.Errorf("-checkpoint/-resume apply to runs, not -merge (merge re-reads completed envelopes)")
+		}
 		if !migrateMode {
 			for _, name := range []string{"migrate-every", "migrate-downtime", "pending-deadline", "big-llc"} {
 				if set[name] {
@@ -316,13 +356,31 @@ func run(args []string, out io.Writer) (err error) {
 				fmt.Fprintf(out, "wrote %s\n", *traceOut)
 			}
 		}
-		dispatch := sweepDispatch{shardSpec: *shardSpec, shardOut: *shardOut, mergeGlobs: *mergeGlobs}
+		// In the sweep modes the checkpoint file both receives progress and
+		// seeds a resume, so -resume and -checkpoint-out name the same file
+		// and either one engages job-level checkpointing.
+		ckPath := *ckOut
+		if ckPath == "" {
+			ckPath = *resumeFrom
+		}
+		if *ckOut != "" && *resumeFrom != "" && *ckOut != *resumeFrom {
+			return fmt.Errorf("in sweep modes -resume and -checkpoint-out name the same checkpoint file; got %q and %q", *resumeFrom, *ckOut)
+		}
+		ckEveryJobs := *ckEvery
+		if ckEveryJobs == 0 {
+			ckEveryJobs = 1
+		}
+		dispatch := sweepDispatch{shardSpec: *shardSpec, shardOut: *shardOut, mergeGlobs: *mergeGlobs,
+			ckPath: ckPath, ckEvery: ckEveryJobs}
 		if twoTier {
 			// The two-tier mode's exact pass depends on the analytic
 			// ranking, so it cannot be planned as independent jobs up
 			// front; it runs in-process only.
 			if *shardSpec != "" || *mergeGlobs != "" {
 				return fmt.Errorf("-fidelity two-tier does not shard (-shard/-merge); shard each tier separately with -fidelity analytic/exact")
+			}
+			if checkpointing {
+				return fmt.Errorf("-fidelity two-tier does not checkpoint (its exact pass depends on the analytic ranking); checkpoint each tier separately with -fidelity analytic/exact")
 			}
 			if *seeds > 0 {
 				return fmt.Errorf("-fidelity two-tier does not compose with -seeds; replicate each tier separately with -fidelity analytic/exact")
@@ -368,16 +426,27 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	if *hosts > 1 {
+		if checkpointing {
+			return fmt.Errorf("-checkpoint/-resume apply to single-host scenarios and -trace/-churn sweeps, not fleet scenario mode")
+		}
 		return executeFleet(sc, *hosts, fid, *placer, placerKind, out)
 	}
-	return execute(sc, fid, out)
+	return executeScenario(sc, raw, fid, checkpointOpts{
+		resume: *resumeFrom, path: *ckOut, every: *ckEvery,
+	}, out)
 }
 
-// sweepDispatch carries the -shard/-merge flags into the sweep modes.
+// sweepDispatch carries the -shard/-merge and checkpoint flags into the
+// sweep modes.
 type sweepDispatch struct {
 	shardSpec  string
 	shardOut   string
 	mergeGlobs string
+	// ckPath, when non-empty, engages job-level checkpointing: completed
+	// jobs are persisted there every ckEvery completions and a file
+	// already present (from a killed run) is resumed instead of re-run.
+	ckPath  string
+	ckEvery int
 }
 
 // apply runs the sweep the way the flags ask: one shard written as an
@@ -391,7 +460,12 @@ func (d sweepDispatch) apply(s kyoto.Sweep, out io.Writer) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		env, err := kyoto.RunSweepShard(s, k, n, 0)
+		var env kyoto.ShardEnvelope
+		if d.ckPath != "" {
+			env, _, err = kyoto.RunSweepShardResumable(s, k, n, 0, d.ckPath, d.ckEvery)
+		} else {
+			env, err = kyoto.RunSweepShard(s, k, n, 0)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -403,6 +477,16 @@ func (d sweepDispatch) apply(s kyoto.Sweep, out io.Writer) (bool, error) {
 		}
 		return true, kyoto.MergeShards(s, envs)
 	default:
+		if d.ckPath != "" {
+			// The whole in-process sweep is shard 0 of 1, so the same
+			// checkpoint machinery resumes it; merging the single envelope
+			// reproduces the plain RunSweep result bit-identically.
+			env, _, err := kyoto.RunSweepShardResumable(s, 0, 1, 0, d.ckPath, d.ckEvery)
+			if err != nil {
+				return false, err
+			}
+			return true, kyoto.MergeShards(s, []kyoto.ShardEnvelope{env})
+		}
 		return true, kyoto.RunSweep(s, 0)
 	}
 }
@@ -603,44 +687,6 @@ func statsRow(tw io.Writer, prefix string, v *kyoto.VM, before kyoto.Counters) {
 		prefix, v.Name, v.App, d.IPC(), d.MissesPerKiloInstr(),
 		kyoto.Equation1Value(d), float64(d.WallCycles())/100_000,
 		v.Punishments)
-}
-
-func execute(sc scenario, fid kyoto.Fidelity, out io.Writer) error {
-	cfg, err := worldConfig(sc, fid)
-	if err != nil {
-		return err
-	}
-	w, err := kyoto.NewWorld(cfg)
-	if err != nil {
-		return err
-	}
-	if len(sc.VMs) == 0 {
-		return fmt.Errorf("scenario has no VMs")
-	}
-	vms := make([]*kyoto.VM, 0, len(sc.VMs))
-	for _, s := range sc.VMs {
-		v, err := w.AddVM(s.toSpec())
-		if err != nil {
-			return err
-		}
-		vms = append(vms, v)
-	}
-
-	warmup, ticks := windows(sc)
-	w.RunTicks(warmup)
-	before := make([]kyoto.Counters, len(vms))
-	for i, v := range vms {
-		before[i] = v.Counters()
-	}
-	w.RunTicks(ticks)
-
-	fmt.Fprintf(out, "machine:\n%s\n", w.MachineTable())
-	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "vm\tapp\tIPC\tMPKI\teq1 (misses/ms)\tCPU ms\tpunishments")
-	for i, v := range vms {
-		statsRow(tw, "", v, before[i])
-	}
-	return tw.Flush()
 }
 
 // executeFleet runs the scenario on a cluster of identical hosts behind

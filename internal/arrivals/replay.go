@@ -264,325 +264,434 @@ const noTick = ^uint64(0)
 // deterministic for a given trace, seed, fleet configuration and option
 // set.
 func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
-	if err := tr.Validate(); err != nil {
+	p, err := NewReplayer(f, tr, opt)
+	if err != nil {
 		return Result{}, err
 	}
-	sorted := tr.Sorted()
-	events := sorted.Events
-	res := Result{
-		Records:       make([]Record, len(events)),
-		PendingUsed:   opt.Pending != PendingNone,
-		RebalanceUsed: opt.Rebalancer != nil,
-	}
-	maxWait := opt.MaxWait
-	if maxWait == 0 {
-		maxWait = DefaultMaxWait
-	}
-	every := opt.RebalanceEvery
-	if every == 0 {
-		every = DefaultRebalanceEvery
-	}
-	var mon *cluster.FleetMonitor
-	nextRebalance := noTick
-	if opt.Rebalancer != nil {
-		mon = cluster.NewFleetMonitor()
-		nextRebalance = every
-	}
+	return p.Finish()
+}
 
-	active := make(map[string]int, len(events)) // live VM name -> record index
-	waiting := make(map[string]bool)            // names parked in the pending queue
-	var pend []int                              // queued record indices, submit order
-	deps := &departureHeap{}
-	now := uint64(0)
-	var utilTicks float64 // integral of booked-CPU fraction over ticks
+// replayRun is one in-flight replay: the closure state of the original
+// Replay loop lifted into fields so a replay can pause at a moment
+// boundary, be checkpointed, and resume bit-identically. The methods
+// below are the original loop's closures verbatim; any change to their
+// statement order risks the churn goldens.
+type replayRun struct {
+	f      *cluster.Fleet
+	events []Event
+	opt    Options
 
-	runTo := func(t uint64) {
-		if t <= now {
-			return
-		}
-		utilTicks += f.BookedCPUFraction() * float64(t-now)
-		// Advance in int-sized chunks so the uint64 tick delta cannot
-		// truncate on 32-bit platforms (Validate bounds t, not int).
-		for now < t {
-			step := t - now
-			if step > math.MaxInt32 {
-				step = math.MaxInt32
-			}
-			f.RunTicks(int(step))
-			now += step
-		}
+	maxWait uint64
+	every   uint64
+	mon     *cluster.FleetMonitor
+
+	nextRebalance uint64
+	active        map[string]int  // live VM name -> record index
+	waiting       map[string]bool // names parked in the pending queue
+	pend          []int           // queued record indices, submit order
+	deps          departureHeap
+	now           uint64
+	utilTicks     float64 // integral of booked-CPU fraction over ticks
+	i             int
+	res           Result
+}
+
+// runTo advances the fleet to tick t, accruing utilization over the gap
+// in one float addition — which is why pauses happen only at moment
+// boundaries: splitting a gap would split the addition and could differ
+// in the last bit.
+func (r *replayRun) runTo(t uint64) {
+	if t <= r.now {
+		return
 	}
-
-	// tryPlace attempts to place the event's VM now. It returns false on a
-	// policy rejection (recording the reason) and propagates real errors.
-	tryPlace := func(idx int) (bool, error) {
-		ev := events[idx]
-		rec := &res.Records[idx]
-		p, err := f.Place(cluster.Request{
-			Spec:     vm.Spec{Name: rec.Name, App: ev.App, VCPUs: ev.VCPUs, LLCCap: ev.LLCCap},
-			MemoryMB: ev.MemoryMB,
-		})
-		if err != nil {
-			if !errors.Is(err, cluster.ErrUnplaceable) {
-				return false, err
-			}
-			rec.Reason = err.Error()
-			return false, nil
+	r.utilTicks += r.f.BookedCPUFraction() * float64(t-r.now)
+	// Advance in int-sized chunks so the uint64 tick delta cannot
+	// truncate on 32-bit platforms (Validate bounds t, not int).
+	for r.now < t {
+		step := t - r.now
+		if step > math.MaxInt32 {
+			step = math.MaxInt32
 		}
-		rec.HostID = p.HostID
-		rec.PlacedTick = now
-		rec.WaitTicks = now - rec.Submit
-		rec.Reason = ""
-		active[rec.Name] = idx
-		res.Placed++
-		if ev.Lifetime > 0 {
-			// Validate bounds Submit and Lifetime to MaxTick, so the
-			// departure tick cannot overflow.
-			heap.Push(deps, departure{tick: now + ev.Lifetime, idx: idx})
-		}
-		return true, nil
+		r.f.RunTicks(int(step))
+		r.now += step
 	}
+}
 
-	// retryOrder returns the queued record indices in SJF retry order:
-	// smallest booked request first (vCPUs, then memory, then llc_cap;
-	// submit order breaks ties — record indices follow the sorted trace,
-	// so a lower index is an earlier submit). FIFO/deadline retries use
-	// pend directly.
-	retryOrder := func() []int {
-		if len(pend) < 2 {
-			return pend
+// tryPlace attempts to place the event's VM now. It returns false on a
+// policy rejection (recording the reason) and propagates real errors.
+func (r *replayRun) tryPlace(idx int) (bool, error) {
+	ev := r.events[idx]
+	rec := &r.res.Records[idx]
+	p, err := r.f.Place(cluster.Request{
+		Spec:     vm.Spec{Name: rec.Name, App: ev.App, VCPUs: ev.VCPUs, LLCCap: ev.LLCCap},
+		MemoryMB: ev.MemoryMB,
+	})
+	if err != nil {
+		if !errors.Is(err, cluster.ErrUnplaceable) {
+			return false, err
 		}
-		order := append([]int(nil), pend...)
-		sort.SliceStable(order, func(a, b int) bool {
-			ea, eb := events[order[a]], events[order[b]]
-			ca, ma := booking(ea)
-			cb, mb := booking(eb)
-			if ca != cb {
-				return ca < cb
-			}
-			if ma != mb {
-				return ma < mb
-			}
-			if ea.LLCCap != eb.LLCCap {
-				return ea.LLCCap < eb.LLCCap
-			}
-			return order[a] < order[b]
-		})
-		return order
+		rec.Reason = err.Error()
+		return false, nil
 	}
+	rec.HostID = p.HostID
+	rec.PlacedTick = r.now
+	rec.WaitTicks = r.now - rec.Submit
+	rec.Reason = ""
+	r.active[rec.Name] = idx
+	r.res.Placed++
+	if ev.Lifetime > 0 {
+		// Validate bounds Submit and Lifetime to MaxTick, so the
+		// departure tick cannot overflow.
+		heap.Push(&r.deps, departure{tick: r.now + ev.Lifetime, idx: idx})
+	}
+	return true, nil
+}
 
-	// retryPending re-attempts the queue in the policy's order, skipping
-	// VMs that still do not fit (a scan, not head-of-line blocking:
-	// Borg's scheduler also keeps trying the rest of the queue). The
-	// queue itself stays in submit order whatever the retry order, so
-	// deadline scans and end-of-trace rejections stay deterministic.
-	retryPending := func() error {
-		if len(pend) == 0 {
-			return nil
+// retryOrder returns the queued record indices in SJF retry order:
+// smallest booked request first (vCPUs, then memory, then llc_cap;
+// submit order breaks ties — record indices follow the sorted trace,
+// so a lower index is an earlier submit). FIFO/deadline retries use
+// pend directly.
+func (r *replayRun) retryOrder() []int {
+	if len(r.pend) < 2 {
+		return r.pend
+	}
+	order := append([]int(nil), r.pend...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := r.events[order[a]], r.events[order[b]]
+		ca, ma := booking(ea)
+		cb, mb := booking(eb)
+		if ca != cb {
+			return ca < cb
 		}
-		if opt.Pending != PendingSJF {
-			// Retry order == queue order: compact in place, no allocation
-			// (this runs on every capacity-freeing tick).
-			kept := pend[:0]
-			for _, idx := range pend {
-				ok, err := tryPlace(idx)
-				if err != nil {
-					return err
-				}
-				if ok {
-					delete(waiting, res.Records[idx].Name)
-				} else {
-					kept = append(kept, idx)
-				}
-			}
-			pend = kept
-			return nil
+		if ma != mb {
+			return ma < mb
 		}
-		placed := make(map[int]bool)
-		for _, idx := range retryOrder() {
-			ok, err := tryPlace(idx)
+		if ea.LLCCap != eb.LLCCap {
+			return ea.LLCCap < eb.LLCCap
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// retryPending re-attempts the queue in the policy's order, skipping
+// VMs that still do not fit (a scan, not head-of-line blocking:
+// Borg's scheduler also keeps trying the rest of the queue). The
+// queue itself stays in submit order whatever the retry order, so
+// deadline scans and end-of-trace rejections stay deterministic.
+func (r *replayRun) retryPending() error {
+	if len(r.pend) == 0 {
+		return nil
+	}
+	if r.opt.Pending != PendingSJF {
+		// Retry order == queue order: compact in place, no allocation
+		// (this runs on every capacity-freeing tick).
+		kept := r.pend[:0]
+		for _, idx := range r.pend {
+			ok, err := r.tryPlace(idx)
 			if err != nil {
 				return err
 			}
 			if ok {
-				placed[idx] = true
-				delete(waiting, res.Records[idx].Name)
+				delete(r.waiting, r.res.Records[idx].Name)
+			} else {
+				kept = append(kept, idx)
 			}
 		}
-		if len(placed) > 0 {
-			kept := pend[:0]
-			for _, idx := range pend {
-				if !placed[idx] {
-					kept = append(kept, idx)
-				}
-			}
-			pend = kept
-		}
+		r.pend = kept
 		return nil
 	}
-
-	// reject finalizes a queued VM as rejected with the given reason.
-	reject := func(idx int, reason string) {
-		rec := &res.Records[idx]
-		rec.Rejected = true
-		rec.Reason = reason
-		rec.PlacedTick = now
-		rec.WaitTicks = now - rec.Submit
-		res.Rejected++
-		delete(waiting, rec.Name)
-	}
-
-	// rebalance runs one epoch: observe, plan, migrate.
-	rebalance := func() (bool, error) {
-		view := mon.Observe(f)
-		plan := opt.Rebalancer.Plan(f.Hosts(), view)
-		for _, m := range plan {
-			// The Rebalancer contract is to plan only feasible moves of
-			// VMs this replay placed; surface violations loudly. The
-			// active check matters when the caller handed Replay a
-			// pre-populated fleet: migrating a pre-existing VM would
-			// otherwise corrupt an unrelated record.
-			idx, ok := active[m.VMName]
-			if !ok {
-				return false, fmt.Errorf("arrivals: rebalance at tick %d: plan moves %q, which this replay did not place", now, m.VMName)
-			}
-			if _, err := f.Migrate(m.VMName, m.DstHost, opt.MigrationDowntime); err != nil {
-				return false, fmt.Errorf("arrivals: rebalance at tick %d: %w", now, err)
-			}
-			res.Records[idx].HostID = m.DstHost
-			res.Records[idx].Migrations++
-			res.Migrations = append(res.Migrations, MigrationEvent{
-				Tick: now, Index: idx, Name: m.VMName,
-				SrcHost: m.SrcHost, DstHost: m.DstHost, Reason: m.Reason,
-			})
+	placed := make(map[int]bool)
+	for _, idx := range r.retryOrder() {
+		ok, err := r.tryPlace(idx)
+		if err != nil {
+			return err
 		}
-		return len(plan) > 0, nil
+		if ok {
+			placed[idx] = true
+			delete(r.waiting, r.res.Records[idx].Name)
+		}
+	}
+	if len(placed) > 0 {
+		kept := r.pend[:0]
+		for _, idx := range r.pend {
+			if !placed[idx] {
+				kept = append(kept, idx)
+			}
+		}
+		r.pend = kept
+	}
+	return nil
+}
+
+// reject finalizes a queued VM as rejected with the given reason.
+func (r *replayRun) reject(idx int, reason string) {
+	rec := &r.res.Records[idx]
+	rec.Rejected = true
+	rec.Reason = reason
+	rec.PlacedTick = r.now
+	rec.WaitTicks = r.now - rec.Submit
+	r.res.Rejected++
+	delete(r.waiting, rec.Name)
+}
+
+// rebalance runs one epoch: observe, plan, migrate.
+func (r *replayRun) rebalance() (bool, error) {
+	view := r.mon.Observe(r.f)
+	plan := r.opt.Rebalancer.Plan(r.f.Hosts(), view)
+	for _, m := range plan {
+		// The Rebalancer contract is to plan only feasible moves of
+		// VMs this replay placed; surface violations loudly. The
+		// active check matters when the caller handed Replay a
+		// pre-populated fleet: migrating a pre-existing VM would
+		// otherwise corrupt an unrelated record.
+		idx, ok := r.active[m.VMName]
+		if !ok {
+			return false, fmt.Errorf("arrivals: rebalance at tick %d: plan moves %q, which this replay did not place", r.now, m.VMName)
+		}
+		if _, err := r.f.Migrate(m.VMName, m.DstHost, r.opt.MigrationDowntime); err != nil {
+			return false, fmt.Errorf("arrivals: rebalance at tick %d: %w", r.now, err)
+		}
+		r.res.Records[idx].HostID = m.DstHost
+		r.res.Records[idx].Migrations++
+		r.res.Migrations = append(r.res.Migrations, MigrationEvent{
+			Tick: r.now, Index: idx, Name: m.VMName,
+			SrcHost: m.SrcHost, DstHost: m.DstHost, Reason: m.Reason,
+		})
+	}
+	return len(plan) > 0, nil
+}
+
+// done reports whether the event loop has nothing left to process. Once
+// only queued VMs remain, nothing frees capacity on its own: under
+// PendingDeadline their deadlines still fire (and rebalance epochs may
+// still make room before then); under PendingFIFO the queue can never
+// drain, so the loop stops and Finish rejects the leftovers.
+func (r *replayRun) done() bool {
+	workRemains := r.i < len(r.events) || r.deps.Len() > 0
+	return !workRemains && (r.opt.Pending != PendingDeadline || len(r.pend) == 0)
+}
+
+// step advances the replay to the next moment (event submit, departure,
+// rebalance epoch or pending deadline, whichever is earliest) and
+// processes everything due there, in the fixed same-tick order.
+func (r *replayRun) step() error {
+	next := noTick
+	if r.i < len(r.events) {
+		next = r.events[r.i].Submit
+	}
+	if r.deps.Len() > 0 && r.deps[0].tick < next {
+		next = r.deps[0].tick
+	}
+	if r.nextRebalance < next {
+		next = r.nextRebalance
+	}
+	if r.opt.Pending == PendingDeadline && len(r.pend) > 0 {
+		// The queue is in submit order, so the head's deadline is the
+		// earliest.
+		if dl := r.res.Records[r.pend[0]].Submit + r.maxWait; dl < next {
+			next = dl
+		}
+	}
+	r.runTo(next)
+
+	freed := false
+	for r.deps.Len() > 0 && r.deps[0].tick == r.now {
+		d := heap.Pop(&r.deps).(departure)
+		rec := &r.res.Records[d.idx]
+		p, err := r.f.Remove(rec.Name)
+		if err != nil {
+			return fmt.Errorf("arrivals: departing %q at tick %d: %w", rec.Name, r.now, err)
+		}
+		rec.Counters = p.VM.Counters()
+		rec.Depart = r.now
+		rec.Departed = true
+		delete(r.active, rec.Name)
+		freed = true
 	}
 
-	i := 0
+	if r.now == r.nextRebalance {
+		migrated, err := r.rebalance()
+		if err != nil {
+			return err
+		}
+		freed = freed || migrated
+		r.nextRebalance += r.every
+	}
+
+	if freed {
+		if err := r.retryPending(); err != nil {
+			return err
+		}
+	}
+
+	if r.opt.Pending == PendingDeadline {
+		kept := r.pend[:0]
+		for _, idx := range r.pend {
+			if r.now-r.res.Records[idx].Submit >= r.maxWait {
+				r.reject(idx, fmt.Sprintf("pending deadline: waited %d ticks (max %d)", r.now-r.res.Records[idx].Submit, r.maxWait))
+			} else {
+				kept = append(kept, idx)
+			}
+		}
+		r.pend = kept
+	}
+
+	for r.i < len(r.events) && r.events[r.i].Submit == r.now {
+		ev := r.events[r.i]
+		rec := &r.res.Records[r.i]
+		*rec = Record{Index: r.i, Name: ev.name(r.i), App: ev.App, VCPUs: ev.VCPUs, Submit: r.now, PlacedTick: r.now, HostID: -1}
+		if _, dup := r.active[rec.Name]; dup {
+			return fmt.Errorf("arrivals: event %d: VM name %q already active at tick %d", r.i, rec.Name, r.now)
+		}
+		if r.waiting[rec.Name] {
+			return fmt.Errorf("arrivals: event %d: VM name %q already pending at tick %d", r.i, rec.Name, r.now)
+		}
+		ok, err := r.tryPlace(r.i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if r.opt.Pending == PendingNone {
+				rec.Rejected = true
+				r.res.Rejected++
+			} else {
+				rec.Queued = true
+				r.waiting[rec.Name] = true
+				r.pend = append(r.pend, r.i)
+			}
+		}
+		r.i++
+	}
+	return nil
+}
+
+// Replayer is a pausable replay: the same loop Replay runs, exposed a
+// moment at a time so callers can checkpoint between moments (see
+// CaptureState) and resume later. A Replayer drives one fleet through
+// one trace exactly once; after Finish it is spent.
+type Replayer struct {
+	run      *replayRun
+	finished bool
+}
+
+// NewReplayer validates and sorts the trace and prepares a replay over
+// the (freshly built) fleet, without advancing anything.
+func NewReplayer(f *cluster.Fleet, tr Trace, opt Options) (*Replayer, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := tr.Sorted()
+	events := sorted.Events
+	r := &replayRun{
+		f:      f,
+		events: events,
+		opt:    opt,
+		res: Result{
+			Records:       make([]Record, len(events)),
+			PendingUsed:   opt.Pending != PendingNone,
+			RebalanceUsed: opt.Rebalancer != nil,
+		},
+		active:        make(map[string]int, len(events)),
+		waiting:       make(map[string]bool),
+		nextRebalance: noTick,
+	}
+	r.maxWait = opt.MaxWait
+	if r.maxWait == 0 {
+		r.maxWait = DefaultMaxWait
+	}
+	r.every = opt.RebalanceEvery
+	if r.every == 0 {
+		r.every = DefaultRebalanceEvery
+	}
+	if opt.Rebalancer != nil {
+		r.mon = cluster.NewFleetMonitor()
+		r.nextRebalance = r.every
+	}
+	return &Replayer{run: r}, nil
+}
+
+// Now returns the fleet clock in ticks.
+func (p *Replayer) Now() uint64 { return p.run.now }
+
+// Done reports whether the event loop is exhausted; Finish remains to be
+// called for the drain window and final snapshots.
+func (p *Replayer) Done() bool { return p.finished || p.run.done() }
+
+// Step processes the next moment of the replay and returns whether more
+// remain. Between Step calls the replay sits at a moment boundary — the
+// only place CaptureState may be called.
+func (p *Replayer) Step() (bool, error) {
+	if p.finished {
+		return false, fmt.Errorf("arrivals: replayer already finished")
+	}
+	if p.run.done() {
+		return false, nil
+	}
+	if err := p.run.step(); err != nil {
+		return false, err
+	}
+	return !p.run.done(), nil
+}
+
+// StepUntil processes moments until the fleet clock reaches at least
+// tick (the replay overshoots to the first moment boundary >= tick) or
+// the event loop is exhausted, and returns whether more moments remain.
+func (p *Replayer) StepUntil(tick uint64) (bool, error) {
 	for {
-		workRemains := i < len(events) || deps.Len() > 0
-		// Once only queued VMs remain, nothing frees capacity on its own:
-		// under PendingDeadline their deadlines still fire (and rebalance
-		// epochs may still make room before then); under PendingFIFO the
-		// queue can never drain, so stop and reject the leftovers.
-		if !workRemains && (opt.Pending != PendingDeadline || len(pend) == 0) {
-			break
+		if p.finished || p.run.done() {
+			return false, nil
 		}
-		next := noTick
-		if i < len(events) {
-			next = events[i].Submit
+		if p.run.now >= tick {
+			return true, nil
 		}
-		if deps.Len() > 0 && (*deps)[0].tick < next {
-			next = (*deps)[0].tick
-		}
-		if nextRebalance < next {
-			next = nextRebalance
-		}
-		if opt.Pending == PendingDeadline && len(pend) > 0 {
-			// The queue is in submit order, so the head's deadline is the
-			// earliest.
-			if dl := res.Records[pend[0]].Submit + maxWait; dl < next {
-				next = dl
-			}
-		}
-		runTo(next)
-
-		freed := false
-		for deps.Len() > 0 && (*deps)[0].tick == now {
-			d := heap.Pop(deps).(departure)
-			rec := &res.Records[d.idx]
-			p, err := f.Remove(rec.Name)
-			if err != nil {
-				return res, fmt.Errorf("arrivals: departing %q at tick %d: %w", rec.Name, now, err)
-			}
-			rec.Counters = p.VM.Counters()
-			rec.Depart = now
-			rec.Departed = true
-			delete(active, rec.Name)
-			freed = true
-		}
-
-		if now == nextRebalance {
-			migrated, err := rebalance()
-			if err != nil {
-				return res, err
-			}
-			freed = freed || migrated
-			nextRebalance += every
-		}
-
-		if freed {
-			if err := retryPending(); err != nil {
-				return res, err
-			}
-		}
-
-		if opt.Pending == PendingDeadline {
-			kept := pend[:0]
-			for _, idx := range pend {
-				if now-res.Records[idx].Submit >= maxWait {
-					reject(idx, fmt.Sprintf("pending deadline: waited %d ticks (max %d)", now-res.Records[idx].Submit, maxWait))
-				} else {
-					kept = append(kept, idx)
-				}
-			}
-			pend = kept
-		}
-
-		for i < len(events) && events[i].Submit == now {
-			ev := events[i]
-			rec := &res.Records[i]
-			*rec = Record{Index: i, Name: ev.name(i), App: ev.App, VCPUs: ev.VCPUs, Submit: now, PlacedTick: now, HostID: -1}
-			if _, dup := active[rec.Name]; dup {
-				return res, fmt.Errorf("arrivals: event %d: VM name %q already active at tick %d", i, rec.Name, now)
-			}
-			if waiting[rec.Name] {
-				return res, fmt.Errorf("arrivals: event %d: VM name %q already pending at tick %d", i, rec.Name, now)
-			}
-			ok, err := tryPlace(i)
-			if err != nil {
-				return res, err
-			}
-			if !ok {
-				if opt.Pending == PendingNone {
-					rec.Rejected = true
-					res.Rejected++
-				} else {
-					rec.Queued = true
-					waiting[rec.Name] = true
-					pend = append(pend, i)
-				}
-			}
-			i++
+		if err := p.run.step(); err != nil {
+			return false, err
 		}
 	}
+}
+
+// Finish drives the remaining moments, runs the drain window, snapshots
+// still-running VMs and returns the Result — exactly what Replay
+// returns. The Replayer is spent afterwards.
+func (p *Replayer) Finish() (Result, error) {
+	if p.finished {
+		return Result{}, fmt.Errorf("arrivals: replayer already finished")
+	}
+	r := p.run
+	for !r.done() {
+		if err := r.step(); err != nil {
+			return r.res, err
+		}
+	}
+	p.finished = true
 
 	// VMs still queued when the events ran out can never be placed (under
 	// PendingDeadline the loop above already drained the queue through
 	// its deadlines).
-	for _, idx := range pend {
-		reject(idx, "pending at end of trace: no capacity ever freed")
+	for _, idx := range r.pend {
+		r.reject(idx, "pending at end of trace: no capacity ever freed")
 	}
-	pend = nil
+	r.pend = nil
 
-	if opt.DrainTicks > 0 {
-		runTo(now + uint64(opt.DrainTicks))
+	if r.opt.DrainTicks > 0 {
+		r.runTo(r.now + uint64(r.opt.DrainTicks))
 	}
 	// Snapshot VMs that never depart (Lifetime 0) as of the end tick, in
 	// record order for determinism.
-	for idx := range res.Records {
-		rec := &res.Records[idx]
-		if aidx, ok := active[rec.Name]; ok && aidx == idx {
-			if v, _ := f.FindVM(rec.Name); v != nil {
+	for idx := range r.res.Records {
+		rec := &r.res.Records[idx]
+		if aidx, ok := r.active[rec.Name]; ok && aidx == idx {
+			if v, _ := r.f.FindVM(rec.Name); v != nil {
 				rec.Counters = v.Counters()
 			}
-			rec.Depart = now
+			rec.Depart = r.now
 		}
 	}
-	res.EndTick = now
-	if now > 0 {
-		res.CPUUtilization = utilTicks / float64(now)
+	r.res.EndTick = r.now
+	if r.now > 0 {
+		r.res.CPUUtilization = r.utilTicks / float64(r.now)
 	}
-	return res, nil
+	return r.res, nil
 }

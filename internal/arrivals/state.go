@@ -1,0 +1,171 @@
+package arrivals
+
+// Replay checkpoint support. A Replayer paused between moments is fully
+// described by: the fleet's own snapshot, the records so far, the
+// pending-queue indices, the loop cursors (event index, clock, utilization
+// integral, next rebalance epoch), the fleet monitor's previous-counter
+// snapshots and the rebalancer's cooldown blob. Everything else the loop
+// keeps — the waiting set, the active map, the departure heap — is
+// derivable: waiting is exactly the names of the queued records, active is
+// exactly the placed-and-not-departed records, and each active record's
+// departure tick is PlacedTick + Lifetime (what tryPlace pushed). The heap
+// is rebuilt by heap.Init; its pop order depends only on the strict
+// (tick, idx) order, so the rebuilt heap drains identically.
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+
+	"kyoto/internal/cluster"
+)
+
+// ReplayState is a checkpoint of an in-flight Replayer at a moment
+// boundary.
+type ReplayState struct {
+	// NumEvents guards against resuming with a different trace.
+	NumEvents int `json:"num_events"`
+	// I is the next unsubmitted event index.
+	I int `json:"i"`
+	// Now is the fleet clock.
+	Now uint64 `json:"now"`
+	// UtilTicks is the utilization integral so far.
+	UtilTicks float64 `json:"util_ticks"`
+	// NextRebalance is the next rebalance epoch tick (max uint64 when the
+	// replay runs without a rebalancer).
+	NextRebalance uint64 `json:"next_rebalance"`
+	// Pend is the pending queue, in submit order.
+	Pend []int `json:"pend,omitempty"`
+	// Records, Migrations, Placed, Rejected mirror the partial Result.
+	Records    []Record         `json:"records"`
+	Migrations []MigrationEvent `json:"migrations,omitempty"`
+	Placed     int              `json:"placed"`
+	Rejected   int              `json:"rejected"`
+	// Monitor is the fleet monitor's per-VM snapshots, name-sorted.
+	Monitor []cluster.NamedCounters `json:"monitor,omitempty"`
+	// Rebalancer is the policy's cooldown blob, when it has one.
+	Rebalancer json.RawMessage `json:"rebalancer,omitempty"`
+	// Fleet is the complete fleet snapshot.
+	Fleet *cluster.FleetState `json:"fleet"`
+}
+
+// CaptureState checkpoints the replay at the current moment boundary.
+// The Replayer keeps running; the state is an independent copy.
+func (p *Replayer) CaptureState() (*ReplayState, error) {
+	if p.finished {
+		return nil, fmt.Errorf("arrivals: cannot checkpoint a finished replayer")
+	}
+	r := p.run
+	fst, err := r.f.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	st := &ReplayState{
+		NumEvents:     len(r.events),
+		I:             r.i,
+		Now:           r.now,
+		UtilTicks:     r.utilTicks,
+		NextRebalance: r.nextRebalance,
+		Pend:          append([]int(nil), r.pend...),
+		Records:       append([]Record(nil), r.res.Records...),
+		Migrations:    append([]MigrationEvent(nil), r.res.Migrations...),
+		Placed:        r.res.Placed,
+		Rejected:      r.res.Rejected,
+		Fleet:         fst,
+	}
+	if r.mon != nil {
+		st.Monitor = r.mon.State()
+	}
+	if sr, ok := r.opt.Rebalancer.(cluster.StatefulRebalancer); ok {
+		blob, err := sr.CaptureRebalanceState()
+		if err != nil {
+			return nil, err
+		}
+		st.Rebalancer = blob
+	}
+	return st, nil
+}
+
+// ResumeReplayer rebuilds a paused replay onto a freshly built fleet of
+// the identical configuration, with the identical trace and options the
+// checkpointed replay ran under. The resumed replay continues
+// bit-identically to the uninterrupted one.
+func ResumeReplayer(f *cluster.Fleet, tr Trace, opt Options, st *ReplayState) (*Replayer, error) {
+	p, err := NewReplayer(f, tr, opt)
+	if err != nil {
+		return nil, err
+	}
+	r := p.run
+	if st.NumEvents != len(r.events) || len(st.Records) != len(r.events) {
+		return nil, fmt.Errorf("arrivals: checkpoint covers %d events, trace has %d — resume must use the checkpointed trace", st.NumEvents, len(r.events))
+	}
+	if st.I < 0 || st.I > len(r.events) {
+		return nil, fmt.Errorf("arrivals: checkpoint event cursor %d out of range 0..%d", st.I, len(r.events))
+	}
+	hasRebalancer := opt.Rebalancer != nil
+	if hasRebalancer != (st.NextRebalance != noTick) {
+		return nil, fmt.Errorf("arrivals: checkpoint and options disagree on rebalancing — resume must use the checkpointed options")
+	}
+	if st.Fleet == nil {
+		return nil, fmt.Errorf("arrivals: checkpoint has no fleet state")
+	}
+	if err := f.RestoreState(st.Fleet); err != nil {
+		return nil, err
+	}
+
+	r.i = st.I
+	r.now = st.Now
+	r.utilTicks = st.UtilTicks
+	r.nextRebalance = st.NextRebalance
+	copy(r.res.Records, st.Records)
+	r.res.Migrations = append([]MigrationEvent(nil), st.Migrations...)
+	r.res.Placed = st.Placed
+	r.res.Rejected = st.Rejected
+	for _, idx := range st.Pend {
+		if idx < 0 || idx >= len(r.events) {
+			return nil, fmt.Errorf("arrivals: checkpoint pending index %d out of range", idx)
+		}
+		r.pend = append(r.pend, idx)
+		r.waiting[r.res.Records[idx].Name] = true
+	}
+
+	// Rebuild active from the records (placed and not yet departed), then
+	// cross-check against what the restored fleet actually holds.
+	for idx := range r.res.Records {
+		rec := &r.res.Records[idx]
+		if rec.HostID >= 0 && !rec.Rejected && !rec.Departed && rec.Name != "" {
+			r.active[rec.Name] = idx
+		}
+	}
+	live := 0
+	for _, pl := range f.Placements() {
+		if _, ok := r.active[pl.VM.Name]; !ok {
+			return nil, fmt.Errorf("arrivals: restored fleet holds VM %q, which the checkpoint records do not list as active", pl.VM.Name)
+		}
+		live++
+	}
+	if live != len(r.active) {
+		return nil, fmt.Errorf("arrivals: checkpoint records list %d active VMs, restored fleet holds %d", len(r.active), live)
+	}
+
+	// Rebuild the departure heap: tryPlace pushed PlacedTick + Lifetime
+	// for every placed VM with a finite lifetime. Pop order depends only
+	// on the strict (tick, idx) order, so heap.Init reproduces the drain.
+	for _, idx := range r.active {
+		ev := r.events[idx]
+		if ev.Lifetime > 0 {
+			r.deps = append(r.deps, departure{tick: r.res.Records[idx].PlacedTick + ev.Lifetime, idx: idx})
+		}
+	}
+	heap.Init(&r.deps)
+
+	if r.mon != nil {
+		r.mon.SetState(st.Monitor)
+	}
+	if sr, ok := opt.Rebalancer.(cluster.StatefulRebalancer); ok && len(st.Rebalancer) > 0 {
+		if err := sr.RestoreRebalanceState(st.Rebalancer); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package cluster_test
+
+// Replay checkpoint differentials over the committed churn goldens: for
+// each of the three pinned scenarios (plain lifecycle, reactive
+// migration, topology-aware migration on the heterogeneous fleet), pause
+// the replay at several mid-run ticks, serialize the checkpoint through
+// JSON, resume it onto a freshly built fleet, and finish — the resumed
+// Result must carry the exact committed golden fingerprint. The
+// checkpoint crosses a real encode/decode so the test covers the wire
+// format, not just the in-memory copy.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cluster"
+)
+
+// churnOptions rebuilds each golden scenario's (fleet, options) pair.
+// Options cannot be shared between the straight-through and resumed run:
+// a Rebalancer carries per-replay cooldown state, so every run gets a
+// fresh one.
+var churnOptions = map[string]struct {
+	overrides func() map[int]cluster.HostOverride
+	opt       func() arrivals.Options
+}{
+	"kyoto-churn-3h12vm": {
+		overrides: func() map[int]cluster.HostOverride { return nil },
+		opt:       func() arrivals.Options { return arrivals.Options{DrainTicks: 6} },
+	},
+	"kyoto-churn-migrate-reactive": {
+		overrides: func() map[int]cluster.HostOverride { return nil },
+		opt: func() arrivals.Options {
+			return arrivals.Options{
+				DrainTicks:        6,
+				Pending:           arrivals.PendingFIFO,
+				Rebalancer:        &cluster.Reactive{},
+				RebalanceEvery:    9,
+				MigrationDowntime: 2,
+			}
+		},
+	},
+	"kyoto-churn-migrate-topo": {
+		overrides: bigLLCOverride,
+		opt: func() arrivals.Options {
+			return arrivals.Options{
+				DrainTicks:        6,
+				Pending:           arrivals.PendingDeadline,
+				MaxWait:           20,
+				Rebalancer:        &cluster.TopologyAware{},
+				RebalanceEvery:    9,
+				MigrationDowntime: 2,
+			}
+		},
+	},
+}
+
+func TestChurnCheckpointResumeBitIdentity(t *testing.T) {
+	for key, sc := range churnOptions {
+		t.Run(key, func(t *testing.T) {
+			// Straight-through reference.
+			ref, err := arrivals.Replay(churnFleet(t, 1, sc.overrides()), churnTrace(), sc.opt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Fingerprint()
+
+			for _, pauseTick := range []uint64{0, 11, 23, 38} {
+				// Drive a replay to the pause point and checkpoint it.
+				p, err := arrivals.NewReplayer(churnFleet(t, 1, sc.overrides()), churnTrace(), sc.opt())
+				if err != nil {
+					t.Fatalf("pause %d: %v", pauseTick, err)
+				}
+				if _, err := p.StepUntil(pauseTick); err != nil {
+					t.Fatalf("pause %d: step: %v", pauseTick, err)
+				}
+				st, err := p.CaptureState()
+				if err != nil {
+					t.Fatalf("pause %d: capture: %v", pauseTick, err)
+				}
+
+				// Cross the wire: the resumed run sees only JSON bytes.
+				blob, err := json.Marshal(st)
+				if err != nil {
+					t.Fatalf("pause %d: marshal: %v", pauseTick, err)
+				}
+				var decoded arrivals.ReplayState
+				if err := json.Unmarshal(blob, &decoded); err != nil {
+					t.Fatalf("pause %d: unmarshal: %v", pauseTick, err)
+				}
+
+				// The checkpointed replay itself keeps running, unperturbed.
+				res, err := p.Finish()
+				if err != nil {
+					t.Fatalf("pause %d: finish original: %v", pauseTick, err)
+				}
+				if got := res.Fingerprint(); got != want {
+					t.Fatalf("pause %d: checkpointing perturbed the replay: %s vs %s", pauseTick, got, want)
+				}
+
+				// Resume onto a fresh fleet with fresh options and finish.
+				r, err := arrivals.ResumeReplayer(churnFleet(t, 1, sc.overrides()), churnTrace(), sc.opt(), &decoded)
+				if err != nil {
+					t.Fatalf("pause %d: resume: %v", pauseTick, err)
+				}
+				rres, err := r.Finish()
+				if err != nil {
+					t.Fatalf("pause %d: finish resumed: %v", pauseTick, err)
+				}
+				if got := rres.Fingerprint(); got != want {
+					t.Fatalf("pause %d: resumed replay diverged from golden: %s vs %s", pauseTick, got, want)
+				}
+				if rres.CPUUtilization != res.CPUUtilization {
+					t.Fatalf("pause %d: resumed utilization %v != %v", pauseTick, rres.CPUUtilization, res.CPUUtilization)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeReplayerValidation pins the clean-error contract: a resumed
+// replay must refuse a wrong-length trace, a missing fleet snapshot, and
+// options that disagree with the checkpoint about rebalancing.
+func TestResumeReplayerValidation(t *testing.T) {
+	sc := churnOptions["kyoto-churn-migrate-reactive"]
+	p, err := arrivals.NewReplayer(churnFleet(t, 1, nil), churnTrace(), sc.opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StepUntil(11); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := churnTrace()
+	short.Events = short.Events[:len(short.Events)-1]
+	if _, err := arrivals.ResumeReplayer(churnFleet(t, 1, nil), short, sc.opt(), st); err == nil {
+		t.Fatal("resume with a shorter trace succeeded")
+	}
+
+	plain := arrivals.Options{DrainTicks: 6}
+	if _, err := arrivals.ResumeReplayer(churnFleet(t, 1, nil), churnTrace(), plain, st); err == nil {
+		t.Fatal("resume without the checkpointed rebalancer succeeded")
+	}
+
+	noFleet := *st
+	noFleet.Fleet = nil
+	if _, err := arrivals.ResumeReplayer(churnFleet(t, 1, nil), churnTrace(), sc.opt(), &noFleet); err == nil {
+		t.Fatal("resume without a fleet snapshot succeeded")
+	}
+}

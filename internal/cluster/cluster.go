@@ -78,7 +78,9 @@ type Host struct {
 	// World is the host's simulated testbed.
 	World *hv.World
 
-	kyoto *core.Kyoto
+	kyoto  *core.Kyoto
+	oracle *monitor.Oracle
+	shadow bool
 
 	// Capacity of the three first-class resources. CPUs counts vCPU
 	// slots (one per physical core: the paper's §2.2 assumption of
@@ -269,11 +271,13 @@ func newHost(id int, t HostTemplate) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	var oracle *monitor.Oracle
 	if t.EnableKyoto {
 		if t.ShadowMonitor {
 			w.AddHook(monitor.NewShadowSim(k, mcfg, 0))
 		} else {
-			w.AddHook(monitor.NewOracle(k, core.Equation1))
+			oracle = monitor.NewOracle(k, core.Equation1)
+			w.AddHook(oracle)
 		}
 	}
 	memMB := t.MemoryMB
@@ -288,6 +292,8 @@ func newHost(id int, t HostTemplate) (*Host, error) {
 		ID:            id,
 		World:         w,
 		kyoto:         k,
+		oracle:        oracle,
+		shadow:        t.EnableKyoto && t.ShadowMonitor,
 		CapacityCPUs:  cores,
 		CapacityMemMB: memMB,
 		LLCBudget:     llc,

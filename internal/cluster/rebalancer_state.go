@@ -1,0 +1,94 @@
+package cluster
+
+// Rebalancing checkpoint support: the replay-relevant state of the fleet
+// monitor (its per-VM previous-counter snapshots) and of the built-in
+// rebalancers (their per-VM migration cooldowns). Both serialize as
+// name-sorted lists so the encoding is canonical whatever map iteration
+// order produced it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"kyoto/internal/pmc"
+)
+
+// NamedCounters is one VM's previous-Observe counter snapshot.
+type NamedCounters struct {
+	Name     string       `json:"name"`
+	Counters pmc.Counters `json:"counters"`
+}
+
+// State returns the monitor's per-VM snapshots, sorted by name.
+func (m *FleetMonitor) State() []NamedCounters {
+	out := make([]NamedCounters, 0, len(m.prev))
+	for name, c := range m.prev {
+		out = append(out, NamedCounters{Name: name, Counters: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetState replaces the monitor's per-VM snapshots.
+func (m *FleetMonitor) SetState(st []NamedCounters) {
+	m.prev = make(map[string]pmc.Counters, len(st))
+	for _, nc := range st {
+		m.prev[nc.Name] = nc.Counters
+	}
+}
+
+// StatefulRebalancer is implemented by rebalancers whose plans depend on
+// per-replay state (the built-ins' migration cooldowns); replay
+// checkpoints capture and restore it through this interface. A stateless
+// custom Rebalancer needs no implementation.
+type StatefulRebalancer interface {
+	CaptureRebalanceState() (json.RawMessage, error)
+	RestoreRebalanceState(data json.RawMessage) error
+}
+
+// namedEpoch is one VM's last-migrated epoch.
+type namedEpoch struct {
+	Name  string `json:"name"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// cooldownState is the serialized form of migrationCooldown.
+type cooldownState struct {
+	Epoch     uint64       `json:"epoch"`
+	LastMoved []namedEpoch `json:"last_moved,omitempty"`
+}
+
+func (c *migrationCooldown) capture() (json.RawMessage, error) {
+	st := cooldownState{Epoch: c.epoch}
+	for name, e := range c.lastMoved {
+		st.LastMoved = append(st.LastMoved, namedEpoch{Name: name, Epoch: e})
+	}
+	sort.Slice(st.LastMoved, func(i, j int) bool { return st.LastMoved[i].Name < st.LastMoved[j].Name })
+	return json.Marshal(st)
+}
+
+func (c *migrationCooldown) restore(data json.RawMessage) error {
+	var st cooldownState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("cluster: cooldown state: %w", err)
+	}
+	c.epoch = st.Epoch
+	c.lastMoved = make(map[string]uint64, len(st.LastMoved))
+	for _, ne := range st.LastMoved {
+		c.lastMoved[ne.Name] = ne.Epoch
+	}
+	return nil
+}
+
+// CaptureRebalanceState implements StatefulRebalancer.
+func (r *Reactive) CaptureRebalanceState() (json.RawMessage, error) { return r.cd.capture() }
+
+// RestoreRebalanceState implements StatefulRebalancer.
+func (r *Reactive) RestoreRebalanceState(data json.RawMessage) error { return r.cd.restore(data) }
+
+// CaptureRebalanceState implements StatefulRebalancer.
+func (t *TopologyAware) CaptureRebalanceState() (json.RawMessage, error) { return t.cd.capture() }
+
+// RestoreRebalanceState implements StatefulRebalancer.
+func (t *TopologyAware) RestoreRebalanceState(data json.RawMessage) error { return t.cd.restore(data) }

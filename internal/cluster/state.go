@@ -1,0 +1,136 @@
+package cluster
+
+// Fleet checkpoint support: capture every host's world (plus its counter
+// monitor) together with the placement bookkeeping the placer bin-packs
+// on, and restore the lot onto a freshly built fleet of the identical
+// configuration. Call CaptureState only between RunTicks calls — each
+// host is then at a tick boundary, the only place hv worlds checkpoint.
+
+import (
+	"fmt"
+
+	"kyoto/internal/hv"
+	"kyoto/internal/pmc"
+)
+
+// HostPlacementState is one VM placed on a host: its name (the key it is
+// found under after the world restore) and the original request whose
+// bookings Remove must return.
+type HostPlacementState struct {
+	Name    string  `json:"name"`
+	Request Request `json:"request"`
+}
+
+// HostState is one host's serialized state.
+type HostState struct {
+	World  *hv.WorldState `json:"world"`
+	Oracle []pmc.Counters `json:"oracle,omitempty"`
+
+	BookedCPUs  int     `json:"booked_cpus"`
+	BookedMemMB int     `json:"booked_mem_mb"`
+	BookedLLC   float64 `json:"booked_llc"`
+
+	VMs []HostPlacementState `json:"vms,omitempty"`
+}
+
+// PlacementRef identifies one fleet-level placement by host and VM name,
+// preserving request order.
+type PlacementRef struct {
+	HostID int    `json:"host_id"`
+	Name   string `json:"name"`
+}
+
+// FleetState is the complete serialized state of a Fleet between
+// RunTicks calls.
+type FleetState struct {
+	Hosts      []HostState    `json:"hosts"`
+	Placements []PlacementRef `json:"placements,omitempty"`
+}
+
+// CaptureState serializes the fleet: every host's world and monitor,
+// the resource bookings, and both placement orders.
+func (f *Fleet) CaptureState() (*FleetState, error) {
+	st := &FleetState{}
+	for _, h := range f.hosts {
+		if h.shadow {
+			return nil, fmt.Errorf("cluster: host %d uses the shadow-sim monitor, whose trace buffers are not checkpointable — use the counter monitor", h.ID)
+		}
+		ws, err := h.World.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %d: %w", h.ID, err)
+		}
+		hs := HostState{
+			World:       ws,
+			BookedCPUs:  h.BookedCPUs,
+			BookedMemMB: h.BookedMemMB,
+			BookedLLC:   h.BookedLLC,
+		}
+		if h.oracle != nil {
+			hs.Oracle = h.oracle.CaptureState(h.World.VCPUs())
+		}
+		for _, p := range h.vms {
+			hs.VMs = append(hs.VMs, HostPlacementState{Name: p.VM.Name, Request: p.Request})
+		}
+		st.Hosts = append(st.Hosts, hs)
+	}
+	for _, p := range f.placements {
+		st.Placements = append(st.Placements, PlacementRef{HostID: p.HostID, Name: p.VM.Name})
+	}
+	return st, nil
+}
+
+// RestoreState overlays a captured fleet state onto a freshly built
+// fleet of the identical configuration (the snapshot envelope's config
+// digest enforces the identity; this method validates shape).
+func (f *Fleet) RestoreState(st *FleetState) error {
+	if len(st.Hosts) != len(f.hosts) {
+		return fmt.Errorf("cluster: state holds %d hosts, fleet has %d", len(st.Hosts), len(f.hosts))
+	}
+	if len(f.placements) != 0 {
+		return fmt.Errorf("cluster: restore target must be a freshly built fleet (%d placements live)", len(f.placements))
+	}
+	for i, h := range f.hosts {
+		hs := &st.Hosts[i]
+		if h.shadow {
+			return fmt.Errorf("cluster: host %d uses the shadow-sim monitor, which cannot restore checkpoints", h.ID)
+		}
+		if hs.World == nil {
+			return fmt.Errorf("cluster: host %d state has no world", h.ID)
+		}
+		if err := h.World.RestoreState(hs.World); err != nil {
+			return fmt.Errorf("cluster: host %d: %w", h.ID, err)
+		}
+		if h.oracle != nil {
+			if err := h.oracle.RestoreState(h.World.VCPUs(), hs.Oracle); err != nil {
+				return fmt.Errorf("cluster: host %d: %w", h.ID, err)
+			}
+		}
+		h.BookedCPUs = hs.BookedCPUs
+		h.BookedMemMB = hs.BookedMemMB
+		h.BookedLLC = hs.BookedLLC
+		for _, ps := range hs.VMs {
+			domain := h.World.FindVM(ps.Name)
+			if domain == nil {
+				return fmt.Errorf("cluster: host %d placement references VM %q, which its world does not hold", h.ID, ps.Name)
+			}
+			h.vms = append(h.vms, Placement{HostID: h.ID, VM: domain, Request: ps.Request})
+		}
+	}
+	for _, ref := range st.Placements {
+		if ref.HostID < 0 || ref.HostID >= len(f.hosts) {
+			return fmt.Errorf("cluster: placement references host %d, fleet has hosts 0..%d", ref.HostID, len(f.hosts)-1)
+		}
+		var found *Placement
+		for i := range f.hosts[ref.HostID].vms {
+			if f.hosts[ref.HostID].vms[i].VM.Name == ref.Name {
+				found = &f.hosts[ref.HostID].vms[i]
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("cluster: placement references VM %q on host %d, which does not hold it", ref.Name, ref.HostID)
+		}
+		f.placements = append(f.placements, *found)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package core
+
+// Kyoto-ledger checkpoint support. The decorator's mutable state beyond
+// the vCPU fields (which internal/hv captures directly) is the per-VM
+// pollution ledger; the pending measurement buffer is always empty at
+// tick boundaries (EndTick drains it), which is the only place the
+// snapshot layer checkpoints. Capture/restore implement the optional
+// hv.StatefulScheduler interface, keyed by registration order so the
+// blob needs no VM identities.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ledgerState is one VM's serialized pollution account. All three values
+// are finite, so their JSON round-trip is exact.
+type ledgerState struct {
+	Balance    float64 `json:"balance"`
+	LastRate   float64 `json:"last_rate"`
+	LastMisses float64 `json:"last_misses"`
+}
+
+// CaptureSchedState implements hv.StatefulScheduler: the ledgers in VM
+// registration order.
+func (k *Kyoto) CaptureSchedState() (json.RawMessage, error) {
+	states := make([]ledgerState, len(k.vmsInOrder))
+	for i, domain := range k.vmsInOrder {
+		l := k.ledgers[domain]
+		states[i] = ledgerState{Balance: l.balance, LastRate: l.lastRate, LastMisses: l.lastMisses}
+	}
+	return json.Marshal(states)
+}
+
+// RestoreSchedState implements hv.StatefulScheduler: overlay captured
+// ledgers onto the accounts Register opened, in registration order. The
+// caller must have re-registered exactly the checkpointed VM population.
+func (k *Kyoto) RestoreSchedState(data json.RawMessage) error {
+	var states []ledgerState
+	if err := json.Unmarshal(data, &states); err != nil {
+		return fmt.Errorf("core: kyoto ledger state: %w", err)
+	}
+	if len(states) != len(k.vmsInOrder) {
+		return fmt.Errorf("core: kyoto ledger state has %d accounts, %d VMs are registered", len(states), len(k.vmsInOrder))
+	}
+	for i, domain := range k.vmsInOrder {
+		l := k.ledgers[domain]
+		l.balance = states[i].Balance
+		l.lastRate = states[i].LastRate
+		l.lastMisses = states[i].LastMisses
+	}
+	return nil
+}

@@ -308,6 +308,7 @@ func (w *World) AddVM(spec vm.Spec) (*vm.VM, error) {
 		CapPercent: spec.CapPercent,
 		LLCCap:     spec.LLCCap,
 		HomeNode:   spec.HomeNode,
+		Spec:       spec,
 	}
 	seed := spec.Seed
 	if seed == 0 {

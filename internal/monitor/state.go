@@ -1,0 +1,43 @@
+package monitor
+
+// Oracle checkpoint support. The monitor's only replay-relevant state is
+// each sampler's previous-Sample snapshot: a restored sampler must see
+// exactly the counter delta the original's next Sample would have seen,
+// or every Equation-1 measurement after the restore point diverges.
+// LastRate/LastDelta are reporting surfaces rebuilt by the next OnTick
+// and deliberately not captured.
+
+import (
+	"fmt"
+
+	"kyoto/internal/pmc"
+	"kyoto/internal/vm"
+)
+
+// CaptureState returns each vCPU's sampler snapshot, in the order of the
+// given vCPUs (the world's vCPU order). vCPUs the oracle has not sampled
+// yet report zero counters, which restores to the same first-Sample
+// behaviour a fresh sampler has.
+func (o *Oracle) CaptureState(vcpus []*vm.VCPU) []pmc.Counters {
+	lasts := make([]pmc.Counters, len(vcpus))
+	for i, v := range vcpus {
+		if s, ok := o.samplers[v]; ok {
+			lasts[i] = s.Last()
+		}
+	}
+	return lasts
+}
+
+// RestoreState primes the oracle's samplers for the given vCPUs with
+// captured snapshots, positionally matched to CaptureState's order.
+func (o *Oracle) RestoreState(vcpus []*vm.VCPU, lasts []pmc.Counters) error {
+	if len(lasts) != len(vcpus) {
+		return fmt.Errorf("monitor: oracle state has %d samplers, world has %d vCPUs", len(lasts), len(vcpus))
+	}
+	for i, v := range vcpus {
+		s := pmc.NewSampler(&v.Counters)
+		s.SetLast(lasts[i])
+		o.samplers[v] = s
+	}
+	return nil
+}

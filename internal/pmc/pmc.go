@@ -158,3 +158,11 @@ func (s *Sampler) Sample() Counters {
 func (s *Sampler) Peek() Counters {
 	return s.src.Delta(s.last)
 }
+
+// Last returns the snapshot taken by the previous Sample (zero before the
+// first). Checkpoint/restore captures it so a restored sampler's next
+// Sample covers exactly the same window the original's would have.
+func (s *Sampler) Last() Counters { return s.last }
+
+// SetLast overwrites the previous-Sample snapshot.
+func (s *Sampler) SetLast(c Counters) { s.last = c }

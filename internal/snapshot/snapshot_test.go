@@ -1,0 +1,241 @@
+package snapshot_test
+
+// The bit-identity contract, at the hypervisor level: for every golden
+// scenario (the same three worlds internal/hv pins fingerprints for), on
+// both fidelity tiers, snapshotting at several mid-run ticks and
+// restoring into a fresh world must (a) leave the snapshotted world's
+// own future unchanged, (b) give the restored world the exact same
+// future, and (c) re-capturing the restored world immediately must
+// reproduce the snapshot byte for byte. Run under -race in CI.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kyoto/internal/cache"
+	"kyoto/internal/core"
+	"kyoto/internal/hv"
+	"kyoto/internal/machine"
+	"kyoto/internal/monitor"
+	"kyoto/internal/pmc"
+	"kyoto/internal/sched"
+	"kyoto/internal/snapshot"
+	"kyoto/internal/vm"
+)
+
+const (
+	testSeed  = 7
+	testTicks = 60
+)
+
+// world is one built scenario: the hypervisor plus its oracle (nil for
+// non-Kyoto scenarios).
+type world struct {
+	w      *hv.World
+	oracle *monitor.Oracle
+}
+
+// scenarios mirrors internal/hv's golden worlds: solo, contention pair,
+// and the fully booked Kyoto host — the three commit-pinned futures.
+var scenarios = []struct {
+	name  string
+	specs []vm.Spec
+	kyoto bool
+}{
+	{"solo-gcc", []vm.Spec{
+		{Name: "solo", App: "gcc", Pins: []int{0}},
+	}, false},
+	{"gcc-lbm-contention", []vm.Spec{
+		{Name: "victim", App: "gcc", Pins: []int{0}},
+		{Name: "attacker", App: "lbm", Pins: []int{1}},
+	}, false},
+	{"kyoto-admission-4vm", []vm.Spec{
+		{Name: "vm0", App: "gcc", Pins: []int{0}, LLCCap: 250},
+		{Name: "vm1", App: "lbm", Pins: []int{1}, LLCCap: 250},
+		{Name: "vm2", App: "omnetpp", Pins: []int{2}, LLCCap: 250},
+		{Name: "vm3", App: "blockie", Pins: []int{3}, LLCCap: 250},
+	}, true},
+}
+
+// buildHost constructs the scenario's world with no VMs — the shape a
+// restore target must have (RestoreState rebuilds the VMs itself).
+func buildHost(t testing.TB, scIdx int, fid cache.Fidelity) world {
+	t.Helper()
+	sc := scenarios[scIdx]
+	var s sched.Scheduler = sched.NewCredit(4)
+	var k *core.Kyoto
+	if sc.kyoto {
+		k = core.New(s)
+		s = k
+	}
+	w, err := hv.New(hv.Config{Machine: machine.TableOne(testSeed), Seed: testSeed, Fidelity: fid}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := world{w: w}
+	if sc.kyoto {
+		out.oracle = monitor.NewOracle(k, core.Equation1)
+		w.AddHook(out.oracle)
+	}
+	return out
+}
+
+// build constructs the scenario's world with its VMs placed, ready to run.
+func build(t testing.TB, scIdx int, fid cache.Fidelity) world {
+	t.Helper()
+	out := buildHost(t, scIdx, fid)
+	for _, spec := range scenarios[scIdx].specs {
+		if _, err := out.w.AddVM(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// fingerprint folds every vCPU's counters and every VM's punishment
+// count — the identity the goldens pin, extended with the Kyoto outcome.
+func fingerprint(w *hv.World) string {
+	h := pmc.FoldSeed
+	for _, v := range w.VCPUs() {
+		h = v.Counters.Fold(h)
+	}
+	for _, m := range w.VMs() {
+		h = pmc.FoldUint64(h, m.Punishments)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func TestWorldRoundTripBitIdentity(t *testing.T) {
+	for scIdx := range scenarios {
+		for _, fid := range []cache.Fidelity{cache.FidelityExact, cache.FidelityAnalytic} {
+			t.Run(fmt.Sprintf("%s/%v", scenarios[scIdx].name, fid), func(t *testing.T) {
+				ref := build(t, scIdx, fid)
+				ref.w.RunTicks(testTicks)
+				want := fingerprint(ref.w)
+
+				for _, snapTick := range []int{0, 17, 41} {
+					// (a) capturing must not perturb the captured world.
+					a := build(t, scIdx, fid)
+					a.w.RunTicks(snapTick)
+					data, err := snapshot.CaptureWorld(a.w, a.oracle, "test-config")
+					if err != nil {
+						t.Fatalf("tick %d: capture: %v", snapTick, err)
+					}
+					a.w.RunTicks(testTicks - snapTick)
+					if got := fingerprint(a.w); got != want {
+						t.Fatalf("tick %d: snapshotted world diverged after capture: %s vs %s", snapTick, got, want)
+					}
+
+					// (b) the restored world continues bit-identically.
+					b := buildHost(t, scIdx, fid)
+					if err := snapshot.RestoreWorld(b.w, b.oracle, "test-config", data); err != nil {
+						t.Fatalf("tick %d: restore: %v", snapTick, err)
+					}
+					if b.w.Now() != uint64(snapTick) {
+						t.Fatalf("tick %d: restored clock at %d", snapTick, b.w.Now())
+					}
+					b.w.RunTicks(testTicks - snapTick)
+					if got := fingerprint(b.w); got != want {
+						t.Fatalf("tick %d: restored world diverged: %s vs %s", snapTick, got, want)
+					}
+
+					// (c) re-capturing a freshly restored world reproduces
+					// the snapshot byte for byte.
+					c := buildHost(t, scIdx, fid)
+					if err := snapshot.RestoreWorld(c.w, c.oracle, "test-config", data); err != nil {
+						t.Fatalf("tick %d: second restore: %v", snapTick, err)
+					}
+					again, err := snapshot.CaptureWorld(c.w, c.oracle, "test-config")
+					if err != nil {
+						t.Fatalf("tick %d: recapture: %v", snapTick, err)
+					}
+					if !bytes.Equal(again, data) {
+						t.Fatalf("tick %d: capture(restore(snap)) differs from snap", snapTick)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreFidelityMismatch pins the cross-tier failure mode below the
+// config digest: even with a matching digest string, restoring an
+// analytic snapshot into an exact world (or vice versa) must fail
+// cleanly on the state shape.
+func TestRestoreFidelityMismatch(t *testing.T) {
+	a := build(t, 0, cache.FidelityAnalytic)
+	a.w.RunTicks(5)
+	data, err := snapshot.CaptureWorld(a.w, a.oracle, "same-digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildHost(t, 0, cache.FidelityExact)
+	if err := snapshot.RestoreWorld(b.w, b.oracle, "same-digest", data); err == nil {
+		t.Fatal("restoring an analytic snapshot into an exact world succeeded")
+	}
+
+	c := build(t, 0, cache.FidelityExact)
+	c.w.RunTicks(5)
+	data, err = snapshot.CaptureWorld(c.w, c.oracle, "same-digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := buildHost(t, 0, cache.FidelityAnalytic)
+	if err := snapshot.RestoreWorld(d.w, d.oracle, "same-digest", data); err == nil {
+		t.Fatal("restoring an exact snapshot into an analytic world succeeded")
+	}
+}
+
+// TestRestoreRequiresFreshWorld pins the restore-onto-used-world error.
+func TestRestoreRequiresFreshWorld(t *testing.T) {
+	a := build(t, 0, cache.FidelityExact)
+	a.w.RunTicks(3)
+	data, err := snapshot.CaptureWorld(a.w, a.oracle, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := build(t, 0, cache.FidelityExact)
+	b.w.RunTicks(1)
+	if err := snapshot.RestoreWorld(b.w, b.oracle, "cfg", data); err == nil {
+		t.Fatal("restoring onto a world that already ran succeeded")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	a := build(t, 0, cache.FidelityExact)
+	a.w.RunTicks(3)
+	data, err := snapshot.CaptureWorld(a.w, a.oracle, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		kind string
+		cfg  string
+	}{
+		{"truncated", data[:len(data)/2], snapshot.KindWorld, "cfg"},
+		{"empty", nil, snapshot.KindWorld, "cfg"},
+		{"not-json", []byte("not a snapshot"), snapshot.KindWorld, "cfg"},
+		{"bit-flip", flipByte(data), snapshot.KindWorld, "cfg"},
+		{"version-skew", bytes.Replace(data, []byte(snapshot.Schema), []byte("kyoto-snapshot-v999"), 1), snapshot.KindWorld, "cfg"},
+		{"kind-mismatch", data, snapshot.KindFleet, "cfg"},
+		{"config-mismatch", data, snapshot.KindWorld, "other-cfg"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := snapshot.Decode(tc.data, tc.kind, tc.cfg); err == nil {
+				t.Fatalf("Decode accepted a %s envelope", tc.name)
+			}
+		})
+	}
+}
+
+// flipByte flips one bit in the middle of the payload region.
+func flipByte(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	out[len(out)/2] ^= 0x40
+	return out
+}

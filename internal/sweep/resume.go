@@ -1,0 +1,218 @@
+package sweep
+
+// Resumable shard runs: the same job plan and the same final envelope as
+// RunShard, with completed jobs checkpointed to disk along the way so a
+// killed run restarts where it stopped instead of from job zero. The
+// checkpoint file is itself a (partial) Envelope — same schema, same
+// validation surface — holding the completed jobs of this shard; a
+// resumed run re-plans the sweep, verifies the checkpoint belongs to this
+// exact configuration and shard slice, skips every job whose payload is
+// already present, and runs the rest. Because jobs are deterministic, the
+// assembled final envelope is byte-identical to an uninterrupted
+// RunShard, whatever mix of cached and fresh jobs produced it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// RunShardResumable is RunShard with job-level checkpointing. The file at
+// path, when present, must be a checkpoint of this exact sweep
+// configuration and shard slice (schema, sweep name, shard/shards, plan
+// size, config digest and per-job fingerprints are all validated); its
+// completed jobs are reused without re-running. Progress is rewritten to
+// path (atomically, via rename) after every `every` fresh completions and
+// once at the end, so the final file is the complete shard envelope.
+// Returns the envelope plus how many jobs were reused from the
+// checkpoint.
+func (e Engine) RunShardResumable(s Sweep, shard, shards int, path string, every int) (Envelope, int, error) {
+	if every < 1 {
+		return Envelope{}, 0, fmt.Errorf("sweep: checkpoint interval must be >= 1 job, got %d", every)
+	}
+	if shards < 1 {
+		return Envelope{}, 0, fmt.Errorf("sweep: shards must be >= 1, got %d", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return Envelope{}, 0, fmt.Errorf("sweep: shard %d out of range 0..%d", shard, shards-1)
+	}
+	plan, err := validatePlan(s)
+	if err != nil {
+		return Envelope{}, 0, err
+	}
+	var mine []Job
+	for _, j := range plan {
+		if j.Index%shards == shard {
+			mine = append(mine, j)
+		}
+	}
+
+	env := Envelope{
+		Schema:   EnvelopeSchema,
+		Sweep:    s.Name(),
+		Shard:    shard,
+		Shards:   shards,
+		PlanJobs: len(plan),
+		Config:   configFingerprint(s),
+		Jobs:     make([]JobResult, len(mine)),
+	}
+	done := make([]bool, len(mine))
+	resumed := 0
+	if prior, err := loadCheckpoint(path, env, plan, shards); err != nil {
+		return Envelope{}, 0, err
+	} else if prior != nil {
+		byIndex := make(map[int]int, len(mine))
+		for i, j := range mine {
+			byIndex[j.Index] = i
+		}
+		for _, jr := range prior {
+			i := byIndex[jr.Index]
+			env.Jobs[i] = jr
+			done[i] = true
+			resumed++
+		}
+	}
+
+	// The checkpoint writer: completed jobs only, in slice order, guarded
+	// by one mutex shared with the completion counter.
+	var mu sync.Mutex
+	fresh := 0
+	flush := func() error {
+		partial := env
+		partial.Jobs = nil
+		for i, jr := range env.Jobs {
+			if done[i] {
+				partial.Jobs = append(partial.Jobs, jr)
+			}
+		}
+		return writeCheckpoint(path, partial)
+	}
+
+	err = ForEach(len(mine), e.Workers, func(i int) error {
+		if done[i] {
+			return nil
+		}
+		payload, err := s.Run(mine[i])
+		if err != nil {
+			return fmt.Errorf("sweep %s: job %s: %w", s.Name(), mine[i].Key, err)
+		}
+		if !json.Valid(payload) {
+			return fmt.Errorf("sweep %s: job %s returned invalid JSON", s.Name(), mine[i].Key)
+		}
+		jr := JobResult{
+			Key:         mine[i].Key,
+			Index:       mine[i].Index,
+			Fingerprint: FingerprintPayload(payload),
+			Payload:     payload,
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		env.Jobs[i] = jr
+		done[i] = true
+		fresh++
+		if fresh%every == 0 {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Persist whatever completed before the failure, so the retry
+		// resumes instead of restarting; the run itself still fails.
+		mu.Lock()
+		_ = flush()
+		mu.Unlock()
+		return Envelope{}, resumed, err
+	}
+
+	fps := make([]string, len(env.Jobs))
+	for i, j := range env.Jobs {
+		fps[i] = j.Fingerprint
+	}
+	env.Fingerprint = foldFingerprints(fps)
+	if err := writeCheckpoint(path, env); err != nil {
+		return Envelope{}, resumed, err
+	}
+	return env, resumed, nil
+}
+
+// loadCheckpoint reads and validates a checkpoint file against the
+// freshly planned shard. A missing file is a clean cold start (nil, nil).
+// Everything else that is wrong — another sweep, another shard slice,
+// another configuration, a corrupted payload — is an error: silently
+// discarding a checkpoint would hide exactly the mismatch the digest
+// machinery exists to catch.
+func loadCheckpoint(path string, want Envelope, plan []Job, shards int) ([]JobResult, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var prior Envelope
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s is not an envelope (truncated or corrupted): %w", path, err)
+	}
+	if prior.Schema != EnvelopeSchema {
+		return nil, fmt.Errorf("sweep: checkpoint %s has schema %q, this build reads %q", path, prior.Schema, EnvelopeSchema)
+	}
+	if prior.Sweep != want.Sweep {
+		return nil, fmt.Errorf("sweep: checkpoint %s belongs to sweep %q, resuming %q", path, prior.Sweep, want.Sweep)
+	}
+	if prior.Shard != want.Shard || prior.Shards != shards {
+		return nil, fmt.Errorf("sweep: checkpoint %s covers shard %d/%d, resuming shard %d/%d", path, prior.Shard, prior.Shards, want.Shard, shards)
+	}
+	if prior.PlanJobs != want.PlanJobs {
+		return nil, fmt.Errorf("sweep: checkpoint %s plans %d jobs, this configuration plans %d — resume must use the same flags as the checkpointed run", path, prior.PlanJobs, want.PlanJobs)
+	}
+	if prior.Config != want.Config {
+		return nil, fmt.Errorf("sweep: checkpoint %s was produced under a different configuration (digest %s, resuming with %s) — resume must use the same flags as the checkpointed run", path, prior.Config, want.Config)
+	}
+	seen := make(map[int]bool, len(prior.Jobs))
+	for _, jr := range prior.Jobs {
+		if jr.Index < 0 || jr.Index >= len(plan) {
+			return nil, fmt.Errorf("sweep: checkpoint %s job index %d out of plan range", path, jr.Index)
+		}
+		if jr.Index%shards != want.Shard {
+			return nil, fmt.Errorf("sweep: checkpoint %s job %d does not belong to shard %d of %d", path, jr.Index, want.Shard, shards)
+		}
+		if jr.Key != plan[jr.Index].Key {
+			return nil, fmt.Errorf("sweep: checkpoint %s job %d is %q, the plan says %q — resume must use the same flags as the checkpointed run", path, jr.Index, jr.Key, plan[jr.Index].Key)
+		}
+		if seen[jr.Index] {
+			return nil, fmt.Errorf("sweep: checkpoint %s supplies job %d twice", path, jr.Index)
+		}
+		seen[jr.Index] = true
+		if got := FingerprintPayload(jr.Payload); got != jr.Fingerprint {
+			return nil, fmt.Errorf("sweep: checkpoint %s job %s payload does not match its fingerprint (%s vs %s) — file corrupted", path, jr.Key, got, jr.Fingerprint)
+		}
+	}
+	return prior.Jobs, nil
+}
+
+// writeCheckpoint writes the envelope atomically: temp file in the same
+// directory, fsync-free rename, so a kill mid-write leaves the previous
+// checkpoint intact.
+func writeCheckpoint(path string, env Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

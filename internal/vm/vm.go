@@ -106,6 +106,11 @@ type VM struct {
 	// sampling vCPU deltas never see the history as a one-tick spike).
 	// Counters folds it in, keeping lifetime statistics migration-proof.
 	Carried pmc.Counters
+
+	// Spec is the specification the VM was instantiated from, retained
+	// verbatim so checkpointing can rebuild the domain — including its
+	// workload generators, whose seeds derive from the spec — on restore.
+	Spec Spec
 }
 
 // Counters aggregates the PMCs of all the VM's vCPUs plus anything carried

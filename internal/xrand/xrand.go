@@ -31,6 +31,15 @@ func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64()}
 }
 
+// State returns the generator's internal position. Together with SetState
+// it lets checkpoint/restore reproduce a stream bit-for-bit: a generator
+// restored to a captured state emits exactly the values the original
+// would have emitted next.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState rewinds or advances r to a previously captured State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next pseudo-random 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -181,6 +181,16 @@ const (
 type World struct {
 	inner *hv.World
 	kyoto *core.Kyoto
+
+	// oracle is the counter monitor when the config attached one; Snapshot
+	// captures its sampler state alongside the hypervisor's.
+	oracle *monitor.Oracle
+	// cfg is the normalized construction config, retained so Snapshot can
+	// digest it into the envelope (Resume must match it exactly).
+	cfg WorldConfig
+	// shadow marks the trace-replay monitor, whose buffers Snapshot
+	// refuses to serialize.
+	shadow bool
 }
 
 // TableOneMachine returns the scaled replica of the paper's Table 1
@@ -198,14 +208,29 @@ func LookupProfile(name string) (Profile, error) { return workload.Lookup(name) 
 // ProfileNames lists the built-in application profiles.
 func ProfileNames() []string { return workload.Names() }
 
-// NewWorld builds a simulated host from cfg.
-func NewWorld(cfg WorldConfig) (*World, error) {
+// normalizeWorldConfig applies the constructor defaults, so two configs
+// that build identical worlds compare (and digest) identically.
+func normalizeWorldConfig(cfg WorldConfig) WorldConfig {
+	// Order matters: the default machine derives its cache seeds from the
+	// seed exactly as given (including 0), as NewWorld always has.
 	if cfg.Machine.Sockets == 0 {
 		cfg.Machine = machine.TableOne(cfg.Seed)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Scheduler == 0 {
+		cfg.Scheduler = CreditScheduler
+	}
+	if cfg.EnableKyoto && cfg.Indicator == 0 {
+		cfg.Indicator = Equation1
+	}
+	return cfg
+}
+
+// NewWorld builds a simulated host from cfg.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	cfg = normalizeWorldConfig(cfg)
 	cores := cfg.Machine.Sockets * cfg.Machine.CoresPerSocket
 
 	var base sched.Scheduler
@@ -224,7 +249,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("kyoto: the shadow-sim monitor replays per-access traces, which the analytic tier does not produce — use MonitorCounters or FidelityExact")
 	}
 
-	w := &World{}
+	w := &World{cfg: cfg}
 	s := base
 	if cfg.EnableKyoto {
 		w.kyoto = core.New(base)
@@ -237,14 +262,12 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	w.inner = inner
 
 	if cfg.EnableKyoto {
-		ind := cfg.Indicator
-		if ind == 0 {
-			ind = core.Equation1
-		}
 		switch cfg.Monitor {
 		case MonitorCounters:
-			inner.AddHook(monitor.NewOracle(w.kyoto, ind))
+			w.oracle = monitor.NewOracle(w.kyoto, cfg.Indicator)
+			inner.AddHook(w.oracle)
 		case MonitorShadowSim:
+			w.shadow = true
 			inner.AddHook(monitor.NewShadowSim(w.kyoto, cfg.Machine, 0))
 		default:
 			return nil, fmt.Errorf("kyoto: unknown monitor kind %d", cfg.Monitor)

@@ -21,6 +21,11 @@
 #              costs ~15s serial).
 #   SWEEP_EXP     shardable kyotobench experiment to time (default fig4).
 #   SWEEP_SHARDS  local processes for the sharded run (default nproc).
+#   CHECKPOINT "0" skips the checkpoint section: the warm-start forking
+#              sweep (kyotobench -warmstart-json) on each tier, whose
+#              wall_speedup is the measured cold-vs-forked ratio the
+#              snapshot/restore work is accountable to. bit_identical
+#              must stay true — the sweep itself fails otherwise.
 #   FIDELITY   "0" skips the fidelity section: the analytic-vs-exact
 #              tick-throughput ratios (paired from the benchmarks
 #              section, so they are exactly as stable as BENCHTIME) and
@@ -50,6 +55,7 @@ SWEEPS="${SWEEPS:-1}"
 SWEEP_EXP="${SWEEP_EXP:-fig4}"
 SWEEP_SHARDS="${SWEEP_SHARDS:-$(nproc)}"
 FIDELITY="${FIDELITY:-1}"
+CHECKPOINT="${CHECKPOINT:-1}"
 
 run_bench() {
 	go test -run '^$' -bench 'BenchmarkWorldTick|BenchmarkCacheAccess|BenchmarkWorkloadGen|BenchmarkAccessLRU' \
@@ -93,7 +99,7 @@ END {
 	printf "  }\n}\n"
 }' > "$OUT"
 
-if [ "$SWEEPS" != "0" ] || [ "$FIDELITY" != "0" ]; then
+if [ "$SWEEPS" != "0" ] || [ "$FIDELITY" != "0" ] || [ "$CHECKPOINT" != "0" ]; then
 	BIN="$(mktemp -d)"
 	trap 'rm -rf "$BIN"' EXIT
 	go build -o "$BIN/kyotobench" ./cmd/kyotobench
@@ -180,6 +186,32 @@ with open(path, "w") as f:
     f.write("\n")
 EOF
 	echo "fidelity fig4: exact ${exact_ms}ms, analytic ${analytic_ms}ms" >&2
+fi
+
+if [ "$CHECKPOINT" != "0" ]; then
+	# Checkpoint section: the warm-start forking sweep on each tier. The
+	# sweep runs every contention arm cold (re-simulating the shared
+	# warm-up) and forked (all arms restored from one checkpoint),
+	# verifies per-arm bit-identity, and reports the wall-clock ratio —
+	# the number checkpointing is accountable to.
+	"$BIN/kyotobench" -warmstart-json "$BIN/ws-exact.json" -seed 7
+	"$BIN/kyotobench" -warmstart-json "$BIN/ws-analytic.json" -seed 7 -fidelity analytic
+
+	python3 - "$OUT" "$BIN/ws-exact.json" "$BIN/ws-analytic.json" <<'EOF'
+import json, sys
+path, exact, analytic = sys.argv[1:4]
+with open(path) as f:
+    d = json.load(f)
+with open(exact) as f:
+    e = json.load(f)
+with open(analytic) as f:
+    a = json.load(f)
+d["checkpoint"] = {"warmstart": {e["fidelity"]: e, a["fidelity"]: a}}
+with open(path, "w") as f:
+    json.dump(d, f, indent=2)
+    f.write("\n")
+EOF
+	echo "checkpoint warmstart: exact + analytic warm-start sweeps folded in" >&2
 fi
 
 echo "wrote $OUT" >&2

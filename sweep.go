@@ -112,6 +112,17 @@ func RunSweepShard(s Sweep, shard, shards, workers int) (ShardEnvelope, error) {
 	return sweep.Engine{Workers: workers}.RunShard(s, shard, shards)
 }
 
+// RunSweepShardResumable is RunSweepShard with job-level checkpointing:
+// completed jobs are rewritten to the file at path (atomically) after
+// every `every` fresh completions, and a file already present there must
+// be a checkpoint of this exact sweep configuration and shard slice,
+// whose completed jobs are reused without re-running. The final envelope
+// is byte-identical to an uninterrupted RunSweepShard. Returns the
+// envelope plus how many jobs were resumed from the checkpoint.
+func RunSweepShardResumable(s Sweep, shard, shards, workers int, path string, every int) (ShardEnvelope, int, error) {
+	return sweep.Engine{Workers: workers}.RunShardResumable(s, shard, shards, path, every)
+}
+
 // RunSweep executes the whole sweep in-process and merges the result —
 // the single-machine path, bit-identical to a sharded run of the same
 // sweep.
