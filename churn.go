@@ -10,6 +10,7 @@ package kyoto
 import (
 	"kyoto/internal/arrivals"
 	"kyoto/internal/cluster"
+	"kyoto/internal/detect"
 	"kyoto/internal/experiments"
 )
 
@@ -61,6 +62,23 @@ type (
 	// MigrationSweepResult compares the combinations over one trace; its
 	// Table renders the migration-vs-admission report.
 	MigrationSweepResult = experiments.MigrationSweepResult
+	// DetectorConfig tunes the streaming change-point detector behind
+	// the signature rebalancer (EWMA smoothing, CUSUM drift/threshold,
+	// warm-up); the zero value selects the detect package defaults.
+	DetectorConfig = detect.Config
+	// ChangePoint is one confirmed regime shift in a VM's pollution-rate
+	// series, as logged by the signature rebalancer.
+	ChangePoint = cluster.ChangePoint
+	// LifetimeEstimator predicts a VM's expected remaining lifetime from
+	// its age; the signature rebalancer uses it to skip migrations that
+	// would not amortize their cache-rewarm cost.
+	LifetimeEstimator = cluster.LifetimeEstimator
+	// DetectionSweepConfig parameterizes the three-arm detection sweep.
+	DetectionSweepConfig = experiments.DetectionSweepConfig
+	// DetectionSweepResult scores threshold-reactive, signature-reactive
+	// and admission-only arms against the trace's aggressive-app ground
+	// truth; its Table reports false-trigger rates and time-to-detect.
+	DetectionSweepResult = experiments.DetectionSweepResult
 	// TwoTierTraceResult pairs a broad analytic trace sweep with the
 	// exact re-runs of its leading arms (SweepTraceTwoTier).
 	TwoTierTraceResult = experiments.TwoTierTraceResult
@@ -98,8 +116,30 @@ func NewTopologyRebalancer(threshold float64) Rebalancer {
 	return &cluster.TopologyAware{Threshold: threshold}
 }
 
+// NewSignatureRebalancer returns the change-detection rebalancer: every
+// VM's Equation-1 rate series runs through a streaming CUSUM
+// change-point detector (DetectorConfig; zero value = defaults), and
+// migrations are planned only on confirmed upward shifts — the
+// victim-side signal that a polluter landed on the host. Confirmed
+// shifts evict the shifted host's worst polluter above threshold (0
+// selects the default) toward the coolest feasible host, batched up to
+// a per-epoch cap. Attach a LifetimeEstimator (TraceLifetimes) to skip
+// migrations whose expected remaining VM lifetime would not amortize
+// the evicted cache footprint. The returned instance carries per-replay
+// state (detectors, cooldowns, the change-point log), so use a fresh
+// one per replay.
+func NewSignatureRebalancer(threshold float64, det DetectorConfig, lifetimes LifetimeEstimator) Rebalancer {
+	return &cluster.Signature{Threshold: threshold, Detector: det, Lifetimes: lifetimes}
+}
+
+// TraceLifetimes builds the empirical mean-residual-life estimator from
+// a trace's lifetime distribution, the LifetimeEstimator the signature
+// rebalancer's amortization check wants.
+func TraceLifetimes(tr Trace) LifetimeEstimator { return arrivals.NewLifetimeStats(tr) }
+
 // RebalancerByName returns the built-in rebalancer with the given CLI
-// name ("reactive", "topo"); "none" and "" return nil (no rebalancing).
+// name ("reactive", "topo", "signature"); "none" and "" return nil (no
+// rebalancing).
 func RebalancerByName(name string) (Rebalancer, error) {
 	return cluster.RebalancerByName(name)
 }
@@ -161,4 +201,14 @@ func SweepTraceTwoTier(tr Trace, cfg TraceSweepConfig, topK int) (*TwoTierTraceR
 // per combination.
 func SweepMigrations(tr Trace, cfg MigrationSweepConfig) (*MigrationSweepResult, error) {
 	return experiments.MigrationSweep(tr, cfg)
+}
+
+// SweepDetection replays the trace through three arms on identically
+// seeded fleets — proactive Kyoto admission, threshold-reactive
+// migration and signature-reactive migration (change-point detection) —
+// and scores each arm's triggers against the trace's aggressive-app
+// arrivals: false-trigger rate, detection coverage and mean
+// time-to-detect, alongside the usual p99 normalized-performance floor.
+func SweepDetection(tr Trace, cfg DetectionSweepConfig) (*DetectionSweepResult, error) {
+	return experiments.DetectionSweep(tr, cfg)
 }

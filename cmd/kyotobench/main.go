@@ -11,7 +11,7 @@
 // paper's bars/series; EXPERIMENTS.md records the paper-vs-measured
 // comparison.
 //
-// The sweep-shaped experiments (fig4, fig4matrix, ablations — see
+// The sweep-shaped experiments (fig4, fig4matrix, ablations, detection — see
 // -list-shardable) can be fanned out across processes: -shard k/n runs
 // the k-th of n shards of one experiment's job plan and writes a JSON
 // shard envelope, and -merge folds the envelopes of all n shards back
@@ -25,7 +25,7 @@
 // scripts/sweep_shards.sh automates that fan-out over local processes;
 // the same envelopes move across machines with any file transport.
 //
-// -seeds N replicates a seedable experiment (fig4, ablations) under N
+// -seeds N replicates a seedable experiment (fig4, ablations, detection) under N
 // consecutive seeds starting at -seed and prints per-metric means,
 // percentiles and confidence intervals instead of single numbers. The
 // seed sweep is itself a sweep, so -seeds composes with -shard/-merge:
@@ -87,7 +87,7 @@ type experimentFunc func(seed uint64) ([]experiments.Table, error)
 // accelerate. The rest either measure cache micro-behaviour the
 // analytic tier deliberately does not simulate (ablations partition the
 // exact LLC) or are cheap enough that two tiers would be noise.
-var fidelityCapable = map[string]bool{"fig4": true, "warmstart": true}
+var fidelityCapable = map[string]bool{"fig4": true, "warmstart": true, "detection": true}
 
 // twoTierCapable lists the experiments -fidelity two-tier applies to —
 // the ones whose broad pass ranks arms for exact confirmation.
@@ -215,6 +215,13 @@ func registry(fid cache.Fidelity) map[string]experimentFunc {
 			}
 			return []experiments.Table{r.Table()}, nil
 		},
+		"detection": func(seed uint64) ([]experiments.Table, error) {
+			s := experiments.NewDetectionBenchSweeper(seed, fid)
+			if err := (sweep.Engine{}).Run(s); err != nil {
+				return nil, err
+			}
+			return []experiments.Table{s.Result().Table()}, nil
+		},
 	}
 }
 
@@ -282,6 +289,7 @@ func shardableSweeps(seed uint64, fid cache.Fidelity) map[string]shardableSweep 
 	fig4 := experiments.NewFig4SweeperFidelity(seed, fid)
 	matrix := experiments.NewFig4MatrixSweeper(seed)
 	abl := experiments.NewAblationSweeper(seed)
+	det := experiments.NewDetectionBenchSweeper(seed, fid)
 	return map[string]shardableSweep{
 		"fig4": {fig4, func() ([]experiments.Table, error) {
 			return []experiments.Table{fig4.Result().Table()}, nil
@@ -291,6 +299,9 @@ func shardableSweeps(seed uint64, fid cache.Fidelity) map[string]shardableSweep 
 		}},
 		"ablations": {abl, func() ([]experiments.Table, error) {
 			return []experiments.Table{*abl.Result()}, nil
+		}},
+		"detection": {det, func() ([]experiments.Table, error) {
+			return []experiments.Table{det.Result().Table()}, nil
 		}},
 	}
 }
@@ -311,6 +322,7 @@ func seedableSweeps(seed uint64, fid cache.Fidelity) map[string]sweep.Seedable {
 	return map[string]sweep.Seedable{
 		"fig4":      experiments.NewFig4SweeperFidelity(seed, fid),
 		"ablations": experiments.NewAblationSweeper(seed),
+		"detection": experiments.NewDetectionBenchSweeper(seed, fid),
 	}
 }
 
@@ -357,7 +369,7 @@ func run(args []string) (err error) {
 		mergeGlobs = fs.String("merge", "", "comma-separated shard envelope files/globs to merge into the experiment's tables")
 		listShard  = fs.Bool("list-shardable", false, "list experiment ids that support -shard/-merge and exit")
 		seeds      = fs.Int("seeds", 0, "statistical mode: replicate a seedable experiment under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
-		fidelity   = fs.String("fidelity", "exact", "cache-model tier for fidelity-capable experiments (fig4, warmstart): exact, analytic, or two-tier (fig4 only: broad analytic pass, top attackers confirmed exact)")
+		fidelity   = fs.String("fidelity", "exact", "cache-model tier for fidelity-capable experiments (fig4, warmstart, detection): exact, analytic, or two-tier (fig4 only: broad analytic pass, top attackers confirmed exact)")
 		confirmTop = fs.Int("confirm-top", 1, "attackers the two-tier mode re-runs on the exact tier")
 		wsJSON     = fs.String("warmstart-json", "", "run the warm-start forking sweep and write its fork accounting as JSON to this file ('-' = stdout) instead of tables")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -440,7 +452,7 @@ func run(args []string) (err error) {
 			return fmt.Errorf("experiment %q does not support -fidelity two-tier (two-tier applies to: fig4)", selected[i])
 		}
 		if !twoTier && fid != cache.FidelityExact && !fidelityCapable[selected[i]] {
-			return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart)", selected[i])
+			return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart, detection)", selected[i])
 		}
 	}
 
@@ -541,7 +553,7 @@ func runSharded(runList string, seed uint64, seeds, workers int, fid cache.Fidel
 	id := strings.TrimSpace(ids[0])
 	var entry shardableSweep
 	if fid != cache.FidelityExact && !fidelityCapable[id] {
-		return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart)", id)
+		return fmt.Errorf("experiment %q runs on the exact tier only (-fidelity applies to: fig4, warmstart, detection)", id)
 	}
 	if seeds > 0 {
 		var err error

@@ -38,7 +38,11 @@
 // LLC) so the topology-aware rebalancer has somewhere to steer
 // polluters — applied automatically (factor 2) whenever a topo arm is
 // swept, and never otherwise, so non-topo sweeps stay comparable to
-// plain -trace runs. See internal/cluster/README.md for the policies.
+// plain -trace runs. -migrate signature sweeps the change-detection
+// rebalancer, which migrates only on confirmed CUSUM change points in
+// per-VM pollution rates; its detector knobs are -detect-alpha,
+// -detect-drift, -detect-threshold and -detect-warmup. See
+// internal/cluster/README.md for the policies.
 //
 // Both sweep modes shard across processes: -shard k/n runs the k-th of n
 // shards of the sweep's job plan and writes a JSON envelope instead of
@@ -194,12 +198,17 @@ func run(args []string, out io.Writer) (err error) {
 		meanLife  = fs.Float64("churn-life", 0, "mean synthetic VM lifetime in ticks (default 45)")
 		traceOut  = fs.String("trace-out", "", "write the synthesized -churn trace to this JSON file")
 
-		migrate      = fs.String("migrate", "", "live-migration sweep: compare no-migration against this rebalancer (reactive, topo, or all for both) across all three placers")
+		migrate      = fs.String("migrate", "", "live-migration sweep: compare no-migration against this rebalancer (reactive, topo, signature, or all for every one) across all three placers")
 		pending      = fs.String("pending", "", "pending-queue policy for the migration sweep: none, fifo, deadline or sjf (default fifo once -migrate/-pending engage the sweep)")
 		migrateEvery = fs.Uint64("migrate-every", 0, "rebalance epoch in ticks (default 12)")
 		downtime     = fs.Int("migrate-downtime", 0, "per-migration blackout in ticks (default 0)")
 		maxWait      = fs.Uint64("pending-deadline", 0, "max queue wait in ticks under -pending deadline (default 60)")
 		bigLLC       = fs.Int("big-llc", -1, "LLC scale factor of the sweep's highest-ID host (power of two; 0 = homogeneous; default: 2 when a topo arm is swept, else 0 so non-topo sweeps stay comparable to plain -trace runs)")
+
+		detectAlpha     = fs.Float64("detect-alpha", 0, "signature arm: EWMA smoothing factor in (0,1] for the change-point detector (default 0.2)")
+		detectDrift     = fs.Float64("detect-drift", 0, "signature arm: CUSUM drift (slack) in normalized units, >= 0 (default 0.5)")
+		detectThreshold = fs.Float64("detect-threshold", 0, "signature arm: CUSUM fire threshold in normalized units, > 0 (default 5)")
+		detectWarmup    = fs.Int("detect-warmup", 0, "signature arm: samples the detector observes before arming (default 4)")
 
 		seeds = fs.Int("seeds", 0, "statistical mode: replicate the -trace/-churn sweep under this many consecutive seeds (starting at -seed) and report per-metric means, percentiles and 95% confidence intervals")
 
@@ -271,6 +280,7 @@ func run(args []string, out io.Writer) (err error) {
 	if *tracePath == "" && *churn == 0 {
 		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
 			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc",
+			"detect-alpha", "detect-drift", "detect-threshold", "detect-warmup",
 			"seeds", "shard", "shard-out", "merge"} {
 			if set[name] {
 				return fmt.Errorf("-%s only applies in -trace/-churn mode", name)
@@ -321,6 +331,21 @@ func run(args []string, out io.Writer) (err error) {
 					return fmt.Errorf("-%s only applies with -migrate/-pending", name)
 				}
 			}
+		}
+		// Detector knobs tune the signature rebalancer's change-point
+		// detector; with no signature arm in the sweep they would be
+		// silently dropped.
+		signatureArm := *migrate == "signature" || *migrate == "all"
+		for _, name := range []string{"detect-alpha", "detect-drift", "detect-threshold", "detect-warmup"} {
+			if set[name] && !signatureArm {
+				return fmt.Errorf("-%s only applies with -migrate signature (or -migrate all)", name)
+			}
+		}
+		detector := kyoto.DetectorConfig{
+			Alpha:     *detectAlpha,
+			Drift:     *detectDrift,
+			Threshold: *detectThreshold,
+			Warmup:    *detectWarmup,
 		}
 		// A shard run's stdout is just the envelope (or nothing, with
 		// -shard-out to a file): the informational preamble would pollute
@@ -392,7 +417,7 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		if migrateMode {
 			return executeMigrationSweep(tr, *hosts, *seed, *seeds, fid, *migrate, *pending,
-				*migrateEvery, *downtime, *maxWait, *bigLLC, dispatch, out)
+				*migrateEvery, *downtime, *maxWait, *bigLLC, detector, dispatch, out)
 		}
 		return executeTrace(tr, *hosts, *seed, *seeds, fid, dispatch, out)
 	}
@@ -565,7 +590,7 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.F
 // executeMigrationSweep runs the rebalancer x placer grid over the trace
 // and prints the comparison table plus a per-combination migration digest.
 func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, migrate, pending string,
-	every uint64, downtime int, maxWait uint64, bigLLC int, dispatch sweepDispatch, out io.Writer) error {
+	every uint64, downtime int, maxWait uint64, bigLLC int, detector kyoto.DetectorConfig, dispatch sweepDispatch, out io.Writer) error {
 	var rebalancers []string
 	switch migrate {
 	case "", "none":
@@ -607,6 +632,7 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, fi
 		Pending:        pp,
 		MaxWait:        maxWait,
 		BigLLCFactor:   bigLLC,
+		Detector:       detector,
 		Fidelity:       fid,
 	})
 	if err != nil {

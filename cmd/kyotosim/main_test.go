@@ -472,3 +472,88 @@ func TestMigrateModeFlagValidation(t *testing.T) {
 		t.Fatal("-pending outside -trace/-churn mode must fail")
 	}
 }
+
+// TestSignatureFlagValidation pins the clean-error contract for the
+// change-detection arm's knobs: out-of-range detector values fail before
+// any replay runs, and detector flags without a signature arm in the
+// sweep are rejected rather than silently dropped.
+func TestSignatureFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"alpha > 1":          {"-churn", "5", "-migrate", "signature", "-detect-alpha", "2"},
+		"negative alpha":     {"-churn", "5", "-migrate", "signature", "-detect-alpha", "-0.5"},
+		"negative drift":     {"-churn", "5", "-migrate", "signature", "-detect-drift", "-1"},
+		"negative threshold": {"-churn", "5", "-migrate", "signature", "-detect-threshold", "-2"},
+		"negative warmup":    {"-churn", "5", "-migrate", "signature", "-detect-warmup", "-1"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Fatalf("%s: invalid detector knob must fail", name)
+		}
+	}
+	if err := run([]string{"-churn", "5", "-migrate", "reactive", "-detect-drift", "0.5"}, &strings.Builder{}); err == nil {
+		t.Fatal("-detect-drift without a signature arm must be rejected, not silently ignored")
+	}
+	if err := run([]string{"-churn", "5", "-detect-alpha", "0.5"}, &strings.Builder{}); err == nil {
+		t.Fatal("-detect-alpha without -migrate must fail")
+	}
+	if err := run([]string{"-scenario", "s.json", "-detect-threshold", "3"}, &strings.Builder{}); err == nil {
+		t.Fatal("-detect-threshold outside -trace/-churn mode must fail")
+	}
+}
+
+// TestSignatureSweepComposition is the acceptance lock for -migrate
+// signature: the arm composes with -fidelity analytic, -seeds and
+// -shard/-merge, the merged statistics table is byte-identical to the
+// serial run, and the detector knobs enter the sweep's configuration
+// digest (envelopes from differently tuned detectors refuse to merge).
+func TestSignatureSweepComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a synthetic trace under several seeds twice")
+	}
+	// Single-seed run first: the table must carry the signature arm.
+	single := []string{"-churn", "10", "-hosts", "3", "-seed", "7", "-migrate", "signature",
+		"-fidelity", "analytic", "-detect-alpha", "0.2", "-detect-drift", "0.1",
+		"-detect-threshold", "1", "-detect-warmup", "2"}
+	var out strings.Builder
+	if err := run(single, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "signature") || !strings.Contains(out.String(), "Migration sweep") {
+		t.Fatalf("signature sweep table wrong:\n%s", out.String())
+	}
+
+	dir := t.TempDir()
+	base := append(append([]string{}, single...), "-seeds", "3")
+	for _, spec := range []string{"0/3", "1/3", "2/3"} {
+		args := append(append([]string{}, base...),
+			"-shard", spec, "-shard-out", filepath.Join(dir, "shard-"+spec[:1]+".json"))
+		if err := run(args, &strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var serial, merged strings.Builder
+	if err := run(base, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-merge", filepath.Join(dir, "shard-*.json")), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != merged.String() {
+		t.Fatalf("merged signature seed sweep differs from serial:\n--- serial\n%s\n--- merged\n%s",
+			serial.String(), merged.String())
+	}
+	if !strings.Contains(merged.String(), "Seed sweep") || !strings.Contains(merged.String(), "signature") {
+		t.Fatalf("merged output is not the signature statistics table:\n%s", merged.String())
+	}
+	// A different detector tuning plans a different sweep: the envelopes
+	// must refuse to merge via the configuration digest rather than print
+	// a table for detectors that never ran.
+	bad := append(append([]string{}, base...), "-merge", filepath.Join(dir, "shard-*.json"))
+	for i, a := range bad {
+		if a == "-detect-threshold" {
+			bad[i+1] = "4"
+		}
+	}
+	if err := run(bad, &strings.Builder{}); err == nil {
+		t.Fatal("envelopes from a differently tuned detector merged silently")
+	}
+}

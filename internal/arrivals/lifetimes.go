@@ -1,0 +1,67 @@
+package arrivals
+
+// Trace-derived lifetime statistics: the empirical mean-residual-life
+// estimator the Signature rebalancer's migration-cost check consumes.
+// Cloud VM lifetimes are heavy-tailed (the synthesizer draws Pareto, as
+// the Azure traces motivate), which inverts the naive intuition: a VM
+// that has already run a long time is *more* likely to keep running,
+// and is therefore a better migration investment than a young VM that
+// will probably depart before its rewarmed cache pays for the move.
+
+import (
+	"math"
+	"sort"
+
+	"kyoto/internal/cluster"
+)
+
+// LifetimeStats is an empirical mean-residual-life estimator built from
+// a trace's lifetime distribution. It implements
+// cluster.LifetimeEstimator.
+type LifetimeStats struct {
+	// sorted holds the finite lifetimes ascending; suffix[i] is the sum
+	// of sorted[i:], so a conditional mean is two lookups.
+	sorted []uint64
+	suffix []float64
+}
+
+var _ cluster.LifetimeEstimator = (*LifetimeStats)(nil)
+
+// NewLifetimeStats builds the estimator from the trace's finite
+// lifetimes (Lifetime 0 means the VM never departs; such events carry
+// no departure evidence and are excluded from the sample).
+func NewLifetimeStats(tr Trace) *LifetimeStats {
+	s := &LifetimeStats{}
+	for _, ev := range tr.Events {
+		if ev.Lifetime > 0 {
+			s.sorted = append(s.sorted, ev.Lifetime)
+		}
+	}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	s.suffix = make([]float64, len(s.sorted)+1)
+	for i := len(s.sorted) - 1; i >= 0; i-- {
+		s.suffix[i] = s.suffix[i+1] + float64(s.sorted[i])
+	}
+	return s
+}
+
+// Samples returns the number of finite lifetimes the estimator holds.
+func (s *LifetimeStats) Samples() int { return len(s.sorted) }
+
+// ExpectedRemainingTicks implements cluster.LifetimeEstimator: the
+// empirical mean residual life at the given age, mean(L - age | L >
+// age) over the trace's lifetimes. With no finite lifetimes at all it
+// returns +Inf (no departure was ever observed); when no sampled
+// lifetime exceeds the age it returns 0 (nothing in the trace lived
+// that long, so there is no evidence the VM will either).
+func (s *LifetimeStats) ExpectedRemainingTicks(age uint64) float64 {
+	if len(s.sorted) == 0 {
+		return math.Inf(1)
+	}
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] > age })
+	n := len(s.sorted) - i
+	if n == 0 {
+		return 0
+	}
+	return (s.suffix[i] - float64(n)*float64(age)) / float64(n)
+}

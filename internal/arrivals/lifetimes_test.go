@@ -1,0 +1,63 @@
+package arrivals
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLifetimeStatsMeanResidualLife(t *testing.T) {
+	tr := Trace{Events: []Event{
+		{App: "gcc", Lifetime: 10},
+		{App: "gcc", Lifetime: 20},
+		{App: "lbm", Lifetime: 40},
+		{App: "gcc"}, // never departs: no lifetime evidence, excluded
+	}}
+	s := NewLifetimeStats(tr)
+	if s.Samples() != 3 {
+		t.Fatalf("samples %d, want 3 (immortal VM excluded)", s.Samples())
+	}
+	cases := []struct {
+		age  uint64
+		want float64
+	}{
+		{0, 70.0 / 3}, // mean of {10,20,40}
+		{10, 20},      // survivors {20,40}: mean(L-10) = (10+30)/2
+		{39, 1},       // only the 40-tick VM survives
+		{40, 0},       // nothing in the trace lived past 40
+		{1000, 0},     // far past every sample
+	}
+	for _, c := range cases {
+		if got := s.ExpectedRemainingTicks(c.age); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("age %d: remaining %v, want %v", c.age, got, c.want)
+		}
+	}
+}
+
+func TestLifetimeStatsNoEvidence(t *testing.T) {
+	s := NewLifetimeStats(Trace{Events: []Event{{App: "gcc"}}})
+	if s.Samples() != 0 {
+		t.Fatalf("samples %d, want 0", s.Samples())
+	}
+	if got := s.ExpectedRemainingTicks(7); !math.IsInf(got, 1) {
+		t.Fatalf("no departures ever observed must mean +Inf remaining, got %v", got)
+	}
+}
+
+func TestLifetimeStatsResidualGrowsOnHeavyTail(t *testing.T) {
+	// A heavy-tailed mix: many short VMs, a few very long ones. The mean
+	// residual life must *increase* with age — the inversion that makes
+	// old VMs better migration investments than young ones.
+	ev := make([]Event, 0, 104)
+	for i := 0; i < 100; i++ {
+		ev = append(ev, Event{App: "gcc", Lifetime: 5})
+	}
+	for i := 0; i < 4; i++ {
+		ev = append(ev, Event{App: "gcc", Lifetime: 1000})
+	}
+	s := NewLifetimeStats(Trace{Events: ev})
+	young := s.ExpectedRemainingTicks(0)
+	old := s.ExpectedRemainingTicks(10)
+	if old <= young {
+		t.Fatalf("residual life at age 10 (%v) must exceed age 0 (%v) on a heavy tail", old, young)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"kyoto/internal/arrivals"
 	"kyoto/internal/cluster"
+	"kyoto/internal/detect"
 )
 
 // churnOptions rebuilds each golden scenario's (fleet, options) pair.
@@ -37,6 +38,24 @@ var churnOptions = map[string]struct {
 				Pending:           arrivals.PendingFIFO,
 				Rebalancer:        &cluster.Reactive{},
 				RebalanceEvery:    9,
+				MigrationDowntime: 2,
+			}
+		},
+	},
+	// A detector-armed rebalancer: the checkpoint must carry every
+	// per-VM CUSUM detector (EWMA baselines mid-convergence, partial
+	// sums), the VM ages and the change-point log across the wire and
+	// resume bit-identically. The twitchy detector knobs make the
+	// detectors fire during the pinned pause window, so the resumed run
+	// crosses live detection state, not just empty maps.
+	"kyoto-churn-migrate-signature": {
+		overrides: func() map[int]cluster.HostOverride { return nil },
+		opt: func() arrivals.Options {
+			return arrivals.Options{
+				DrainTicks:        6,
+				Pending:           arrivals.PendingFIFO,
+				Rebalancer:        &cluster.Signature{Detector: detect.Config{Alpha: 0.2, Drift: 0.1, Threshold: 1, Warmup: 2}},
+				RebalanceEvery:    4,
 				MigrationDowntime: 2,
 			}
 		},

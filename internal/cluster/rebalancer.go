@@ -159,6 +159,20 @@ func (c *migrationCooldown) eligible(name string, cooldownEpochs int) bool {
 // moved records the VM as migrated this epoch.
 func (c *migrationCooldown) moved(name string) { c.lastMoved[name] = c.epoch }
 
+// beginEpoch is the shared epoch prologue of every built-in rebalancer:
+// advance the cooldown bookkeeping, resolve the Threshold and
+// CooldownEpochs knobs to their defaults in one place, and return the
+// resolved threshold plus the eligibility predicate for this epoch.
+// Reactive, TopologyAware and Signature all start their Plan here, so
+// the knob-defaulting rules cannot drift between policies.
+func (c *migrationCooldown) beginEpoch(view RebalanceView, thresholdKnob float64, cooldownKnob int) (thr float64, eligible func(name string) bool) {
+	c.advance(view)
+	cool := cooldownEpochs(cooldownKnob)
+	return threshold(thresholdKnob), func(name string) bool {
+		return c.eligible(name, cool)
+	}
+}
+
 // cooldownEpochs resolves the knob: 0 means the default, negative
 // disables the hysteresis entirely.
 func cooldownEpochs(n int) int {
@@ -199,11 +213,8 @@ func (*Reactive) Name() string { return "reactive" }
 // Plan implements Rebalancer: at most one migration per epoch, worst
 // eligible polluter of the hottest host to the coolest feasible host.
 func (r *Reactive) Plan(hosts []*Host, view RebalanceView) []Migration {
-	r.cd.advance(view)
-	cool := cooldownEpochs(r.CooldownEpochs)
-	worst := worstPolluter(view, threshold(r.Threshold), func(name string) bool {
-		return r.cd.eligible(name, cool)
-	})
+	thr, eligible := r.cd.beginEpoch(view, r.Threshold, r.CooldownEpochs)
+	worst := worstPolluter(view, thr, eligible)
 	if worst == nil {
 		return nil
 	}
@@ -254,11 +265,8 @@ func (*TopologyAware) Name() string { return "topo" }
 
 // Plan implements Rebalancer.
 func (t *TopologyAware) Plan(hosts []*Host, view RebalanceView) []Migration {
-	t.cd.advance(view)
-	cool := cooldownEpochs(t.CooldownEpochs)
-	worst := worstPolluter(view, threshold(t.Threshold), func(name string) bool {
-		return t.cd.eligible(name, cool)
-	})
+	thr, eligible := t.cd.beginEpoch(view, t.Threshold, t.CooldownEpochs)
+	worst := worstPolluter(view, thr, eligible)
 	if worst == nil {
 		return nil
 	}
@@ -362,10 +370,12 @@ func RebalancerByName(name string) (Rebalancer, error) {
 		return &Reactive{}, nil
 	case "topo", "topology":
 		return &TopologyAware{}, nil
+	case "signature":
+		return &Signature{}, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown rebalancer %q (want none, reactive or topo)", name)
+		return nil, fmt.Errorf("cluster: unknown rebalancer %q (want none, reactive, topo or signature)", name)
 	}
 }
 
 // RebalancerNames lists the built-in rebalancer names for CLI help.
-func RebalancerNames() []string { return []string{"none", "reactive", "topo"} }
+func RebalancerNames() []string { return []string{"none", "reactive", "topo", "signature"} }

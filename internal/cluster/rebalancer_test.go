@@ -213,7 +213,7 @@ func TestRebalancerByName(t *testing.T) {
 			t.Fatalf("%q: rb %v err %v, want nil/nil", name, rb, err)
 		}
 	}
-	for name, want := range map[string]string{"reactive": "reactive", "topo": "topo", "topology": "topo"} {
+	for name, want := range map[string]string{"reactive": "reactive", "topo": "topo", "topology": "topo", "signature": "signature"} {
 		rb, err := RebalancerByName(name)
 		if err != nil || rb.Name() != want {
 			t.Fatalf("%q: %v / %v", name, rb, err)

@@ -1,0 +1,284 @@
+// Package detect provides a streaming change-point detector for
+// per-VM pollution-rate series: a two-sided CUSUM over EWMA-normalized
+// samples, in the spirit of the signature-based IaaS performance change
+// detection literature (Fattah & Bouguettaya). The cluster rebalancers
+// feed it one Equation-1 rate per rebalance epoch and act only on
+// confirmed regime shifts instead of instantaneous threshold crossings,
+// which suppresses the false triggers a raw threshold fires on every
+// transient spike.
+//
+// The detector is pure, deterministic math: the same sample stream
+// always yields the same change points, and the full internal state is
+// exposed through State/SetState so a detector checkpointed mid-stream
+// resumes bit-identically (the contract internal/snapshot relies on).
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defaults for the Config knobs. Zero-valued knobs resolve to these, in
+// the same style as cluster.DefaultRebalanceThreshold.
+const (
+	// DefaultAlpha is the EWMA smoothing factor for the running baseline
+	// mean and variance. 0.2 weights the last ~5 epochs, matching the
+	// rebalancers' view of "recent" behaviour.
+	DefaultAlpha = 0.2
+	// DefaultDrift is the CUSUM slack k, in sigma units: deviations
+	// smaller than k·sigma per sample are absorbed as noise and never
+	// accumulate toward a change point.
+	DefaultDrift = 0.5
+	// DefaultThreshold is the CUSUM decision threshold h, in accumulated
+	// sigma units. With k=0.5 and h=5, a sustained 1.5-sigma shift is
+	// confirmed after five epochs; a one-epoch spike never is.
+	DefaultThreshold = 5
+	// DefaultWarmup is the number of samples the detector observes to
+	// learn its baseline before it may fire. Warm-up restarts after every
+	// confirmed change point, when the baseline re-anchors. Four samples
+	// is deliberately short: the streams this package watches are per-VM
+	// epoch rates, and cloud VM lifetimes are only a few tens of epochs
+	// at best — a longer warm-up would outlive most of the fleet before
+	// ever arming. The z-clip bounds the false-fire cost of the
+	// under-converged early variance.
+	DefaultWarmup = 4
+)
+
+// sigmaFloor bounds the normalization denominator away from zero so a
+// perfectly flat baseline (variance exactly 0) still yields finite
+// z-scores when the series finally moves.
+const sigmaFloor = 1e-9
+
+// zClip bounds each sample's normalized deviation. Without it, the
+// first sample after a flat baseline would contribute an astronomically
+// large z (sigma at the floor) and poison the CUSUM sums; with it, any
+// single sample advances the sums by at most zClip-drift.
+const zClip = 8
+
+// Direction labels a confirmed change point.
+type Direction int
+
+const (
+	// None means no change point was confirmed at this sample.
+	None Direction = 0
+	// Up means the series shifted to a higher regime.
+	Up Direction = 1
+	// Down means the series shifted to a lower regime.
+	Down Direction = -1
+)
+
+// String returns the direction's report label.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return "none"
+	}
+}
+
+// Config holds the detector knobs. The zero value selects all defaults.
+type Config struct {
+	// Alpha is the EWMA smoothing factor for the baseline mean and
+	// variance, in (0, 1). 0 selects DefaultAlpha.
+	Alpha float64
+	// Drift is the CUSUM slack k in sigma units; per-sample deviations
+	// below it never accumulate. 0 selects DefaultDrift.
+	Drift float64
+	// Threshold is the CUSUM decision threshold h in accumulated sigma
+	// units. 0 selects DefaultThreshold.
+	Threshold float64
+	// Warmup is the number of baseline-learning samples before the
+	// detector may fire, restarted after each confirmed change point.
+	// 0 selects DefaultWarmup.
+	Warmup int
+}
+
+// resolve returns cfg with zero-valued knobs replaced by the defaults.
+func (cfg Config) resolve() Config {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.Drift == 0 {
+		cfg.Drift = DefaultDrift
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = DefaultWarmup
+	}
+	return cfg
+}
+
+// validate rejects resolved configs the detector's guarantees do not
+// hold for.
+func (cfg Config) validate() error {
+	if math.IsNaN(cfg.Alpha) || cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return fmt.Errorf("detect: alpha %v outside (0, 1)", cfg.Alpha)
+	}
+	if math.IsNaN(cfg.Drift) || math.IsInf(cfg.Drift, 0) || cfg.Drift < 0 {
+		return fmt.Errorf("detect: drift %v must be a finite non-negative sigma count", cfg.Drift)
+	}
+	if math.IsNaN(cfg.Threshold) || math.IsInf(cfg.Threshold, 0) || cfg.Threshold < 0 {
+		return fmt.Errorf("detect: threshold %v must be a finite non-negative sigma count", cfg.Threshold)
+	}
+	if cfg.Warmup < 0 {
+		return fmt.Errorf("detect: warmup %d must be non-negative", cfg.Warmup)
+	}
+	return nil
+}
+
+// State is the detector's complete internal state. Marshal/unmarshal
+// round-trips bit-exactly (encoding/json emits shortest round-trip
+// float forms), so a detector restored from a checkpointed State
+// continues its stream identically to one that never paused.
+type State struct {
+	// Seen counts samples since the last baseline anchor (construction
+	// or the most recent confirmed change point).
+	Seen uint64 `json:"seen"`
+	// Mean and Var are the EWMA baseline estimates.
+	Mean float64 `json:"mean"`
+	Var  float64 `json:"var"`
+	// SPos and SNeg are the upward and downward CUSUM sums.
+	SPos float64 `json:"s_pos"`
+	SNeg float64 `json:"s_neg"`
+}
+
+// valid rejects states no Step sequence could have produced.
+func (st State) valid() error {
+	for _, v := range []float64{st.Mean, st.Var, st.SPos, st.SNeg} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("detect: non-finite state value %v", v)
+		}
+	}
+	if st.Var < 0 || st.SPos < 0 || st.SNeg < 0 {
+		return fmt.Errorf("detect: negative variance or CUSUM sum in state")
+	}
+	return nil
+}
+
+// Detector is a streaming two-sided CUSUM change-point detector over an
+// EWMA-normalized series. One Detector tracks one series; it is not
+// safe for concurrent use.
+type Detector struct {
+	cfg Config
+	st  State
+}
+
+// New returns a detector with cfg's zero values resolved to the
+// defaults. It errors on knobs outside their domains (alpha not in
+// (0,1), negative drift/threshold/warmup, NaN anywhere).
+func New(cfg Config) (*Detector, error) {
+	cfg = cfg.resolve()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Config returns the resolved knob values the detector runs with.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Warm reports whether the detector has finished learning its baseline
+// and is armed to fire.
+func (d *Detector) Warm() bool { return d.st.Seen > uint64(d.cfg.Warmup) }
+
+// State returns a copy of the detector's complete internal state.
+func (d *Detector) State() State { return d.st }
+
+// SetState replaces the detector's internal state, typically with a
+// State captured from another detector of the same Config. The restored
+// detector's subsequent Step results are bit-identical to the source's.
+func (d *Detector) SetState(st State) error {
+	if err := st.valid(); err != nil {
+		return err
+	}
+	d.st = st
+	return nil
+}
+
+// Step feeds one sample and reports whether it confirms a change point,
+// and in which direction. Non-finite samples are rejected with an error
+// and leave the state untouched. Step never fires during warm-up — the
+// first Warmup samples after construction or after a previous fire —
+// and never fires on a constant series (a constant input keeps the
+// normalized deviation exactly zero, so the CUSUM sums never grow).
+//
+// On a confirmed change point the baseline re-anchors at the firing
+// sample and warm-up restarts, so one sustained shift yields one fire,
+// not one per epoch for the rest of the stream.
+func (d *Detector) Step(x float64) (Direction, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return None, fmt.Errorf("detect: non-finite sample %v", x)
+	}
+	s := &d.st
+	if s.Seen == 0 {
+		// First sample anchors the baseline exactly. A constant series
+		// therefore keeps x - Mean == 0 forever: z is exactly zero and
+		// the CUSUM sums never leave zero.
+		*s = State{Seen: 1, Mean: x}
+		return None, nil
+	}
+
+	// Normalize against the baseline as of the previous sample, then
+	// fold the sample into the EWMA estimates. Once armed, the update is
+	// winsorized — the folded deviation is clamped at zClip sigma — so a
+	// regime shift cannot drag the baseline mean toward itself and blow
+	// the variance up faster than the CUSUM can confirm it; during
+	// warm-up the estimates learn unclipped. A sample so far out that
+	// even its clamped update would overflow the variance is rejected
+	// like a non-finite one, before any state changes.
+	armed := s.Seen >= uint64(d.cfg.Warmup)
+	sigma := math.Sqrt(s.Var)
+	if sigma < sigmaFloor {
+		sigma = sigmaFloor
+	}
+	diff := x - s.Mean
+	z := diff / sigma
+	if z > zClip {
+		z = zClip
+	} else if z < -zClip {
+		z = -zClip
+	}
+	udiff := diff
+	if armed {
+		if limit := zClip * sigma; udiff > limit {
+			udiff = limit
+		} else if udiff < -limit {
+			udiff = -limit
+		}
+	}
+	nextVar := (1 - d.cfg.Alpha) * (s.Var + d.cfg.Alpha*udiff*udiff)
+	if math.IsInf(nextVar, 0) {
+		return None, fmt.Errorf("detect: sample %v overflows the variance estimate", x)
+	}
+	s.Mean += d.cfg.Alpha * udiff
+	s.Var = nextVar
+	s.Seen++
+
+	// During warm-up the baseline is still being learned: the sample
+	// contributes to the estimates but not to the decision sums, so a
+	// warm-up transient cannot pre-charge a fire at the first armed
+	// sample.
+	if s.Seen <= uint64(d.cfg.Warmup) {
+		return None, nil
+	}
+
+	s.SPos = math.Max(0, s.SPos+z-d.cfg.Drift)
+	s.SNeg = math.Max(0, s.SNeg-z-d.cfg.Drift)
+	var dir Direction
+	switch {
+	case s.SPos > d.cfg.Threshold:
+		dir = Up
+	case s.SNeg > d.cfg.Threshold:
+		dir = Down
+	default:
+		return None, nil
+	}
+	// Confirmed: re-anchor the baseline at the new regime and relearn.
+	*s = State{Seen: 1, Mean: x}
+	return dir, nil
+}

@@ -1,0 +1,317 @@
+package detect
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"kyoto/internal/xrand"
+)
+
+func mustNew(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// run feeds the series and returns the (index, direction) of every
+// confirmed change point.
+type firing struct {
+	Index int
+	Dir   Direction
+}
+
+func run(t *testing.T, d *Detector, xs []float64) []firing {
+	t.Helper()
+	var fires []firing
+	for i, x := range xs {
+		dir, err := d.Step(x)
+		if err != nil {
+			t.Fatalf("step %d (%v): %v", i, x, err)
+		}
+		if dir != None {
+			fires = append(fires, firing{Index: i, Dir: dir})
+		}
+	}
+	return fires
+}
+
+// noisySeries draws a deterministic pseudo-random series around a
+// baseline with uniform jitter in [-jitter, jitter].
+func noisySeries(rng *xrand.Rand, n int, base, jitter float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = base + jitter*(2*rng.Float64()-1)
+	}
+	return xs
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Alpha: -0.1},
+		{Alpha: 1},
+		{Alpha: 1.5},
+		{Alpha: math.NaN()},
+		{Drift: -1},
+		{Drift: math.NaN()},
+		{Drift: math.Inf(1)},
+		{Threshold: -1},
+		{Threshold: math.NaN()},
+		{Warmup: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted an out-of-domain config", cfg)
+		}
+	}
+}
+
+func TestNewResolvesDefaults(t *testing.T) {
+	d := mustNew(t, Config{})
+	got := d.Config()
+	want := Config{Alpha: DefaultAlpha, Drift: DefaultDrift, Threshold: DefaultThreshold, Warmup: DefaultWarmup}
+	if got != want {
+		t.Fatalf("resolved config %+v, want %+v", got, want)
+	}
+}
+
+func TestStepRejectsNonFinite(t *testing.T) {
+	d := mustNew(t, Config{})
+	run(t, d, []float64{10, 11, 9})
+	before := d.State()
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		dir, err := d.Step(x)
+		if err == nil {
+			t.Fatalf("Step(%v) accepted a non-finite sample", x)
+		}
+		if dir != None {
+			t.Fatalf("Step(%v) fired while erroring", x)
+		}
+		if d.State() != before {
+			t.Fatalf("Step(%v) mutated state on rejection: %+v != %+v", x, d.State(), before)
+		}
+	}
+}
+
+// Property: the detector is a pure function of its sample stream — the
+// same series through two fresh detectors yields bitwise-identical
+// change points and final state.
+func TestDeterminism(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(80)
+		xs := noisySeries(rng, n, 200+500*rng.Float64(), 1+10*rng.Float64())
+		// Inject a few shifts so some trials actually fire.
+		if n > 40 {
+			for i := n / 2; i < n; i++ {
+				xs[i] += 300
+			}
+		}
+		a, b := mustNew(t, Config{}), mustNew(t, Config{})
+		fa, fb := run(t, a, xs), run(t, b, xs)
+		if len(fa) != len(fb) {
+			t.Fatalf("trial %d: %v vs %v change points", trial, fa, fb)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("trial %d: change point %d differs: %+v vs %+v", trial, i, fa[i], fb[i])
+			}
+		}
+		if a.State() != b.State() {
+			t.Fatalf("trial %d: final states differ: %+v vs %+v", trial, a.State(), b.State())
+		}
+	}
+}
+
+// Property: EWMA normalization is shift-invariant — adding a constant
+// offset to every sample moves the baseline with the series and leaves
+// the z-scores, and therefore the change points, unchanged. Exact in
+// real arithmetic; the trials use shifts and steps large enough that
+// float rounding cannot flip a decision.
+func TestShiftInvariance(t *testing.T) {
+	rng := xrand.New(17)
+	shifts := []float64{1000, -250, 42.5, 1e6}
+	for trial := 0; trial < 40; trial++ {
+		n := 30 + rng.Intn(60)
+		xs := noisySeries(rng, n, 300, 5)
+		for i := n * 2 / 3; i < n; i++ {
+			xs[i] += 200 // a step most trials detect
+		}
+		baseFires := run(t, mustNew(t, Config{}), xs)
+		for _, c := range shifts {
+			shifted := make([]float64, n)
+			for i := range xs {
+				shifted[i] = xs[i] + c
+			}
+			d := mustNew(t, Config{})
+			fires := run(t, d, shifted)
+			if len(fires) != len(baseFires) {
+				t.Fatalf("trial %d shift %v: %v change points vs %v unshifted", trial, c, fires, baseFires)
+			}
+			for i := range fires {
+				if fires[i] != baseFires[i] {
+					t.Fatalf("trial %d shift %v: change point %d moved: %+v vs %+v", trial, c, i, fires[i], baseFires[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: a constant series never fires, whatever the constant and
+// however long the stream — the first sample anchors the mean exactly,
+// so every later deviation is exactly zero and the CUSUM sums never
+// leave zero.
+func TestNoFireOnConstantSeries(t *testing.T) {
+	rng := xrand.New(29)
+	for trial := 0; trial < 30; trial++ {
+		c := 1e4*rng.Float64() - 5e3
+		d := mustNew(t, Config{})
+		for i := 0; i < 500; i++ {
+			dir, err := d.Step(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dir != None {
+				t.Fatalf("trial %d: fired %v at step %d of constant series %v", trial, dir, i, c)
+			}
+		}
+		st := d.State()
+		if st.SPos != 0 || st.SNeg != 0 {
+			t.Fatalf("trial %d: CUSUM sums left zero on constant series: %+v", trial, st)
+		}
+	}
+}
+
+// Property: a sustained step far above the drift allowance is always
+// detected, promptly, and in the right direction. The warm-up here is
+// long enough for the EWMA variance to converge onto the jitter scale
+// (0.8^16 of the zero initial estimate remains), and the threshold sits
+// far above what bounded baseline z-scores can accumulate in the armed
+// window — a CUSUM false-fires at its average-run-length rate at the
+// default h, which is the trade DetectionSweep measures, not a property
+// to pin here. Each post-step sample advances the matching sum by
+// nearly zClip-drift, so even h=12 falls within two epochs. A mirrored
+// downward step fires Down.
+func TestDetectionGuaranteeOnLargeStep(t *testing.T) {
+	rng := xrand.New(41)
+	const stepAt = 25
+	for trial := 0; trial < 30; trial++ {
+		jitter := 1 + 9*rng.Float64()
+		base := 100 + 900*rng.Float64()
+		step := 50 * jitter // >> drift*sigma for any EWMA sigma the jitter yields
+		for _, dir := range []Direction{Up, Down} {
+			xs := noisySeries(rng, stepAt, base, jitter)
+			after := noisySeries(rng, 20, base+float64(dir)*step, jitter)
+			xs = append(xs, after...)
+			d := mustNew(t, Config{Warmup: 16, Threshold: 12})
+			fires := run(t, d, xs)
+			if len(fires) == 0 {
+				t.Fatalf("trial %d dir %v: no change point on a %vx-jitter step", trial, dir, step/jitter)
+			}
+			first := fires[0]
+			if first.Dir != dir {
+				t.Fatalf("trial %d: step in direction %v fired %v", trial, dir, first.Dir)
+			}
+			if first.Index < stepAt {
+				t.Fatalf("trial %d dir %v: fired at %d, before the step at %d", trial, dir, first.Index, stepAt)
+			}
+			if lag := first.Index - stepAt; lag > 8 {
+				t.Fatalf("trial %d dir %v: detection lag %d epochs on an unmissable step", trial, dir, lag)
+			}
+		}
+	}
+}
+
+// Property: SetState(State()) mid-stream is invisible — a detector
+// checkpointed at any point and restored into a fresh instance produces
+// bitwise the same change points and final state as the uninterrupted
+// one. This is the contract the replay checkpoints lean on.
+func TestStateRoundTripStreamEquivalence(t *testing.T) {
+	rng := xrand.New(53)
+	for trial := 0; trial < 40; trial++ {
+		n := 30 + rng.Intn(70)
+		xs := noisySeries(rng, n, 400, 8)
+		for i := n / 2; i < n; i++ {
+			xs[i] += 350
+		}
+		cut := 1 + rng.Intn(n-1)
+
+		whole := mustNew(t, Config{})
+		wantFires := run(t, whole, xs)
+
+		first := mustNew(t, Config{})
+		gotFires := run(t, first, xs[:cut])
+		blob, err := json.Marshal(first.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st State
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatal(err)
+		}
+		second := mustNew(t, Config{})
+		if err := second.SetState(st); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range run(t, second, xs[cut:]) {
+			gotFires = append(gotFires, firing{Index: f.Index + cut, Dir: f.Dir})
+		}
+
+		if len(gotFires) != len(wantFires) {
+			t.Fatalf("trial %d cut %d: %v change points vs %v uninterrupted", trial, cut, gotFires, wantFires)
+		}
+		for i := range gotFires {
+			if gotFires[i] != wantFires[i] {
+				t.Fatalf("trial %d cut %d: change point %d differs: %+v vs %+v", trial, cut, i, gotFires[i], wantFires[i])
+			}
+		}
+		if second.State() != whole.State() {
+			t.Fatalf("trial %d cut %d: final states differ: %+v vs %+v", trial, cut, second.State(), whole.State())
+		}
+	}
+}
+
+func TestSetStateRejectsInvalid(t *testing.T) {
+	bad := []State{
+		{Mean: math.NaN()},
+		{Var: math.Inf(1)},
+		{Var: -1},
+		{SPos: -0.5},
+		{SNeg: math.NaN()},
+	}
+	d := mustNew(t, Config{})
+	for _, st := range bad {
+		if err := d.SetState(st); err == nil {
+			t.Errorf("SetState(%+v) accepted an impossible state", st)
+		}
+	}
+}
+
+func TestNeverFiresDuringWarmup(t *testing.T) {
+	d := mustNew(t, Config{Warmup: 10})
+	// Violent swings well inside warm-up must stay silent.
+	xs := []float64{0, 1e6, -1e6, 5e5, 0, 1e6, -1e6, 2e5, 0, 9e5}
+	for i, x := range xs {
+		dir, err := d.Step(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dir != None {
+			t.Fatalf("fired %v at warm-up sample %d", dir, i)
+		}
+		if d.Warm() {
+			t.Fatalf("Warm() true at sample %d of a 10-sample warm-up", i)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	for dir, want := range map[Direction]string{Up: "up", Down: "down", None: "none", Direction(7): "none"} {
+		if got := dir.String(); got != want {
+			t.Errorf("Direction(%d).String() = %q, want %q", dir, got, want)
+		}
+	}
+}

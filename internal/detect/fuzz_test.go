@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzDetectorStep pins the Step contract under arbitrary knob/sample
+// combinations: construction rejects out-of-domain knobs instead of
+// panicking, NaN/Inf samples are rejected without touching state, no
+// accepted sequence fires during warm-up, and every accepted sample
+// leaves the state valid (finite, non-negative sums).
+func FuzzDetectorStep(f *testing.F) {
+	f.Add(0.2, 0.5, 5.0, 8, 100.0, 100.0, 600.0)
+	f.Add(0.5, 1.0, 2.0, 2, 0.0, 1e9, -1e9)
+	f.Add(0.9, 0.0, 0.0, 1, math.NaN(), math.Inf(1), 3.5)
+	f.Add(-1.0, -1.0, -1.0, -1, 1.0, 2.0, 3.0)
+	f.Add(0.2, 0.5, 5.0, 3, math.MaxFloat64, -math.MaxFloat64, 0.0)
+	f.Fuzz(func(t *testing.T, alpha, drift, threshold float64, warmup int, x0, x1, x2 float64) {
+		d, err := New(Config{Alpha: alpha, Drift: drift, Threshold: threshold, Warmup: warmup})
+		if err != nil {
+			return
+		}
+		cfg := d.Config()
+		if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Drift < 0 || cfg.Threshold < 0 || cfg.Warmup < 0 {
+			t.Fatalf("New accepted config resolving to out-of-domain %+v", cfg)
+		}
+		// Cycle the three fuzzed samples long enough to leave warm-up.
+		samples := []float64{x0, x1, x2}
+		for i := 0; i < cfg.Warmup+16; i++ {
+			x := samples[i%3]
+			before := d.State()
+			dir, err := d.Step(x)
+			if (math.IsNaN(x) || math.IsInf(x, 0)) && err == nil {
+				t.Fatalf("Step accepted non-finite sample %v", x)
+			}
+			if err != nil {
+				// Rejected (non-finite, or overflow-scale): state untouched.
+				if d.State() != before {
+					t.Fatalf("rejected Step(%v) mutated state", x)
+				}
+				continue
+			}
+			if dir != None && !((dir == Up) || (dir == Down)) {
+				t.Fatalf("Step returned unknown direction %d", dir)
+			}
+			if dir != None && before.Seen < uint64(cfg.Warmup) {
+				t.Fatalf("fired %v on warm-up sample %d of %d", dir, before.Seen+1, cfg.Warmup)
+			}
+			if err := d.State().valid(); err != nil {
+				t.Fatalf("Step(%v) left invalid state: %v", x, err)
+			}
+		}
+	})
+}
+
+// FuzzDetectorStateRoundTrip pins the checkpoint face: arbitrary bytes
+// fed through json.Unmarshal+SetState must never panic; anything
+// SetState accepts must survive State->JSON->SetState->State bitwise;
+// and a restored detector must step identically to the donor — the
+// stream-equivalence the replay checkpoints rely on.
+func FuzzDetectorStateRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"seen":4,"mean":250.5,"var":12.25,"s_pos":0.75,"s_neg":0}`), 260.0)
+	f.Add([]byte(`{"seen":0,"mean":0,"var":0,"s_pos":0,"s_neg":0}`), 0.0)
+	f.Add([]byte(`{"seen":1,"mean":-0.0,"var":1e308,"s_pos":3,"s_neg":3}`), -5.5)
+	f.Add([]byte(`{"mean":"NaN"}`), 1.0)
+	f.Add([]byte(`not json`), 2.0)
+	f.Fuzz(func(t *testing.T, raw []byte, x float64) {
+		var st State
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return
+		}
+		a, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetState(st); err != nil {
+			if st.valid() == nil {
+				t.Fatalf("SetState rejected a valid state %+v: %v", st, err)
+			}
+			return
+		}
+		blob, err := json.Marshal(a.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back State
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("re-decoding marshalled state: %v", err)
+		}
+		if err := b.SetState(back); err != nil {
+			t.Fatalf("round-tripped state rejected: %v", err)
+		}
+		if a.State() != b.State() {
+			t.Fatalf("state changed across JSON round trip: %+v vs %+v", a.State(), b.State())
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return
+		}
+		da, errA := a.Step(x)
+		db, errB := b.Step(x)
+		if (errA == nil) != (errB == nil) || da != db || a.State() != b.State() {
+			t.Fatalf("restored detector diverged on Step(%v): (%v,%v) vs (%v,%v)", x, da, errA, db, errB)
+		}
+	})
+}

@@ -1,0 +1,494 @@
+package experiments
+
+// Detection sweep: does signature-based change detection beat raw
+// threshold reaction? Three arms replay the same trace on identically
+// seeded fleets — proactive admission (the paper's answer, no
+// migrations at all), threshold-reactive migration, and
+// signature-reactive migration driven by per-VM change-point detectors
+// (internal/detect). Beyond the usual placement outcomes, the sweep
+// scores each reactive arm's *triggers* against the trace's ground
+// truth: the arrivals of aggressive app classes (the Figure-4
+// polluters) are the true regime shifts, so a trigger on one of those
+// VMs is a detection and a trigger on anything else is a false alarm.
+// The headline columns are the false-trigger rate and the mean
+// time-to-detect in ticks.
+//
+// Like the other sweeps it is a sweep.Sweep (DetectionSweeper):
+// solo-baseline jobs plus one job per arm, shardable across processes
+// and merged bit-identically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"kyoto/internal/arrivals"
+	"kyoto/internal/cache"
+	"kyoto/internal/cluster"
+	"kyoto/internal/detect"
+	"kyoto/internal/stats"
+	"kyoto/internal/sweep"
+)
+
+// DefaultDetectionRebalanceEvery is the detection sweep's rebalance
+// epoch in ticks. The sweeps that only migrate use the replay engine's
+// default of 12; change detection also has to *observe* each VM enough
+// times to learn a baseline and confirm a shift within the VM
+// lifetimes the committed traces actually have (median a few tens of
+// ticks), so the detection sweep samples three times as often.
+const DefaultDetectionRebalanceEvery = 4
+
+// DefaultAggressiveApps are the app classes treated as ground-truth
+// regime shifts when they arrive: the paper's Figure-4 polluters, the
+// same set arrivals.DefaultMix injects as the aggressive share.
+func DefaultAggressiveApps() []string { return []string{"blockie", "lbm", "mcf"} }
+
+// DetectionSweepConfig parameterizes a detection sweep.
+type DetectionSweepConfig struct {
+	// Hosts is the fleet size each arm gets (default 4).
+	Hosts int
+	// Seed seeds every fleet and the solo baselines (default 1).
+	Seed uint64
+	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
+	Workers int
+	// DrainTicks extends the replay past the last event (default
+	// DefaultMeasureTicks).
+	DrainTicks int
+	// RebalanceEvery is the rebalance epoch in ticks (default
+	// DefaultDetectionRebalanceEvery, finer than the replay engine's
+	// 12: a streaming detector needs several samples per VM lifetime,
+	// and the committed traces' median lifetimes are a few tens of
+	// ticks).
+	RebalanceEvery uint64
+	// Downtime is the per-migration blackout in ticks (default 0).
+	Downtime int
+	// Threshold is the Equation-1 rate floor both reactive arms act at
+	// (default cluster.DefaultRebalanceThreshold).
+	Threshold float64
+	// Detector configures the signature arm's change-point detectors
+	// (zero value = detect defaults).
+	Detector detect.Config
+	// AggressiveApps overrides the ground-truth app classes (default
+	// DefaultAggressiveApps).
+	AggressiveApps []string
+	// Fidelity selects the cache-model tier for every fleet and the
+	// solo baselines (default cache.FidelityExact). It enters the
+	// config digest, so shards run at different fidelities refuse to
+	// merge.
+	Fidelity cache.Fidelity
+}
+
+// detectionArm is one arm of the sweep.
+type detectionArm struct {
+	name     string
+	placer   cluster.Placer
+	enforced bool
+}
+
+// detectionArms are the swept arms: the paper's proactive admission
+// answer, then the two reactive policies on unprotected first-fit
+// fleets (reaction is what operators do *instead* of admission
+// control, so the reactive arms run without Kyoto enforcement).
+var detectionArms = []detectionArm{
+	{"admission", cluster.Admission{}, true},
+	{"reactive", cluster.FirstFit{}, false},
+	{"signature", cluster.FirstFit{}, false},
+}
+
+// detectionArmPayload is the canonical JSON result of one arm.
+type detectionArmPayload struct {
+	Arm          string                `json:"arm"`
+	Placer       string                `json:"placer"`
+	Enforced     bool                  `json:"enforced"`
+	Replay       arrivals.Result       `json:"replay"`
+	ChangePoints []cluster.ChangePoint `json:"change_points,omitempty"`
+}
+
+// DetectionSweepRow is one arm's outcome.
+type DetectionSweepRow struct {
+	// Arm, Placer and Enforced identify the configuration.
+	Arm      string
+	Placer   string
+	Enforced bool
+	// Submitted/Placed/Rejected count VMs.
+	Submitted int
+	Placed    int
+	Rejected  int
+	// MigrationCount is the number of live migrations applied.
+	MigrationCount int
+	// Triggers counts the arm's actionable detection events — the
+	// applied migrations, each an explicit "this VM is the problem"
+	// claim — zero for admission-only. ChangePointCount additionally
+	// reports the signature arm's raw confirmed change points (its
+	// victim-side evidence; a change point names the VM whose series
+	// shifted, the eviction it triggers names the polluter).
+	Triggers         int
+	ChangePointCount int
+	// FalseTriggers are triggers on VMs outside the aggressive ground
+	// truth; FalseTriggerRate is FalseTriggers/Triggers (0 when the arm
+	// never triggered).
+	FalseTriggers    int
+	FalseTriggerRate float64
+	// AggressiveVMs counts placed ground-truth VMs; Detected counts how
+	// many of them the arm triggered on at least once.
+	AggressiveVMs int
+	Detected      int
+	// MeanTimeToDetect is the mean of (first trigger tick - placed
+	// tick) over detected VMs, in ticks (0 when nothing was detected).
+	MeanTimeToDetect float64
+	// P99 is the normalized-performance floor 99% of placed VMs meet,
+	// as in TraceSweepRow.
+	P99 float64
+	// Replay and ChangePoints carry the full per-VM outcome and the
+	// signature arm's change-point log for deeper analysis.
+	Replay       arrivals.Result
+	ChangePoints []cluster.ChangePoint
+}
+
+// DetectionSweepResult is the whole sweep.
+type DetectionSweepResult struct {
+	Hosts int
+	Rows  []DetectionSweepRow
+}
+
+// DetectionSweeper is the shardable form of DetectionSweep (see
+// TraceSweeper for the pattern).
+type DetectionSweeper struct {
+	tr   arrivals.Trace
+	cfg  DetectionSweepConfig
+	apps []string
+	res  *DetectionSweepResult
+}
+
+// NewDetectionSweeper validates the trace and config, applies defaults
+// and returns the shardable sweep.
+func NewDetectionSweeper(tr arrivals.Trace, cfg DetectionSweepConfig) (*DetectionSweeper, error) {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DrainTicks == 0 {
+		cfg.DrainTicks = DefaultMeasureTicks
+	}
+	if cfg.RebalanceEvery == 0 {
+		cfg.RebalanceEvery = DefaultDetectionRebalanceEvery
+	}
+	if len(cfg.AggressiveApps) == 0 {
+		cfg.AggressiveApps = DefaultAggressiveApps()
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := (&cluster.Signature{Detector: cfg.Detector}).Validate(); err != nil {
+		return nil, err
+	}
+	return &DetectionSweeper{tr: tr, cfg: cfg, apps: traceApps(tr)}, nil
+}
+
+// Name implements sweep.Sweep.
+func (s *DetectionSweeper) Name() string { return "detection-sweep" }
+
+// ConfigFingerprint implements sweep.ConfigFingerprinter (Workers
+// excluded, as in TraceSweeper).
+func (s *DetectionSweeper) ConfigFingerprint() string {
+	return sweepConfigFingerprint(s.tr, struct {
+		Hosts          int
+		Seed           uint64
+		DrainTicks     int
+		RebalanceEvery uint64
+		Downtime       int
+		Threshold      float64
+		Detector       detect.Config
+		AggressiveApps []string
+		Fidelity       string `json:",omitempty"`
+	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.RebalanceEvery, s.cfg.Downtime,
+		s.cfg.Threshold, s.cfg.Detector, s.cfg.AggressiveApps, fidelityTag(s.cfg.Fidelity)})
+}
+
+// Plan implements sweep.Sweep: solo baselines, then one job per arm in
+// admission/reactive/signature order.
+func (s *DetectionSweeper) Plan() []sweep.Job {
+	jobs := make([]sweep.Job, 0, len(s.apps)+len(detectionArms))
+	for _, app := range s.apps {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "solo/" + app, Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"app": app},
+		})
+	}
+	for _, arm := range detectionArms {
+		jobs = append(jobs, sweep.Job{
+			Sweep: s.Name(), Key: "arm/" + arm.name, Index: len(jobs), Seed: s.cfg.Seed,
+			Params: map[string]string{"arm": arm.name, "placer": arm.placer.Name()},
+		})
+	}
+	return jobs
+}
+
+// rebalancerForArm builds the arm's policy: nil for admission-only, a
+// fresh Reactive or Signature otherwise (fresh per job — they carry
+// per-replay state). The signature arm's detectors get the sweep's
+// knobs, and its amortization check gets the trace's lifetime
+// statistics via armRebalancer.
+func (s *DetectionSweeper) rebalancerForArm(name string) (cluster.Rebalancer, error) {
+	switch name {
+	case "admission":
+		return nil, nil
+	case "reactive":
+		return &cluster.Reactive{Threshold: s.cfg.Threshold}, nil
+	case "signature":
+		sig := &cluster.Signature{Threshold: s.cfg.Threshold, Detector: s.cfg.Detector}
+		armRebalancer(sig, s.tr, s.cfg.RebalanceEvery)
+		return sig, nil
+	default:
+		return nil, fmt.Errorf("unknown detection arm %q", name)
+	}
+}
+
+// Run implements sweep.Sweep.
+func (s *DetectionSweeper) Run(job sweep.Job) (json.RawMessage, error) {
+	if app, ok := strings.CutPrefix(job.Key, "solo/"); ok {
+		ipc, err := soloIPC(app, s.cfg.Seed, s.cfg.Fidelity)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(soloPayload{App: app, IPC: ipc})
+	}
+	name, ok := strings.CutPrefix(job.Key, "arm/")
+	if !ok {
+		return nil, fmt.Errorf("unknown job key %q", job.Key)
+	}
+	var arm detectionArm
+	for _, a := range detectionArms {
+		if a.name == name {
+			arm = a
+		}
+	}
+	if arm.name == "" {
+		return nil, fmt.Errorf("unknown detection arm %q", name)
+	}
+	rb, err := s.rebalancerForArm(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := cluster.New(cluster.Config{
+		Hosts:    s.cfg.Hosts,
+		Template: cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: arm.enforced, Fidelity: s.cfg.Fidelity},
+		Placer:   arm.placer,
+		Workers:  s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{
+		DrainTicks:        s.cfg.DrainTicks,
+		Rebalancer:        rb,
+		RebalanceEvery:    s.cfg.RebalanceEvery,
+		MigrationDowntime: s.cfg.Downtime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("arm %s: %w", name, err)
+	}
+	p := detectionArmPayload{Arm: name, Placer: arm.placer.Name(), Enforced: arm.enforced, Replay: replay}
+	if sig, ok := rb.(*cluster.Signature); ok {
+		p.ChangePoints = sig.ChangePoints()
+	}
+	return json.Marshal(p)
+}
+
+// Merge implements sweep.Sweep.
+func (s *DetectionSweeper) Merge(payloads []json.RawMessage) error {
+	solo := make(map[string]float64, len(s.apps))
+	for i, app := range s.apps {
+		var p soloPayload
+		if err := json.Unmarshal(payloads[i], &p); err != nil {
+			return fmt.Errorf("solo/%s payload: %w", app, err)
+		}
+		solo[p.App] = p.IPC
+	}
+	res := &DetectionSweepResult{Hosts: s.cfg.Hosts}
+	for i := range detectionArms {
+		var p detectionArmPayload
+		if err := json.Unmarshal(payloads[len(s.apps)+i], &p); err != nil {
+			return fmt.Errorf("arm payload %d: %w", i, err)
+		}
+		res.Rows = append(res.Rows, s.detectionRow(p, solo))
+	}
+	s.res = res
+	return nil
+}
+
+// Result returns the merged sweep outcome; it is nil until Merge ran.
+func (s *DetectionSweeper) Result() *DetectionSweepResult { return s.res }
+
+// trigger is one detection event: an arm claiming VM vm shifted at
+// tick.
+type trigger struct {
+	tick uint64
+	vm   string
+	app  string
+}
+
+// armTriggers extracts an arm's actionable detection events: its
+// applied migrations, each an explicit claim that the migrated VM was
+// the problem. Both reactive arms are scored on the same footing —
+// threshold reaction and signature confirmation differ in *when and
+// whom* they move, which is exactly what the ground-truth match
+// measures. Admission-only never triggers.
+func armTriggers(p detectionArmPayload) []trigger {
+	var out []trigger
+	for _, m := range p.Replay.Migrations {
+		app := ""
+		if m.Index >= 0 && m.Index < len(p.Replay.Records) {
+			app = p.Replay.Records[m.Index].App
+		}
+		out = append(out, trigger{tick: m.Tick, vm: m.Name, app: app})
+	}
+	return out
+}
+
+// detectionRow folds one arm payload into its result row, scoring the
+// arm's triggers against the aggressive-app ground truth.
+func (s *DetectionSweeper) detectionRow(p detectionArmPayload, solo map[string]float64) DetectionSweepRow {
+	row := DetectionSweepRow{
+		Arm:              p.Arm,
+		Placer:           p.Placer,
+		Enforced:         p.Enforced,
+		Submitted:        len(p.Replay.Records),
+		Placed:           p.Replay.Placed,
+		Rejected:         p.Replay.Rejected,
+		MigrationCount:   len(p.Replay.Migrations),
+		ChangePointCount: len(p.ChangePoints),
+		Replay:           p.Replay,
+		ChangePoints:     p.ChangePoints,
+	}
+	if norm := normalizedPerf(p.Replay, solo); len(norm) > 0 {
+		row.P99, _ = stats.Percentile(norm, 1)
+	}
+
+	aggressive := make(map[string]bool, len(s.cfg.AggressiveApps))
+	for _, app := range s.cfg.AggressiveApps {
+		aggressive[app] = true
+	}
+	// Ground truth: every placed aggressive VM is one regime shift, at
+	// its placement tick.
+	onset := make(map[string]uint64)
+	for _, rec := range p.Replay.Records {
+		if !rec.Rejected && aggressive[rec.App] {
+			onset[rec.Name] = rec.PlacedTick
+			row.AggressiveVMs++
+		}
+	}
+	firstHit := make(map[string]uint64)
+	for _, tg := range armTriggers(p) {
+		row.Triggers++
+		if _, isTruth := onset[tg.vm]; !isTruth {
+			row.FalseTriggers++
+			continue
+		}
+		if prev, seen := firstHit[tg.vm]; !seen || tg.tick < prev {
+			firstHit[tg.vm] = tg.tick
+		}
+	}
+	if row.Triggers > 0 {
+		row.FalseTriggerRate = float64(row.FalseTriggers) / float64(row.Triggers)
+	}
+	// Fold in record order, not map order: float sums must accumulate
+	// deterministically for sharded and serial merges to stay bitwise
+	// identical.
+	var lagSum float64
+	for _, rec := range p.Replay.Records {
+		tick, ok := firstHit[rec.Name]
+		if !ok {
+			continue
+		}
+		row.Detected++
+		if tick > onset[rec.Name] {
+			lagSum += float64(tick - onset[rec.Name])
+		}
+	}
+	if row.Detected > 0 {
+		row.MeanTimeToDetect = lagSum / float64(row.Detected)
+	}
+	return row
+}
+
+// DetectionSweep replays the trace through the three arms and scores
+// their triggers against the aggressive-app ground truth. It is the
+// single-process path through DetectionSweeper — sharded runs merge to
+// the identical result.
+func DetectionSweep(tr arrivals.Trace, cfg DetectionSweepConfig) (*DetectionSweepResult, error) {
+	s, err := NewDetectionSweeper(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := (sweep.Engine{Workers: cfg.Workers}).Run(s); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}
+
+// NewDetectionBenchSweeper is the kyotobench "detection" entry: the
+// three-arm detection sweep over a seeded synthetic churn trace (the
+// DefaultMix quiet-to-aggressive ratio, 48 VMs) with the default
+// detector tuning. It cannot fail: the synthetic trace and the zero
+// detector config always validate, so construction errors are
+// programming errors and panic like any other broken invariant.
+func NewDetectionBenchSweeper(seed uint64, fid cache.Fidelity) *DetectionSweeper {
+	tr := arrivals.Synthesize(arrivals.SynthConfig{Seed: seed, VMs: 48})
+	s, err := NewDetectionSweeper(tr, DetectionSweepConfig{Seed: seed, Fidelity: fid})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// detectorTag returns the config-digest form of a detector config: nil
+// for the zero value, so sweeps that never touch the detector knobs
+// keep their committed fingerprints (the fidelityTag pattern).
+func detectorTag(cfg detect.Config) *detect.Config {
+	if cfg == (detect.Config{}) {
+		return nil
+	}
+	return &cfg
+}
+
+// armRebalancer attaches trace-derived context to policies that want
+// it: a Signature rebalancer gets the trace's empirical lifetime
+// statistics and the replay's rebalance cadence, so its amortization
+// check reasons in the trace's own tick scale. Other policies are
+// returned untouched.
+func armRebalancer(rb cluster.Rebalancer, tr arrivals.Trace, every uint64) {
+	sig, ok := rb.(*cluster.Signature)
+	if !ok {
+		return
+	}
+	if every == 0 {
+		every = arrivals.DefaultRebalanceEvery
+	}
+	sig.EpochTicks = every
+	sig.Lifetimes = arrivals.NewLifetimeStats(tr)
+}
+
+// Table renders the sweep as the detection-quality comparison the
+// kyotobench detection experiment prints.
+func (r DetectionSweepResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Detection sweep: 3 arms, %d hosts", r.Hosts),
+		Note: "triggers = applied migrations (each claims its VM was the problem); chgpts = confirmed change points (signature only); " +
+			"false rate = triggers on non-aggressive VMs / triggers; ttd = mean ticks from aggressive-VM arrival to first trigger; " +
+			"p99 norm = per-VM lifetime IPC over solo IPC floor 99% of VMs meet",
+		Columns: []string{"arm", "placer", "placed", "chgpts", "triggers", "false rate", "detected", "mean ttd", "p99 norm"},
+	}
+	for _, row := range r.Rows {
+		falseRate := "-"
+		if row.Triggers > 0 {
+			falseRate = fmt.Sprintf("%.1f%%", 100*row.FalseTriggerRate)
+		}
+		t.AddRow(row.Arm, row.Placer, row.Placed, row.ChangePointCount, row.Triggers,
+			falseRate, fmt.Sprintf("%d/%d", row.Detected, row.AggressiveVMs),
+			fmt.Sprintf("%.1f", row.MeanTimeToDetect), row.P99)
+	}
+	return t
+}

@@ -23,6 +23,7 @@ import (
 	"kyoto/internal/arrivals"
 	"kyoto/internal/cache"
 	"kyoto/internal/cluster"
+	"kyoto/internal/detect"
 	"kyoto/internal/machine"
 	"kyoto/internal/stats"
 	"kyoto/internal/sweep"
@@ -47,8 +48,10 @@ type MigrationSweepConfig struct {
 	// heterogeneous fleet the topology-aware rebalancer steers polluters
 	// to. An explicit Overrides entry for that host wins.
 	BigLLCFactor int
-	// Rebalancers names the rebalancing arms to sweep (default all of
-	// cluster.RebalancerNames: none, reactive, topo).
+	// Rebalancers names the rebalancing arms to sweep (default none,
+	// reactive, topo — pinned explicitly, not cluster.RebalancerNames,
+	// so the committed sweep fingerprints survive new policies being
+	// registered; ask for "signature" by name).
 	Rebalancers []string
 	// RebalanceEvery is the rebalance epoch in ticks (default
 	// arrivals.DefaultRebalanceEvery).
@@ -61,6 +64,10 @@ type MigrationSweepConfig struct {
 	// MaxWait bounds queue waits under PendingDeadline (default
 	// arrivals.DefaultMaxWait).
 	MaxWait uint64
+	// Detector configures the change-point detectors of any "signature"
+	// arm (zero value = detect defaults; ignored by the other arms). A
+	// non-zero config enters the config digest.
+	Detector detect.Config
 	// Fidelity selects the cache-model tier for every fleet and the solo
 	// baselines (default cache.FidelityExact). It enters the config
 	// digest, so shards run at different fidelities refuse to merge.
@@ -143,9 +150,12 @@ func NewMigrationSweeper(tr arrivals.Trace, cfg MigrationSweepConfig) (*Migratio
 		cfg.DrainTicks = DefaultMeasureTicks
 	}
 	if len(cfg.Rebalancers) == 0 {
-		cfg.Rebalancers = cluster.RebalancerNames()
+		cfg.Rebalancers = []string{"none", "reactive", "topo"}
 	}
 	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := (&cluster.Signature{Detector: cfg.Detector}).Validate(); err != nil {
 		return nil, err
 	}
 	var combos []migrationCombo
@@ -185,10 +195,11 @@ func (s *MigrationSweeper) ConfigFingerprint() string {
 		Downtime       int
 		Pending        arrivals.PendingPolicy
 		MaxWait        uint64
-		Fidelity       string `json:",omitempty"`
+		Detector       *detect.Config `json:",omitempty"`
+		Fidelity       string         `json:",omitempty"`
 	}{s.cfg.Hosts, s.cfg.Seed, s.cfg.DrainTicks, s.cfg.Overrides, s.cfg.BigLLCFactor,
 		s.cfg.Rebalancers, s.cfg.RebalanceEvery, s.cfg.Downtime, s.cfg.Pending, s.cfg.MaxWait,
-		fidelityTag(s.cfg.Fidelity)})
+		detectorTag(s.cfg.Detector), fidelityTag(s.cfg.Fidelity)})
 }
 
 // Plan implements sweep.Sweep: solo baselines, then the combination
@@ -231,6 +242,10 @@ func (s *MigrationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sig, ok := rb.(*cluster.Signature); ok {
+		sig.Detector = s.cfg.Detector
+	}
+	armRebalancer(rb, s.tr, s.cfg.RebalanceEvery)
 	f, err := cluster.New(cluster.Config{
 		Hosts:     s.cfg.Hosts,
 		Template:  cluster.HostTemplate{Seed: s.cfg.Seed, EnableKyoto: c.enf, Fidelity: s.cfg.Fidelity},

@@ -90,6 +90,43 @@ func (s *MigrationSweeper) MetricRows() []sweep.MetricRow {
 	return rows
 }
 
+// Reseed implements sweep.Seedable for the detection sweep.
+func (s *DetectionSweeper) Reseed(seed uint64) (sweep.Seedable, error) {
+	cfg := s.cfg
+	cfg.Seed = seed
+	return NewDetectionSweeper(s.tr, cfg)
+}
+
+// detectionSweepMetrics is the fixed metric order of a detection seed
+// sweep: trigger volume and quality (false-trigger rate, coverage,
+// time-to-detect) alongside the usual performance floor.
+var detectionSweepMetrics = []string{
+	"placed", "triggers", "chgpts", "false_rate", "detected", "mean_ttd", "p99_norm",
+}
+
+// MetricNames implements sweep.Seedable.
+func (s *DetectionSweeper) MetricNames() []string {
+	return append([]string(nil), detectionSweepMetrics...)
+}
+
+// MetricRows implements sweep.Seedable: one row per detection arm.
+func (s *DetectionSweeper) MetricRows() []sweep.MetricRow {
+	if s.res == nil {
+		return nil
+	}
+	rows := make([]sweep.MetricRow, len(s.res.Rows))
+	for i, row := range s.res.Rows {
+		rows[i] = sweep.MetricRow{
+			Arm: row.Arm,
+			Values: []float64{
+				float64(row.Placed), float64(row.Triggers), float64(row.ChangePointCount),
+				row.FalseTriggerRate, float64(row.Detected), row.MeanTimeToDetect, row.P99,
+			},
+		}
+	}
+	return rows
+}
+
 // percentileOrZero is stats.Percentile with empty samples reading as 0
 // — "no VMs of this class waited" rather than an error.
 func percentileOrZero(xs []float64, p float64) float64 {
