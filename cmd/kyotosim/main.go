@@ -197,6 +197,7 @@ func run(args []string, out io.Writer) (err error) {
 		horizon   = fs.Uint64("churn-horizon", 0, "ticks the synthetic arrivals spread over (default 120)")
 		meanLife  = fs.Float64("churn-life", 0, "mean synthetic VM lifetime in ticks (default 45)")
 		traceOut  = fs.String("trace-out", "", "write the synthesized -churn trace to this JSON file")
+		lockstep  = fs.Bool("lockstep", false, "replay on the eager lockstep fleet engine instead of the lazy event-horizon default (bit-identical results; for baseline timing)")
 
 		migrate      = fs.String("migrate", "", "live-migration sweep: compare no-migration against this rebalancer (reactive, topo, signature, or all for every one) across all three placers")
 		pending      = fs.String("pending", "", "pending-queue policy for the migration sweep: none, fifo, deadline or sjf (default fifo once -migrate/-pending engage the sweep)")
@@ -278,7 +279,7 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 	if *tracePath == "" && *churn == 0 {
-		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out",
+		for _, name := range []string{"seed", "churn-horizon", "churn-life", "trace-out", "lockstep",
 			"migrate", "pending", "migrate-every", "migrate-downtime", "pending-deadline", "big-llc",
 			"detect-alpha", "detect-drift", "detect-threshold", "detect-warmup",
 			"seeds", "shard", "shard-out", "merge"} {
@@ -413,13 +414,13 @@ func run(args []string, out io.Writer) (err error) {
 			if migrateMode {
 				return fmt.Errorf("-fidelity two-tier applies to the plain trace sweep; run the migration sweep with -fidelity analytic or exact")
 			}
-			return executeTwoTierTrace(tr, *hosts, *seed, *confirmTop, out)
+			return executeTwoTierTrace(tr, *hosts, *seed, *confirmTop, *lockstep, out)
 		}
 		if migrateMode {
 			return executeMigrationSweep(tr, *hosts, *seed, *seeds, fid, *migrate, *pending,
-				*migrateEvery, *downtime, *maxWait, *bigLLC, detector, dispatch, out)
+				*migrateEvery, *downtime, *maxWait, *bigLLC, detector, *lockstep, dispatch, out)
 		}
-		return executeTrace(tr, *hosts, *seed, *seeds, fid, dispatch, out)
+		return executeTrace(tr, *hosts, *seed, *seeds, fid, *lockstep, dispatch, out)
 	}
 	if twoTier {
 		return fmt.Errorf("-fidelity two-tier only applies in -trace/-churn mode")
@@ -543,8 +544,8 @@ func executeSeedSweep(proto kyoto.SeedableSweep, seeds int, baseSeed uint64, dis
 
 // executeTwoTierTrace runs the trace sweep two-tier: broad analytic
 // pass, top-k arms confirmed exact.
-func executeTwoTierTrace(tr kyoto.Trace, hosts int, seed uint64, topK int, out io.Writer) error {
-	res, err := kyoto.SweepTraceTwoTier(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed}, topK)
+func executeTwoTierTrace(tr kyoto.Trace, hosts int, seed uint64, topK int, lockstep bool, out io.Writer) error {
+	res, err := kyoto.SweepTraceTwoTier(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed, Lockstep: lockstep}, topK)
 	if err != nil {
 		return err
 	}
@@ -556,8 +557,8 @@ func executeTwoTierTrace(tr kyoto.Trace, hosts int, seed uint64, topK int, out i
 
 // executeTrace replays the trace through all three placement policies and
 // prints the comparison table plus a short per-policy rejection digest.
-func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, dispatch sweepDispatch, out io.Writer) error {
-	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed, Fidelity: fid})
+func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, lockstep bool, dispatch sweepDispatch, out io.Writer) error {
+	s, err := kyoto.NewTraceSweeper(tr, kyoto.TraceSweepConfig{Hosts: hosts, Seed: seed, Fidelity: fid, Lockstep: lockstep})
 	if err != nil {
 		return err
 	}
@@ -590,7 +591,7 @@ func executeTrace(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.F
 // executeMigrationSweep runs the rebalancer x placer grid over the trace
 // and prints the comparison table plus a per-combination migration digest.
 func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, fid kyoto.Fidelity, migrate, pending string,
-	every uint64, downtime int, maxWait uint64, bigLLC int, detector kyoto.DetectorConfig, dispatch sweepDispatch, out io.Writer) error {
+	every uint64, downtime int, maxWait uint64, bigLLC int, detector kyoto.DetectorConfig, lockstep bool, dispatch sweepDispatch, out io.Writer) error {
 	var rebalancers []string
 	switch migrate {
 	case "", "none":
@@ -626,6 +627,7 @@ func executeMigrationSweep(tr kyoto.Trace, hosts int, seed uint64, seeds int, fi
 	s, err := kyoto.NewMigrationSweeper(tr, kyoto.MigrationSweepConfig{
 		Hosts:          hosts,
 		Seed:           seed,
+		Lockstep:       lockstep,
 		Rebalancers:    rebalancers,
 		RebalanceEvery: every,
 		Downtime:       downtime,

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"kyoto/internal/cluster"
@@ -46,6 +45,15 @@ type Options struct {
 	// its destination — the stop-and-copy blackout (default 0: the only
 	// migration cost is the lost cache footprint).
 	MigrationDowntime int
+
+	// Lockstep disables lazy per-host advancement: every inter-event gap
+	// synchronizes the whole fleet, exactly as the replay engine worked
+	// before event-horizon execution. Results are bit-identical either
+	// way (the fleet's seeks and barriers guarantee it); the knob exists
+	// as the measured baseline for the lazy engine's speedup and as a
+	// bisection aid. It changes scheduling only, never results, so it is
+	// excluded from sweep config digests (like Workers).
+	Lockstep bool
 }
 
 // Record is one event's outcome: where the VM landed (or why it was
@@ -251,16 +259,23 @@ func (h *departureHeap) Pop() any {
 const noTick = ^uint64(0)
 
 // Replay feeds the trace through the fleet: at each event tick the fleet
-// is advanced to that tick, departures are processed first (freeing
+// clock is advanced to that tick, departures are processed first (freeing
 // booked CPU, memory and llc_cap, and evicting the departed VM's cache
 // footprint), then — when the options enable them — the rebalance epoch
 // runs, the pending queue retries, deadline drops fire, and finally
 // arrivals are placed in trace order. Rejections are recorded, not fatal
 // — a rejection is the placement policy speaking.
 //
+// Execution is event-horizon: only the hosts a moment actually touches
+// are simulated up to it (the fleet's lazy per-host clocks; see the
+// arrivals README), while rebalance epochs, checkpoints and the end of
+// the run are global barriers. Because per-host simulation is
+// chunk-invariant, the results are bit-identical to the lockstep
+// engine's (Options.Lockstep replays the old schedule for comparison).
+//
 // The fleet should be freshly built; Replay assumes its clock starts at
 // the trace's epoch. Event order, the fixed same-tick ordering above, and
-// the fleet's serial-equivalent RunTicks make the whole replay
+// the fleet's deterministic per-host advancement make the whole replay
 // deterministic for a given trace, seed, fleet configuration and option
 // set.
 func Replay(f *cluster.Fleet, tr Trace, opt Options) (Result, error) {
@@ -296,25 +311,31 @@ type replayRun struct {
 	res           Result
 }
 
-// runTo advances the fleet to tick t, accruing utilization over the gap
-// in one float addition — which is why pauses happen only at moment
-// boundaries: splitting a gap would split the addition and could differ
-// in the last bit.
+// runTo advances the replay clock to tick t, accruing utilization over
+// the gap in one float addition — which is why pauses happen only at
+// moment boundaries: splitting a gap would split the addition and could
+// differ in the last bit.
+//
+// The fleet's virtual clock moves with the replay clock, but hosts are
+// not simulated here: each one is fast-forwarded lazily by the fleet
+// when the moment being processed actually touches it (a placement, a
+// departure, a migration endpoint, a monitor observation or a
+// checkpoint/end-of-run barrier). BookedCPUFraction reads only booking
+// ledgers, so the utilization integral never forces a catch-up. Under
+// Options.Lockstep the whole fleet is instead ticked eagerly across the
+// gap (Fleet.RunTicksLockstep) — the pre-event-horizon execution, kept
+// as the measured baseline.
 func (r *replayRun) runTo(t uint64) {
 	if t <= r.now {
 		return
 	}
 	r.utilTicks += r.f.BookedCPUFraction() * float64(t-r.now)
-	// Advance in int-sized chunks so the uint64 tick delta cannot
-	// truncate on 32-bit platforms (Validate bounds t, not int).
-	for r.now < t {
-		step := t - r.now
-		if step > math.MaxInt32 {
-			step = math.MaxInt32
-		}
-		r.f.RunTicks(int(step))
-		r.now += step
+	if r.opt.Lockstep {
+		r.f.RunTicksLockstep(int(t - r.now))
+	} else {
+		r.f.SkipTicks(t - r.now)
 	}
+	r.now = t
 }
 
 // tryPlace attempts to place the event's VM now. It returns false on a
@@ -678,6 +699,9 @@ func (p *Replayer) Finish() (Result, error) {
 	if r.opt.DrainTicks > 0 {
 		r.runTo(r.now + uint64(r.opt.DrainTicks))
 	}
+	// End-of-run barrier: the still-running VMs' counters are about to
+	// be read, so every lazily lagging host must reach the end tick.
+	r.f.Barrier()
 	// Snapshot VMs that never depart (Lifetime 0) as of the end tick, in
 	// record order for determinism.
 	for idx := range r.res.Records {

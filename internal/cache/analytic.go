@@ -220,6 +220,29 @@ func (a *AnalyticLLC) EndEpoch() {
 	a.epoch++
 }
 
+// SkipEpochs advances the epoch counter n steps without running the
+// occupancy recurrence. It is exact — not an approximation — whenever
+// every owner's occupancy and fills are zero: EndEpoch on the all-zero
+// state computes occupied = fills = 0, eviction pressure
+// max(0, 0 - (lines - 0)) = 0, and grows every slot by zero, so the
+// only mutation is epoch++. A world with no VMs is in exactly that
+// state (ReleaseOwner zeroes each departing owner's slots, and fills
+// are reset at every epoch boundary), which is what the hypervisor's
+// idle fast-forward relies on. If any slot is non-zero, the recurrence
+// is run step by step instead, so SkipEpochs(n) is always bit-identical
+// to n calls of EndEpoch.
+func (a *AnalyticLLC) SkipEpochs(n uint64) {
+	for i := range a.occ {
+		if a.occ[i] != 0 || a.fills[i] != 0 {
+			for ; n > 0; n-- {
+				a.EndEpoch()
+			}
+			return
+		}
+	}
+	a.epoch += n
+}
+
 // FlushOwner zeroes owner's occupancy, modelling the footprint loss of a
 // migration; the declared footprint is kept so the owner can refill.
 func (a *AnalyticLLC) FlushOwner(owner Owner) {

@@ -15,12 +15,43 @@
 // World is seeded independently, and RunTicks merely distributes whole
 // hosts across workers — so a concurrent fleet run is bit-identical to
 // driving the hosts serially (cluster tests assert this under -race).
+//
+// # Lazy per-host clocks
+//
+// The fleet keeps a virtual clock (SkipTicks advances it without
+// simulating anything) and each host records how many ticks have
+// actually been driven into its World. A host is fast-forwarded to the
+// fleet clock only when an operation needs its simulated state: Place
+// and Remove seek the one host they touch, Migrate seeks both
+// endpoints, and whole-fleet reads (FleetMonitor.Observe, CaptureState,
+// SnapshotVMs) call Barrier first. Because hv.World.RunTicks(n) is
+// exactly n repetitions of one tick — chunk-invariant — advancing a
+// host in one large seek is bit-identical to the many small lockstep
+// advances it replaces; the churn goldens pin this. RunTicks keeps its
+// historical all-hosts semantics (SkipTicks then Barrier), so callers
+// that want whole-fleet advancement still get it.
+//
+// Laziness pays twice. First, an idle host's deferred stretch collapses
+// to O(1): hv.World.FastForward elides the tick loop for a world that
+// provably holds no VMs, so hosts a sparse trace never touches cost
+// nothing to catch up — work is eliminated, not merely postponed.
+// Second, busy lags close concurrently: fleets built with more than one
+// worker run background drainer goroutines (the due-host scheduler)
+// that sweep lagging hosts in DueChunkTicks-sized chunks while the
+// calling goroutine processes events, synchronizing per host through
+// Host.mu. Both mechanisms are schedule-only — every World still
+// receives exactly the tick sequence the clock deltas dictate — so a
+// drained, elided, concurrent run is bit-identical to
+// RunTicksLockstep's eager serial schedule (the pre-event-horizon
+// engine, kept as the measured baseline).
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kyoto/internal/cache"
 	"kyoto/internal/core"
@@ -96,6 +127,15 @@ type Host struct {
 	BookedLLC   float64
 
 	vms []Placement
+
+	// mu serializes simulation access to the host's World between the
+	// fleet's calling goroutine and the background due-host drainers.
+	// ran counts the ticks actually driven into the World since fleet
+	// construction (or the last RestoreState); invariant: ran <= the
+	// fleet clock, and the gap is the host's lag, closed by seeks.
+	// Both are guarded by mu.
+	mu  sync.Mutex
+	ran uint64
 }
 
 // Kyoto returns the host's pollution ledger when the template enabled
@@ -192,6 +232,32 @@ type Fleet struct {
 	placer     Placer
 	workers    int
 	placements []Placement
+
+	// sched owns the lazy-clock machinery: the fleet's virtual clock and
+	// the background due-host drainers. It deliberately holds no pointer
+	// back to the Fleet, so the drainer goroutines never keep a
+	// discarded fleet alive — the finalizer set in New stops them once
+	// the Fleet itself is collected.
+	sched *dueScheduler
+}
+
+// dueScheduler is the shared state between a fleet's calling goroutine
+// and its background drainers: the virtual clock (how far every host is
+// *entitled* to have run) and the host list whose lags the drainers
+// close. Per-host serialization lives in Host.mu.
+type dueScheduler struct {
+	hosts []*Host
+	// clock is the fleet's virtual time in ticks since construction (or
+	// the last RestoreState). SkipTicks advances it for free; seeks and
+	// Barrier make hosts catch up to it. Atomic because drainers read it
+	// while the calling goroutine advances it.
+	clock atomic.Uint64
+	// wake (buffered, capacity one) nudges parked drainers after the
+	// clock moves; quit stops them for good. Both are nil on fleets that
+	// run without drainers (single host, or an effective worker count of
+	// one).
+	wake chan struct{}
+	quit chan struct{}
 }
 
 // New builds a fleet of cfg.Hosts identical hosts.
@@ -231,7 +297,34 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		f.hosts = append(f.hosts, h)
 	}
+	f.sched = &dueScheduler{hosts: f.hosts}
+	if n := f.drainers(); n > 0 {
+		f.sched.start(n)
+		// The drainers hold only f.sched, so the Fleet itself can be
+		// collected; stopping them on collection keeps fleet-heavy test
+		// suites and sweeps from accumulating parked goroutines forever.
+		runtime.SetFinalizer(f, func(f *Fleet) { close(f.sched.quit) })
+	}
 	return f, nil
+}
+
+// resolveWorkers returns the effective advancement concurrency.
+func (f *Fleet) resolveWorkers() int {
+	if f.workers > 0 {
+		return f.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// drainers returns how many background drainers the fleet runs: the
+// worker budget minus the calling goroutine (which drives the host its
+// event touches), bounded by the hosts that could lag concurrently.
+func (f *Fleet) drainers() int {
+	n := f.resolveWorkers()
+	if n > len(f.hosts) {
+		n = len(f.hosts)
+	}
+	return n - 1
 }
 
 // newHost assembles one host from the template, deriving a per-host seed
@@ -329,6 +422,9 @@ func (f *Fleet) Place(req Request) (Placement, error) {
 		return Placement{}, fmt.Errorf("cluster: placer %s chose invalid host %d", f.placer.Name(), hostID)
 	}
 	h := f.hosts[hostID]
+	// The placer only read booking ledgers; the chosen host's World is
+	// about to change, so it must reach the fleet clock first.
+	f.seek(h)
 	domain, err := h.World.AddVM(req.Spec)
 	if err != nil {
 		return Placement{}, fmt.Errorf("cluster: host %d: %w", hostID, err)
@@ -355,6 +451,9 @@ func (f *Fleet) Remove(name string) (Placement, error) {
 			if p.VM.Name != name {
 				continue
 			}
+			// The departing VM's lifetime counters are read by callers of
+			// the returned Placement; the host must be current first.
+			f.seek(h)
 			if err := h.World.RemoveVM(name); err != nil {
 				return Placement{}, fmt.Errorf("cluster: host %d: %w", h.ID, err)
 			}
@@ -402,19 +501,55 @@ func (f *Fleet) PlaceAll(reqs []Request) ([]Placement, error) {
 	return out, nil
 }
 
-// RunTicks advances every host n ticks, distributing whole hosts across a
-// worker pool of min(Workers, hosts, GOMAXPROCS) goroutines. Hosts share
-// no state, so the result is identical to RunTicksSerial.
+// DueChunkTicks bounds how long a background drainer holds one host's
+// lock: lag is closed in contiguous chunks of at most this many ticks,
+// so the calling goroutine's seek of the same host blocks for at most
+// one chunk (and that blocked time is never wasted — the drainer is
+// doing exactly the catch-up the seek needs). Large enough to amortize
+// the lock traffic over real simulation work, small enough to keep
+// event-path latency bounded.
+const DueChunkTicks = 256
+
+// RunTicks advances every host n ticks: the fleet clock moves forward
+// and every host catches up to it, the drainers closing lags alongside
+// the calling goroutine. Hosts share no state, so the result is
+// identical to RunTicksSerial.
 func (f *Fleet) RunTicks(n int) {
-	workers := f.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	f.SkipTicks(uint64(n))
+	f.Barrier()
+}
+
+// RunTicksSerial advances every host n ticks on the calling goroutine, in
+// host-ID order — the reference execution the concurrent path must match.
+func (f *Fleet) RunTicksSerial(n int) {
+	f.sched.clock.Add(uint64(n))
+	for _, h := range f.hosts {
+		h.mu.Lock()
+		f.sched.seekLocked(h)
+		h.mu.Unlock()
 	}
+}
+
+// RunTicksLockstep advances every host n ticks through the
+// pre-event-horizon schedule: the whole fleet synchronizes inside this
+// one call, hosts distributed across a freshly spawned worker pool of
+// min(Workers, hosts, GOMAXPROCS) goroutines, with no idle elision and
+// no background draining. It exists as the measured baseline the lazy
+// engine's speedup is quoted against (arrivals.Options.Lockstep) and is
+// bit-identical to RunTicks — only the schedule and the cost differ.
+func (f *Fleet) RunTicksLockstep(n int) {
+	s := f.sched
+	s.clock.Add(uint64(n)) // deliberately no nudge: drainers stay parked
+	workers := f.resolveWorkers()
 	if workers > len(f.hosts) {
 		workers = len(f.hosts)
 	}
 	if workers <= 1 {
-		f.RunTicksSerial(n)
+		for _, h := range f.hosts {
+			h.mu.Lock()
+			s.tickLocked(h)
+			h.mu.Unlock()
+		}
 		return
 	}
 	var wg sync.WaitGroup
@@ -424,7 +559,9 @@ func (f *Fleet) RunTicks(n int) {
 		go func() {
 			defer wg.Done()
 			for h := range ch {
-				h.World.RunTicks(n)
+				h.mu.Lock()
+				s.tickLocked(h)
+				h.mu.Unlock()
 			}
 		}()
 	}
@@ -435,11 +572,157 @@ func (f *Fleet) RunTicks(n int) {
 	wg.Wait()
 }
 
-// RunTicksSerial advances every host n ticks on the calling goroutine, in
-// host-ID order — the reference execution the concurrent path must match.
-func (f *Fleet) RunTicksSerial(n int) {
+// SkipTicks advances the fleet's virtual clock by n ticks without
+// simulating anything on the calling goroutine. Hosts catch up lazily:
+// each one is fast-forwarded the moment an operation needs its
+// simulated state (Place, Remove, Migrate on that host; Barrier for all
+// of them), and the background drainers close lags concurrently in the
+// meantime. Bookkeeping reads — Fits, FreeLLC, BookedCPUFraction, the
+// placement ledgers — never force a catch-up, which is what makes
+// replaying a sparse event stream cheap.
+func (f *Fleet) SkipTicks(n uint64) {
+	f.sched.clock.Add(n)
+	f.sched.nudge()
+}
+
+// Clock returns the fleet's virtual time in ticks since construction
+// (or the last RestoreState).
+func (f *Fleet) Clock() uint64 { return f.sched.clock.Load() }
+
+// HostLag returns how many ticks host i still has to simulate to reach
+// the fleet clock (0 for a fully caught-up host).
+func (f *Fleet) HostLag(i int) uint64 {
+	h := f.hosts[i]
+	h.mu.Lock()
+	lag := f.sched.clock.Load() - h.ran
+	h.mu.Unlock()
+	return lag
+}
+
+// Barrier fast-forwards every lagging host to the fleet clock, the
+// drainers helping concurrently. After it returns, every host's World
+// is at the same virtual time — the prerequisite for whole-fleet reads
+// (monitor observations, checkpoints, counter snapshots) — and no
+// drainer touches any World until the clock moves again.
+func (f *Fleet) Barrier() {
+	s := f.sched
+	s.nudge()
 	for _, h := range f.hosts {
-		h.World.RunTicks(n)
+		h.mu.Lock()
+		s.seekLocked(h)
+		h.mu.Unlock()
+	}
+}
+
+// seek fast-forwards one host to the fleet clock because an event needs
+// its simulated state. Acquiring the host lock also establishes the
+// happens-before edge with whichever drainer last advanced the World,
+// so the caller may read and mutate it freely afterwards (no drainer
+// touches a caught-up host until the clock moves again, and only the
+// calling goroutine moves it).
+func (f *Fleet) seek(h *Host) {
+	h.mu.Lock()
+	f.sched.seekLocked(h)
+	h.mu.Unlock()
+}
+
+// start spawns n background drainers. Each one sweeps the host list
+// from its own offset, closing lags chunk by chunk, and parks on the
+// wake channel once a full sweep finds every host caught up.
+func (s *dueScheduler) start(n int) {
+	s.wake = make(chan struct{}, 1)
+	s.quit = make(chan struct{})
+	for i := 0; i < n; i++ {
+		go s.drain(i * len(s.hosts) / n)
+	}
+}
+
+// nudge wakes parked drainers after the clock moved. The buffered
+// channel makes it a few-nanosecond no-op when they are already awake,
+// and no wakeup can be lost: a nudge arriving mid-sweep is consumed by
+// the drainer's next park-and-recheck.
+func (s *dueScheduler) nudge() {
+	if s.wake == nil {
+		return
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain is one background drainer: sweep every host, close up to
+// DueChunkTicks of lag per lock hold, park when a whole sweep finds no
+// work. Which goroutine runs a host's ticks can never matter — each
+// World's tick sequence is fixed by the clock deltas alone — so the
+// drainers accelerate the replay without touching its results.
+func (s *dueScheduler) drain(start int) {
+	n := len(s.hosts)
+	for {
+		worked := false
+		for i := 0; i < n; i++ {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			h := s.hosts[(start+i)%n]
+			h.mu.Lock()
+			if c := s.clock.Load(); h.ran < c {
+				step := c - h.ran
+				if step > DueChunkTicks {
+					step = DueChunkTicks
+				}
+				h.World.FastForward(int(step))
+				h.ran += step
+				worked = true
+			}
+			h.mu.Unlock()
+		}
+		if !worked {
+			select {
+			case <-s.wake:
+			case <-s.quit:
+				return
+			}
+		}
+	}
+}
+
+// seekLocked closes h's lag on the calling goroutine (h.mu held), in
+// int-sized chunks so the uint64 delta cannot truncate on 32-bit
+// platforms. World.FastForward elides the tick loop in O(1) while the
+// host is empty — an untouched host's idle stretch costs nothing to
+// close, which is the lazy engine's headline saving.
+func (s *dueScheduler) seekLocked(h *Host) {
+	for {
+		c := s.clock.Load()
+		if h.ran >= c {
+			return
+		}
+		step := c - h.ran
+		if step > math.MaxInt32 {
+			step = math.MaxInt32
+		}
+		h.World.FastForward(int(step))
+		h.ran += step
+	}
+}
+
+// tickLocked closes h's lag tick by tick (h.mu held) — the lockstep
+// baseline's cost model, with no idle elision.
+func (s *dueScheduler) tickLocked(h *Host) {
+	for {
+		c := s.clock.Load()
+		if h.ran >= c {
+			return
+		}
+		step := c - h.ran
+		if step > math.MaxInt32 {
+			step = math.MaxInt32
+		}
+		h.World.RunTicks(int(step))
+		h.ran += step
 	}
 }
 
@@ -456,8 +739,10 @@ func (f *Fleet) FindVM(name string) (*vm.VM, int) {
 }
 
 // SnapshotVMs returns every host's per-VM aggregate counters, indexed by
-// host ID then VM name.
+// host ID then VM name. Counters are simulated state, so every host is
+// first brought to the fleet clock.
 func (f *Fleet) SnapshotVMs() []map[string]pmc.Counters {
+	f.Barrier()
 	out := make([]map[string]pmc.Counters, len(f.hosts))
 	for i, h := range f.hosts {
 		out[i] = h.World.SnapshotVMs()

@@ -1,0 +1,105 @@
+package cluster_test
+
+// Checkpoint capture in the middle of a lazy-clock gap: under the
+// event-horizon engine host worlds trail the fleet clock until an event
+// seeks them, so a snapshot request can arrive while hosts sit at
+// wildly different ticks. CaptureState must barrier the fleet first
+// (RestoreState rejects misaligned clocks outright), and a fleet
+// restored from such a mid-gap capture must evolve bit-identically to
+// the original from then on.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"kyoto/internal/cluster"
+	"kyoto/internal/vm"
+)
+
+func TestCaptureStateMidGapBetweenHostClocks(t *testing.T) {
+	build := func() *cluster.Fleet {
+		t.Helper()
+		f, err := cluster.New(cluster.Config{
+			Hosts:    3,
+			Template: cluster.HostTemplate{Seed: 21, EnableKyoto: true},
+			Placer:   cluster.Admission{},
+			Workers:  1, // no drainers: host lag persists until an event seeks
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	place := func(f *cluster.Fleet, name string) {
+		t.Helper()
+		if _, err := f.Place(cluster.Request{Spec: vm.Spec{Name: name, App: "gcc", LLCCap: 100}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capture := func(f *cluster.Fleet) []byte {
+		t.Helper()
+		st, err := f.CaptureState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	// Open a real gap: advance the fleet clock 40 ticks with no events,
+	// then place one VM — only its chosen host seeks to tick 40, the
+	// others stay where they were.
+	f := build()
+	place(f, "v0")
+	f.SkipTicks(40)
+	if f.Clock() != 40 {
+		t.Fatalf("fleet clock %d after SkipTicks(40), want 40", f.Clock())
+	}
+	place(f, "v1")
+	lagged := 0
+	for i := 0; i < f.Size(); i++ {
+		if f.HostLag(i) > 0 {
+			lagged++
+		}
+	}
+	if lagged == 0 {
+		t.Fatal("no host lags the fleet clock — the capture would not cross a gap")
+	}
+
+	// Capture mid-gap. The snapshot must hold every host at one common
+	// tick (CaptureState barriers before serializing).
+	blob := capture(f)
+	var st cluster.FleetState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	for i, hs := range st.Hosts {
+		if hs.World.Now != st.Hosts[0].World.Now {
+			t.Fatalf("host %d captured at tick %d, host 0 at %d — capture must barrier", i, hs.World.Now, st.Hosts[0].World.Now)
+		}
+	}
+	for i := 0; i < f.Size(); i++ {
+		if lag := f.HostLag(i); lag != 0 {
+			t.Fatalf("host %d still lags %d ticks after capture", i, lag)
+		}
+	}
+
+	// Restore the wire bytes onto a fresh fleet and drive both fleets
+	// through the same post-checkpoint schedule, ending with another
+	// mid-gap capture. Every byte of the final states must match.
+	r := build()
+	if err := r.RestoreState(&st); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*cluster.Fleet{f, r} {
+		g.SkipTicks(25)
+		place(g, "v2")
+		g.SkipTicks(7)
+	}
+	if got, want := capture(r), capture(f); string(got) != string(want) {
+		t.Fatalf("restored fleet diverged after the mid-gap checkpoint:\n got %s\nwant %s", got, want)
+	}
+}

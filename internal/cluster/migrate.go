@@ -47,6 +47,12 @@ func (f *Fleet) Migrate(name string, dstHost int, downtime int) (Placement, erro
 			name, dstHost, ErrUnplaceable, p.Request.LLCCap, dst.FreeLLC())
 	}
 
+	// Both endpoints are about to be read and mutated (the source's
+	// lifetime counters are carried over; the destination's world clock
+	// anchors the suspend window), so both must reach the fleet clock.
+	f.seek(src)
+	f.seek(dst)
+
 	// Instantiate on the destination first so a spec the destination's
 	// machine cannot host (home node or pin out of range on a smaller
 	// override host) fails cleanly with the source untouched.

@@ -74,7 +74,12 @@ func NewFleetMonitor() *FleetMonitor {
 
 // Observe builds the epoch view and advances the per-VM snapshots.
 // Departed VMs are forgotten, so long churn runs do not leak state.
+// An observation reads every VM's counters — simulated state — so it is
+// a global barrier: every lagging host is fast-forwarded to the fleet
+// clock first. This is what makes a rebalance epoch the synchronization
+// point of a lazily advanced replay.
 func (m *FleetMonitor) Observe(f *Fleet) RebalanceView {
+	f.Barrier()
 	view := RebalanceView{HostRates: make([]float64, len(f.hosts))}
 	live := make(map[string]bool, len(f.placements))
 	for _, h := range f.hosts {

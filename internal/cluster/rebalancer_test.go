@@ -222,4 +222,9 @@ func TestRebalancerByName(t *testing.T) {
 	if _, err := RebalancerByName("bogus"); err == nil {
 		t.Fatal("bogus rebalancer name must fail")
 	}
+	for _, name := range RebalancerNames() {
+		if rb, err := RebalancerByName(name); err != nil {
+			t.Fatalf("advertised name %q does not parse: %v / %v", name, rb, err)
+		}
+	}
 }

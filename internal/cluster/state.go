@@ -3,8 +3,11 @@ package cluster
 // Fleet checkpoint support: capture every host's world (plus its counter
 // monitor) together with the placement bookkeeping the placer bin-packs
 // on, and restore the lot onto a freshly built fleet of the identical
-// configuration. Call CaptureState only between RunTicks calls — each
-// host is then at a tick boundary, the only place hv worlds checkpoint.
+// configuration. CaptureState is a global barrier: every lazily lagging
+// host is fast-forwarded to the fleet clock first, so the captured
+// worlds all sit at one common tick boundary (the only place hv worlds
+// checkpoint) and the envelope's per-host clocks agree — which is what
+// lets a resumed run keep advancing lazily and still end bit-identical.
 
 import (
 	"fmt"
@@ -50,6 +53,7 @@ type FleetState struct {
 // CaptureState serializes the fleet: every host's world and monitor,
 // the resource bookings, and both placement orders.
 func (f *Fleet) CaptureState() (*FleetState, error) {
+	f.Barrier()
 	st := &FleetState{}
 	for _, h := range f.hosts {
 		if h.shadow {
@@ -88,6 +92,17 @@ func (f *Fleet) RestoreState(st *FleetState) error {
 	}
 	if len(f.placements) != 0 {
 		return fmt.Errorf("cluster: restore target must be a freshly built fleet (%d placements live)", len(f.placements))
+	}
+	// CaptureState barriers, so a well-formed snapshot holds every host
+	// at one common tick; reject anything else up front — restoring
+	// misaligned clocks would silently skew every later lazy delta.
+	for i := 1; i < len(st.Hosts); i++ {
+		if st.Hosts[i].World == nil || st.Hosts[0].World == nil {
+			continue // the nil check below reports the real error per host
+		}
+		if st.Hosts[i].World.Now != st.Hosts[0].World.Now {
+			return fmt.Errorf("cluster: state holds host clocks at ticks %d and %d — a fleet snapshot must be captured at a barrier", st.Hosts[0].World.Now, st.Hosts[i].World.Now)
+		}
 	}
 	for i, h := range f.hosts {
 		hs := &st.Hosts[i]
@@ -131,6 +146,17 @@ func (f *Fleet) RestoreState(st *FleetState) error {
 			return fmt.Errorf("cluster: placement references VM %q on host %d, which does not hold it", ref.Name, ref.HostID)
 		}
 		f.placements = append(f.placements, *found)
+	}
+	// The lazy clocks are relative to the restore point: every restored
+	// world sits at the same (captured) tick, so the fleet starts over
+	// with zero lag everywhere and advances in deltas from here. Host
+	// locks order these resets against any drainer activity, and a
+	// fresh-fleet clock of zero means no drainer ran before this point.
+	f.sched.clock.Store(0)
+	for _, h := range f.hosts {
+		h.mu.Lock()
+		h.ran = 0
+		h.mu.Unlock()
 	}
 	return nil
 }

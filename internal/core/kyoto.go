@@ -104,6 +104,14 @@ func (k *Kyoto) Name() string { return "kyoto+" + k.base.Name() }
 // Base returns the wrapped scheduler.
 func (k *Kyoto) Base() sched.Scheduler { return k.base }
 
+// IdleTickInvariant implements sched.IdleTickInvariant for the
+// decorator's own state: with no registered VMs, EndTick finds no
+// pending measurements and no ledgers to refill, so it only delegates.
+// hv additionally requires the base scheduler to carry the marker
+// (checked through Base), so a Kyoto-wrapped non-invariant policy does
+// not qualify.
+func (k *Kyoto) IdleTickInvariant() {}
+
 // TickOverheadCycles implements hv.OverheadReporter.
 func (k *Kyoto) TickOverheadCycles() uint64 { return k.overhead }
 

@@ -51,6 +51,9 @@ type DetectionSweepConfig struct {
 	Seed uint64
 	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Lockstep forces the eager fleet engine (schedule-only, excluded
+	// from the config digest like Workers; see TraceSweepConfig).
+	Lockstep bool
 	// DrainTicks extends the replay past the last event (default
 	// DefaultMeasureTicks).
 	DrainTicks int
@@ -283,6 +286,7 @@ func (s *DetectionSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	}
 	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{
 		DrainTicks:        s.cfg.DrainTicks,
+		Lockstep:          s.cfg.Lockstep,
 		Rebalancer:        rb,
 		RebalanceEvery:    s.cfg.RebalanceEvery,
 		MigrationDowntime: s.cfg.Downtime,
@@ -435,9 +439,9 @@ func DetectionSweep(tr arrivals.Trace, cfg DetectionSweepConfig) (*DetectionSwee
 // detector tuning. It cannot fail: the synthetic trace and the zero
 // detector config always validate, so construction errors are
 // programming errors and panic like any other broken invariant.
-func NewDetectionBenchSweeper(seed uint64, fid cache.Fidelity) *DetectionSweeper {
+func NewDetectionBenchSweeper(seed uint64, fid cache.Fidelity, lockstep bool) *DetectionSweeper {
 	tr := arrivals.Synthesize(arrivals.SynthConfig{Seed: seed, VMs: 48})
-	s, err := NewDetectionSweeper(tr, DetectionSweepConfig{Seed: seed, Fidelity: fid})
+	s, err := NewDetectionSweeper(tr, DetectionSweepConfig{Seed: seed, Fidelity: fid, Lockstep: lockstep})
 	if err != nil {
 		panic(err)
 	}

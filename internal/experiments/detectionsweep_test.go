@@ -243,7 +243,7 @@ func TestDetectionSweepValidatesConfig(t *testing.T) {
 // sweeper runs end to end, its Seedable hooks agree on metric shape,
 // and the single-process DetectionSweep path reproduces the engine run.
 func TestDetectionBenchSweeper(t *testing.T) {
-	s := NewDetectionBenchSweeper(3, cache.FidelityAnalytic)
+	s := NewDetectionBenchSweeper(3, cache.FidelityAnalytic, false)
 	if err := (sweep.Engine{}).Run(s); err != nil {
 		t.Fatal(err)
 	}

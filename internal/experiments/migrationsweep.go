@@ -37,6 +37,9 @@ type MigrationSweepConfig struct {
 	Seed uint64
 	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Lockstep forces the eager fleet engine (schedule-only, excluded
+	// from the config digest like Workers; see TraceSweepConfig).
+	Lockstep bool
 	// DrainTicks extends the replay past the last event (default
 	// DefaultMeasureTicks).
 	DrainTicks int
@@ -258,6 +261,7 @@ func (s *MigrationSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	}
 	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{
 		DrainTicks:        s.cfg.DrainTicks,
+		Lockstep:          s.cfg.Lockstep,
 		Pending:           s.cfg.Pending,
 		MaxWait:           s.cfg.MaxWait,
 		Rebalancer:        rb,

@@ -35,6 +35,11 @@ type TraceSweepConfig struct {
 	Seed uint64
 	// Workers caps each fleet's RunTicks concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Lockstep forces the eager fleet engine (every host ticked every
+	// tick) instead of the lazy event-horizon default. Schedule-only:
+	// results are bit-identical either way, so like Workers it stays out
+	// of the config digest. It exists for baseline timing comparisons.
+	Lockstep bool
 	// DrainTicks extends the replay past the last event so VMs that
 	// never depart accumulate a window (default DefaultMeasureTicks).
 	DrainTicks int
@@ -196,7 +201,7 @@ func (s *TraceSweeper) Run(job sweep.Job) (json.RawMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{DrainTicks: s.cfg.DrainTicks})
+	replay, err := arrivals.Replay(f, s.tr, arrivals.Options{DrainTicks: s.cfg.DrainTicks, Lockstep: s.cfg.Lockstep})
 	if err != nil {
 		return nil, fmt.Errorf("placer %s: %w", name, err)
 	}

@@ -139,6 +139,13 @@ type World struct {
 
 	// IdleCycles accumulates, per core, cycles with no vCPU assigned.
 	IdleCycles []uint64
+
+	// idleSafe records whether the scheduler and every installed hook
+	// carry the sched.IdleTickInvariant marker — the static half of the
+	// FastForward eligibility check (the dynamic half is "no VMs, no
+	// pending wakes"). Set at construction, cleared by AddHook when a
+	// hook without the marker is installed.
+	idleSafe bool
 }
 
 // New builds a World on the given machine driving the given scheduler.
@@ -166,6 +173,7 @@ func New(cfg Config, s sched.Scheduler) (*World, error) {
 		scratch:    make([]uint64, m.NumCores()),
 		caps:       make([]uint64, m.NumCores()),
 		IdleCycles: make([]uint64, m.NumCores()),
+		idleSafe:   schedIdleInvariant(s),
 	}
 	if cfg.Fidelity == cache.FidelityAnalytic {
 		for range m.Sockets() {
@@ -273,7 +281,27 @@ func (w *World) FindVM(name string) *vm.VM {
 }
 
 // AddHook appends a tick hook.
-func (w *World) AddHook(h TickHook) { w.hooks = append(w.hooks, h) }
+func (w *World) AddHook(h TickHook) {
+	w.hooks = append(w.hooks, h)
+	if _, ok := h.(sched.IdleTickInvariant); !ok {
+		// A hook without the marker may observe or mutate state every
+		// tick (recorders do), so the idle fast-forward must not elide
+		// ticks for this world anymore.
+		w.idleSafe = false
+	}
+}
+
+// schedIdleInvariant reports whether s (and, for decorators, its whole
+// base chain) promises sched.IdleTickInvariant.
+func schedIdleInvariant(s sched.Scheduler) bool {
+	if _, ok := s.(sched.IdleTickInvariant); !ok {
+		return false
+	}
+	if d, ok := s.(interface{ Base() sched.Scheduler }); ok {
+		return schedIdleInvariant(d.Base())
+	}
+	return true
+}
 
 // AddVM instantiates spec: resolves the workload profile, creates the
 // vCPUs, and registers them with the scheduler.
@@ -521,6 +549,54 @@ func (w *World) RunTicks(n int) {
 	for i := 0; i < n; i++ {
 		w.tick()
 	}
+}
+
+// FastForward advances the world n ticks, bit-identically to
+// RunTicks(n), eliding the tick loop entirely when the world provably
+// holds no simulated activity. On an idle-eligible world — no VMs, no
+// pending wakes, no stale core assignment, and a scheduler plus hooks
+// that all promise sched.IdleTickInvariant — one tick's only mutations
+// are now++, one CyclesPerTick of idle accounting per core, and (on the
+// analytic tier) one empty occupancy epoch per socket; all three have
+// exact closed forms, applied here in O(cores + sockets) regardless of
+// n. Any world that fails the eligibility check is ticked normally, so
+// FastForward is always safe to substitute for RunTicks. The fleet's
+// lazy per-host clocks use it to close an untouched host's idle stretch
+// in constant time — the elision that makes event-horizon replay faster
+// than lockstep, not merely deferred (TestFastForwardIdentity pins the
+// equivalence).
+func (w *World) FastForward(n int) {
+	if n <= 0 {
+		return
+	}
+	if !w.idleEligible() {
+		w.RunTicks(n)
+		return
+	}
+	ticks := uint64(n)
+	for i := range w.IdleCycles {
+		w.IdleCycles[i] += ticks * w.cfg.CyclesPerTick
+	}
+	for _, llc := range w.analytic {
+		llc.SkipEpochs(ticks)
+	}
+	w.now += ticks
+}
+
+// idleEligible reports whether every one of the next ticks would be a
+// provable no-op beyond the closed-form mutations FastForward applies.
+// No VM can appear mid-run (AddVM happens between RunTicks calls), so
+// checking at entry covers the whole window.
+func (w *World) idleEligible() bool {
+	if !w.idleSafe || len(w.vms) != 0 || len(w.wakes) != 0 {
+		return false
+	}
+	for _, cur := range w.current {
+		if cur != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // RunUntil advances the world until pred returns true or maxTicks elapse,

@@ -63,6 +63,13 @@ func NewOracle(f Feeder, indicator core.Indicator) *Oracle {
 	}
 }
 
+// IdleTickInvariant implements sched.IdleTickInvariant: with no VMs in
+// the world, OnTick samples nothing, leaves every map untouched, and
+// feeds an empty measurement batch (which Kyoto.Feed appends as
+// nothing) — a provable per-tick no-op, qualifying oracle-monitored
+// worlds for the idle fast-forward.
+func (o *Oracle) IdleTickInvariant() {}
+
 // OnTick implements hv.TickHook.
 func (o *Oracle) OnTick(w *hv.World) {
 	ms := o.scratch[:0]

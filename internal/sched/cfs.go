@@ -26,6 +26,11 @@ func NewCFS() *CFS {
 // Name implements Scheduler.
 func (c *CFS) Name() string { return "cfs" }
 
+// IdleTickInvariant implements IdleTickInvariant: with no registered
+// vCPUs, PickNext finds no candidate (and mutates nothing) and EndTick
+// is empty.
+func (c *CFS) IdleTickInvariant() {}
+
 // Register implements Scheduler. A new vCPU starts at the current minimum
 // vruntime so it neither starves others nor is starved.
 func (c *CFS) Register(v *vm.VCPU) {

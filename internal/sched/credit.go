@@ -34,6 +34,11 @@ func NewCredit(cores int) *Credit {
 // Name implements Scheduler.
 func (c *Credit) Name() string { return "credit" }
 
+// IdleTickInvariant implements IdleTickInvariant: with no registered
+// vCPUs, PickNext finds no candidate (and mutates nothing) and EndTick's
+// refill returns immediately on zero total weight.
+func (c *Credit) IdleTickInvariant() {}
+
 // Register implements Scheduler.
 func (c *Credit) Register(v *vm.VCPU) {
 	if v.VM.Weight == 0 {

@@ -47,6 +47,21 @@ type Remover interface {
 	Unregister(v *vm.VCPU)
 }
 
+// IdleTickInvariant marks a scheduler (or hv tick hook) whose per-tick
+// work is provably the identity on a world that holds no VMs: with an
+// empty runqueue, PickNext returns nil without mutating anything and
+// EndTick's slice-boundary bookkeeping touches no state. The testbed's
+// idle fast-forward (hv.World.FastForward) elides the tick loop for
+// empty worlds only when every installed policy and hook carries this
+// marker — which is what lets the fleet's lazy per-host clocks skip an
+// untouched host's idle stretch in O(1) instead of simulating it.
+// Implementations promise the invariant for their own state only; a
+// decorator must additionally hold it for its base (hv checks the base
+// recursively through the Base accessor).
+type IdleTickInvariant interface {
+	IdleTickInvariant()
+}
+
 // BudgetLimiter is optionally implemented by schedulers that bound how
 // many wall cycles a vCPU may consume within one tick (sub-tick cap
 // enforcement). The testbed stops the vCPU once the budget is spent and

@@ -128,6 +128,34 @@ func (s *Summary) Add(x float64) error {
 	return nil
 }
 
+// AddAll folds a batch of samples in at once: the batch is validated,
+// canonicalized and sorted, then merged into the multiset with one
+// linear pass — O((n+k) + k log k) for k new samples against n held,
+// against the O(n·k) that k repeated Add insertions cost (each Add
+// shifts the tail of the backing slice). The result is bit-identical to
+// calling Add per sample in any order, because both reduce to the same
+// sorted multiset of canonicalized float64s.
+//
+// Validation is all-or-nothing: if any sample is non-finite, the
+// Summary is left untouched and an error identifying the sample
+// returned — matching Add's contract, where a rejected sample never
+// mutates the multiset.
+func (s *Summary) AddAll(xs ...float64) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	batch := make([]float64, len(xs))
+	for i, x := range xs {
+		if !finite(x) {
+			return fmt.Errorf("stats: non-finite sample %v at index %d", x, i)
+		}
+		batch[i] = canonical(x)
+	}
+	sort.Float64s(batch)
+	*s = s.Merge(Summary{sorted: batch})
+	return nil
+}
+
 // Merge returns the union of both sample multisets. The result is the
 // same sorted slice whichever operand comes first and however the
 // samples were previously grouped, so Merge is exactly associative and

@@ -81,6 +81,60 @@ func TestSummaryMergeAssociativeAndFlat(t *testing.T) {
 	}
 }
 
+// Property: AddAll(xs...) is bitwise identical to folding the same
+// samples through Add one at a time — the batch path is a pure
+// performance substitute (O((n+k)+k log k) vs O(n·k)), never a
+// behavioral one. Trials mix batch sizes, pre-existing multiset sizes,
+// repeated values and signed zeros.
+func TestSummaryAddAllMatchesSequentialAdd(t *testing.T) {
+	rng := xrand.New(13)
+	for trial := 0; trial < 200; trial++ {
+		base := randomSamples(rng, int(rng.Uint64n(30)))
+		batch := randomSamples(rng, int(rng.Uint64n(50)))
+
+		batched := mustSummary(t, base...)
+		if err := batched.AddAll(batch...); err != nil {
+			t.Fatal(err)
+		}
+		sequential := mustSummary(t, base...)
+		for _, x := range batch {
+			if err := sequential.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !batched.Equal(sequential) {
+			t.Fatalf("trial %d: AddAll %v != sequential Add %v", trial, batched.Samples(), sequential.Samples())
+		}
+		// Derived statistics must agree bit-for-bit too: both stream the
+		// identical sorted slice through Welford.
+		if math.Float64bits(batched.Mean()) != math.Float64bits(sequential.Mean()) ||
+			math.Float64bits(batched.Variance()) != math.Float64bits(sequential.Variance()) {
+			t.Fatalf("trial %d: AddAll moments differ from sequential Add", trial)
+		}
+	}
+}
+
+// AddAll is all-or-nothing: one bad sample anywhere in the batch leaves
+// the Summary untouched, exactly as a rejected Add would.
+func TestSummaryAddAllRejectsWholeBatch(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := mustSummary(t, 1, 2, 3)
+		if err := s.AddAll(4, bad, 5); err == nil {
+			t.Fatalf("AddAll accepted a batch containing %v", bad)
+		}
+		if !s.Equal(mustSummary(t, 1, 2, 3)) {
+			t.Fatalf("rejected AddAll mutated the Summary: %v", s.Samples())
+		}
+	}
+	var empty Summary
+	if err := empty.AddAll(); err != nil {
+		t.Fatalf("empty AddAll errored: %v", err)
+	}
+	if empty.Count() != 0 {
+		t.Fatalf("empty AddAll grew the Summary to %d", empty.Count())
+	}
+}
+
 func TestSummaryMergeEmptyIdentity(t *testing.T) {
 	var empty Summary
 	s := mustSummary(t, 3, 1, 2)

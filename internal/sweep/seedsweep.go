@@ -255,6 +255,12 @@ func (s *SeedSweeper) Merge(payloads []json.RawMessage) error {
 		Metrics:       append([]string(nil), s.proto.MetricNames()...),
 	}
 	armIndex := make(map[string]int)
+	// Samples are collected per (arm, metric) in seed order and folded
+	// with one batched AddAll per cell at the end: a single linear merge
+	// instead of Seeds repeated sorted insertions (which are quadratic in
+	// the seed count), bit-identical to the sequential Adds by AddAll's
+	// contract.
+	var samples [][][]float64
 	for i := 0; i < s.cfg.Seeds; i++ {
 		if err := s.inners[i].Merge(payloads[i*inner : (i+1)*inner]); err != nil {
 			return fmt.Errorf("seed sweep: seed %d: %w", s.cfg.BaseSeed+uint64(i), err)
@@ -270,6 +276,11 @@ func (s *SeedSweeper) Merge(payloads []json.RawMessage) error {
 					Arm:       row.Arm,
 					Summaries: make([]stats.Summary, len(res.Metrics)),
 				})
+				cells := make([][]float64, len(res.Metrics))
+				for mi := range cells {
+					cells[mi] = make([]float64, 0, s.cfg.Seeds)
+				}
+				samples = append(samples, cells)
 			}
 		}
 		if len(rows) != len(res.Arms) {
@@ -284,9 +295,14 @@ func (s *SeedSweeper) Merge(payloads []json.RawMessage) error {
 				return fmt.Errorf("seed sweep: arm %q reports %d values for %d metrics", row.Arm, len(row.Values), len(res.Metrics))
 			}
 			for mi, v := range row.Values {
-				if err := res.Arms[ai].Summaries[mi].Add(v); err != nil {
-					return fmt.Errorf("seed sweep: arm %q metric %q seed %d: %w", row.Arm, res.Metrics[mi], s.cfg.BaseSeed+uint64(i), err)
-				}
+				samples[ai][mi] = append(samples[ai][mi], v)
+			}
+		}
+	}
+	for ai := range res.Arms {
+		for mi := range res.Arms[ai].Summaries {
+			if err := res.Arms[ai].Summaries[mi].AddAll(samples[ai][mi]...); err != nil {
+				return fmt.Errorf("seed sweep: arm %q metric %q: %w", res.Arms[ai].Arm, res.Metrics[mi], err)
 			}
 		}
 	}

@@ -31,6 +31,28 @@
 #              section, so they are exactly as stable as BENCHTIME) and
 #              the fig4 sweep wall-clock on each tier — the two numbers
 #              the two-fidelity work is accountable to.
+#   REPLAY     "0" skips the replay section: the three-placer churn sweep
+#              (kyotosim -churn, analytic tier, no rebalancer) timed on
+#              the lazy event-horizon fleet engine and again with
+#              -lockstep (the eager pre-event-horizon baseline), with the
+#              two stdout streams byte-compared — the wall-clock ratio
+#              the lazy-clock work is accountable to, and the identity
+#              proof that it is schedule-only. The workload is sparse by
+#              construction (horizon = 60 ticks per VM, mean lifetime
+#              REPLAY_LIFE) so fleet hosts idle most of the time — the
+#              regime laziness exists for; a saturated fleet would
+#              measure ~1x by design (see BenchmarkReplayChurn).
+#   REPLAY_VMS   arrivals in the replay section's synthetic trace
+#                (default 20000 — a quick proxy; the committed
+#                BENCH_kyoto.json is generated with REPLAY_VMS=1000000,
+#                the million-arrival headline).
+#   REPLAY_HOSTS fleet size for the replay section (default 12).
+#   REPLAY_LIFE  mean VM lifetime in ticks (default 5).
+#   REPLAY_BENCHTIME  -benchtime for the per-regime events/sec pass
+#                (BenchmarkReplayChurn: sparse/saturated/migrating,
+#                analytic and exact tiers, each against its lockstep
+#                twin — the regimes the headline number does not cover).
+#                Default 2x; "0" skips the pass.
 #
 # The sweep section times the same experiment twice through the shard
 # protocol, where -workers reaches the sweep engine: once as one
@@ -56,6 +78,11 @@ SWEEP_EXP="${SWEEP_EXP:-fig4}"
 SWEEP_SHARDS="${SWEEP_SHARDS:-$(nproc)}"
 FIDELITY="${FIDELITY:-1}"
 CHECKPOINT="${CHECKPOINT:-1}"
+REPLAY="${REPLAY:-1}"
+REPLAY_VMS="${REPLAY_VMS:-20000}"
+REPLAY_HOSTS="${REPLAY_HOSTS:-12}"
+REPLAY_LIFE="${REPLAY_LIFE:-5}"
+REPLAY_BENCHTIME="${REPLAY_BENCHTIME:-2x}"
 
 run_bench() {
 	go test -run '^$' -bench 'BenchmarkWorldTick|BenchmarkCacheAccess|BenchmarkWorkloadGen|BenchmarkAccessLRU' \
@@ -99,7 +126,7 @@ END {
 	printf "  }\n}\n"
 }' > "$OUT"
 
-if [ "$SWEEPS" != "0" ] || [ "$FIDELITY" != "0" ] || [ "$CHECKPOINT" != "0" ]; then
+if [ "$SWEEPS" != "0" ] || [ "$FIDELITY" != "0" ] || [ "$CHECKPOINT" != "0" ] || [ "$REPLAY" != "0" ]; then
 	BIN="$(mktemp -d)"
 	trap 'rm -rf "$BIN"' EXIT
 	go build -o "$BIN/kyotobench" ./cmd/kyotobench
@@ -212,6 +239,87 @@ with open(path, "w") as f:
     f.write("\n")
 EOF
 	echo "checkpoint warmstart: exact + analytic warm-start sweeps folded in" >&2
+fi
+
+if [ "$REPLAY" != "0" ]; then
+	# Replay section: the sparse churn sweep on the lazy event-horizon
+	# engine vs the eager lockstep baseline. Horizon scales with the
+	# arrival count (60 ticks per VM) so the fleet's idle fraction — the
+	# thing laziness elides — is the same at every REPLAY_VMS, and the
+	# speedup measured at the 20k default predicts the committed
+	# million-arrival number. The byte-compare of the two runs' stdout is
+	# the cheap end-to-end half of the bit-identity contract (the full
+	# per-VM fingerprint equality is pinned in internal/arrivals tests).
+	go build -o "$BIN/kyotosim" ./cmd/kyotosim
+	horizon=$((REPLAY_VMS * 60))
+
+	t0=$(date +%s%N)
+	"$BIN/kyotosim" -churn "$REPLAY_VMS" -churn-horizon "$horizon" -churn-life "$REPLAY_LIFE" \
+		-hosts "$REPLAY_HOSTS" -fidelity analytic > "$BIN/replay-lazy.txt"
+	t1=$(date +%s%N)
+	lazy_ms=$(((t1 - t0) / 1000000))
+
+	t0=$(date +%s%N)
+	"$BIN/kyotosim" -churn "$REPLAY_VMS" -churn-horizon "$horizon" -churn-life "$REPLAY_LIFE" \
+		-hosts "$REPLAY_HOSTS" -fidelity analytic -lockstep > "$BIN/replay-lockstep.txt"
+	t1=$(date +%s%N)
+	lockstep_ms=$(((t1 - t0) / 1000000))
+
+	cmp "$BIN/replay-lazy.txt" "$BIN/replay-lockstep.txt" || {
+		echo "replay: lazy and lockstep outputs differ — the engines are not bit-identical" >&2
+		exit 1
+	}
+
+	# Per-regime events/sec: the headline above is the sparse analytic
+	# no-rebalancer case; BenchmarkReplayChurn covers the rest (exact
+	# tier, migration epochs forcing barriers, saturated parity) with a
+	# lockstep twin per regime.
+	: > "$BIN/replay-bench.txt"
+	if [ "$REPLAY_BENCHTIME" != "0" ]; then
+		go test -run '^$' -bench BenchmarkReplayChurn -benchtime "$REPLAY_BENCHTIME" \
+			./internal/arrivals > "$BIN/replay-bench.txt"
+	fi
+
+	python3 - "$OUT" "$REPLAY_VMS" "$REPLAY_HOSTS" "$REPLAY_LIFE" "$horizon" "$lazy_ms" "$lockstep_ms" "$BIN/replay-bench.txt" <<'EOF'
+import json, re, sys
+path, vms, hosts, life, horizon, lazy_ms, lockstep_ms, benchfile = sys.argv[1:9]
+with open(path) as f:
+    d = json.load(f)
+regimes = {}
+for line in open(benchfile):
+    parts = line.split()
+    if not parts or not parts[0].startswith("BenchmarkReplayChurn/"):
+        continue
+    # go test appends "-GOMAXPROCS" only when it is not 1; strip just a
+    # trailing numeric suffix so "fleet-lockstep" keeps its name.
+    name = re.sub(r"-\d+$", "", parts[0].split("/", 1)[1])
+    for i, tok in enumerate(parts):
+        if tok == "events/sec":
+            regimes[name] = float(parts[i - 1])
+arms = 3  # the churn sweep replays the trace once per placement policy
+d["replay"] = {
+    "workload": {
+        "arrivals": int(vms),
+        "hosts": int(hosts),
+        "horizon_ticks": int(horizon),
+        "mean_lifetime_ticks": int(life),
+        "fidelity": "analytic",
+        "placer_arms": arms,
+    },
+    "lazy_ms": int(lazy_ms),
+    "lockstep_baseline_ms": int(lockstep_ms),
+    "speedup": round(int(lockstep_ms) / max(1, int(lazy_ms)), 2),
+    "lazy_arrivals_per_sec": round(arms * int(vms) / max(0.001, int(lazy_ms) / 1000)),
+    "lockstep_arrivals_per_sec": round(arms * int(vms) / max(0.001, int(lockstep_ms) / 1000)),
+    "outputs_identical": True,
+}
+if regimes:
+    d["replay"]["regimes_events_per_sec"] = regimes
+with open(path, "w") as f:
+    json.dump(d, f, indent=2)
+    f.write("\n")
+EOF
+	echo "replay churn ($REPLAY_VMS VMs, $REPLAY_HOSTS hosts): lazy ${lazy_ms}ms, lockstep ${lockstep_ms}ms" >&2
 fi
 
 echo "wrote $OUT" >&2

@@ -6,24 +6,66 @@
 # fold); keep an eye on the top entries staying simulation work, not
 # serialization overhead.
 #
+# The second pass profiles the due-host scheduler path: a sparse trace
+# (horizon = 60 ticks per VM, 12 hosts) replayed with GOMAXPROCS=4 so
+# the fleet spawns background drainers, which close per-host lag in
+# DueChunkTicks chunks through hv.World.FastForward. Observed hotspots
+# on this path (1-CPU container, 100k sparse VMs, 32s of samples): the
+# profile is event work, not advancement — hv.(*World).tick and its
+# analytic-executor callees hold ~55% cum (the busy ticks around each
+# VM's residency; cpu.(*AnalyticContext).exec alone is ~23% flat),
+# runtime overhead ~30% (runtime.asyncPreempt ~25% — the cost of
+# GOMAXPROCS=4 drainers preempting each other on one core — plus GC),
+# sweep.FingerprintPayload ~9%, trace JSON decode a few percent. The
+# scheduler machinery itself — dueScheduler drain/seekLocked flat —
+# is <0.5%, and FastForward's 55% cum is entirely the busy ticks it
+# executes, not advancement overhead: the idle elision has made
+# skipped host-ticks too cheap to register, which is exactly the point
+# (pre-elision, empty RunTicks loops dominated sparse replays).
+#
 #   ./scripts/profile_churn.sh                 # analytic tier, 1M VMs
 #   VMS=100000 FIDELITY=exact ./scripts/profile_churn.sh
 #
-#   VMS       trace size (default 1000000)
-#   FIDELITY  cache-model tier for the replay (default analytic — the
-#             fast tier makes the replay engine, not the cache model,
-#             the hotspot, which is what this profile is for)
-#   OUT       profile path prefix (default /tmp/kyoto-churn), writes
-#             $OUT.cpu and $OUT.mem for `go tool pprof`.
+#   VMS        trace size for the dense-churn pass (default 1000000)
+#   SCHED_VMS  trace size for the sparse due-host scheduler pass
+#              (default 100000; "0" skips the pass)
+#   FIDELITY   cache-model tier for the replay (default analytic — the
+#              fast tier makes the replay engine, not the cache model,
+#              the hotspot, which is what this profile is for)
+#   OUT        profile path prefix (default /tmp/kyoto-churn), writes
+#              $OUT.cpu/$OUT.mem (dense) and $OUT-sched.cpu/.mem
+#              (sparse scheduler pass) for `go tool pprof`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 VMS="${VMS:-1000000}"
+SCHED_VMS="${SCHED_VMS:-100000}"
 FIDELITY="${FIDELITY:-analytic}"
 OUT="${OUT:-/tmp/kyoto-churn}"
 
 go run ./cmd/kyotosim -churn "$VMS" -hosts 4 -fidelity "$FIDELITY" \
 	-cpuprofile "$OUT.cpu" -memprofile "$OUT.mem" >/dev/null
 go tool pprof -top -nodecount=15 "$OUT.cpu"
+
+if [ "$SCHED_VMS" != "0" ]; then
+	# Sparse fleet: hosts idle most of the time, so every advancement
+	# flows through the due-host scheduler (drainer chunks + event-path
+	# seeks + idle elision) instead of a dense tick loop. GOMAXPROCS=4
+	# guarantees drainer goroutines even on a single-CPU container.
+	echo >&2
+	echo "== due-host scheduler pass: $SCHED_VMS VMs, sparse, 12 hosts ==" >&2
+	GOMAXPROCS=4 go run ./cmd/kyotosim -churn "$SCHED_VMS" \
+		-churn-horizon "$((SCHED_VMS * 60))" -churn-life 5 -hosts 12 \
+		-fidelity "$FIDELITY" \
+		-cpuprofile "$OUT-sched.cpu" -memprofile "$OUT-sched.mem" >/dev/null
+	go tool pprof -top -nodecount=15 "$OUT-sched.cpu"
+	echo >&2
+	# -show folds hidden callees into the shown nodes, so FastForward's
+	# line here carries the busy ticks it executes; the machinery cost
+	# is the dueScheduler drain/seekLocked flat columns.
+	echo "scheduler-path share (drain/seek/FastForward):" >&2
+	go tool pprof -top -show 'dueScheduler|FastForward|seekLocked' "$OUT-sched.cpu" | tail -n +2
+fi
+
 echo >&2
-echo "profiles: $OUT.cpu $OUT.mem (go tool pprof -http=: $OUT.cpu)" >&2
+echo "profiles: $OUT.cpu $OUT.mem $OUT-sched.cpu $OUT-sched.mem (go tool pprof -http=: $OUT.cpu)" >&2
